@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures (the
+// per-experiment index is DESIGN.md §4).
+//
+// Usage:
+//
+//	experiments -run all            # everything, full size
+//	experiments -run fig7 -quick    # one experiment, reduced size
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name  = flag.String("run", "all", "experiment name or 'all'")
+		quick = flag.Bool("quick", false, "reduced input sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Println(r.Name)
+		}
+		return nil
+	}
+
+	var runners []experiments.Runner
+	if *name == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.Lookup(*name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *name)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(*quick)
+		if err != nil {
+			fmt.Printf("=== %s: FAILED: %v\n\n", r.Name, err)
+			failed++
+			continue
+		}
+		fmt.Print(res)
+		fmt.Printf("(%s in %s)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command zipchannel-sgx runs the paper's first end-to-end attack (§V):
+// it leaks the data a simulated SGX enclave compresses with the bzip2
+// histogram gadget, via controlled-channel single-stepping, Prime+Probe
+// with Intel CAT, and frame selection, then prints the recovered bytes
+// and the accuracy against ground truth.
+//
+// Usage:
+//
+//	zipchannel-sgx -size 10240                 # the §V-E headline setup
+//	zipchannel-sgx -text "attack at dawn"      # leak a chosen secret
+//	zipchannel-sgx -size 2048 -no-cat          # ablation
+//	zipchannel-sgx -size 64 -oblivious         # the §VIII mitigation
+//	zipchannel-sgx -victim lzw -size 2048      # the ncompress gadget (E13)
+//	zipchannel-sgx -victim zlib -text "lowercasesecret" -charset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"unicode"
+
+	"github.com/zipchannel/zipchannel/internal/zipchannel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipchannel-sgx:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		size      = flag.Int("size", 10240, "random secret size in bytes")
+		seed      = flag.Int64("seed", 42, "random seed")
+		text      = flag.String("text", "", "leak this text instead of random bytes")
+		inputFile = flag.String("input", "", "leak this file's contents")
+		noCAT     = flag.Bool("no-cat", false, "disable Intel CAT isolation (§V-C1 ablation)")
+		noFS      = flag.Bool("no-frame-selection", false, "disable frame selection (§V-C2 ablation)")
+		oblivious = flag.Bool("oblivious", false, "attack the §VIII oblivious-histogram victim")
+		noise     = flag.Float64("noise", 4, "other-application accesses per transition")
+		preview   = flag.Int("preview", 256, "bytes of recovered data to print")
+		victim    = flag.String("victim", "bzip2", "gadget to attack: bzip2, zlib, or lzw")
+		charset   = flag.Bool("charset", false, "zlib only: assume lowercase-ASCII input (§IV-B)")
+	)
+	flag.Parse()
+
+	var input []byte
+	switch {
+	case *text != "":
+		input = []byte(*text)
+	case *inputFile != "":
+		b, err := os.ReadFile(*inputFile)
+		if err != nil {
+			return err
+		}
+		input = b
+	default:
+		input = make([]byte, *size)
+		rand.New(rand.NewSource(*seed)).Read(input)
+	}
+
+	cfg := zipchannel.DefaultConfig()
+	cfg.UseCAT = !*noCAT
+	cfg.UseFrameSelection = !*noFS
+	cfg.Oblivious = *oblivious
+	cfg.OtherNoiseRate = *noise
+	cfg.Seed = *seed
+
+	fmt.Printf("attacking %d secret bytes inside the enclave via the %s gadget (CAT=%v, frame-selection=%v, oblivious=%v)...\n",
+		len(input), *victim, cfg.UseCAT, cfg.UseFrameSelection, cfg.Oblivious)
+	var (
+		res *zipchannel.Result
+		err error
+	)
+	switch *victim {
+	case "bzip2":
+		res, err = zipchannel.Attack(input, cfg)
+	case "zlib":
+		res, err = zipchannel.ZlibAttack(input, 0x60, *charset, cfg)
+	case "lzw":
+		res, err = zipchannel.LZWAttack(input, cfg)
+	default:
+		return fmt.Errorf("unknown victim %q (bzip2, zlib, lzw)", *victim)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Printf("cache: %d hits, %d misses, %d evictions, %d flushes\n",
+		res.CacheStats.Hits, res.CacheStats.Misses, res.CacheStats.Evictions, res.CacheStats.Flushes)
+
+	n := min(*preview, len(res.Recovered))
+	fmt.Printf("\nrecovered data (first %d bytes):\n%s\n", n, printable(res.Recovered[:n]))
+	return nil
+}
+
+func printable(b []byte) string {
+	out := make([]rune, len(b))
+	for i, c := range b {
+		if unicode.IsPrint(rune(c)) && c < 0x80 {
+			out[i] = rune(c)
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,106 @@
+// Command zipcomp compresses and decompresses files with the repository's
+// three from-scratch codecs (the paper's study subjects): the
+// DEFLATE-style lz77, the ncompress-style lzw, and the bzip2-style bwt.
+//
+// Usage:
+//
+//	zipcomp -alg bwt -in corpus.txt -out corpus.bz
+//	zipcomp -alg bwt -d -in corpus.bz -out corpus.txt
+//	echo "hello hello hello" | zipcomp -alg lz77 | zipcomp -alg lz77 -d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/zipchannel/zipchannel/internal/compress/bwt"
+	"github.com/zipchannel/zipchannel/internal/compress/lz77"
+	"github.com/zipchannel/zipchannel/internal/compress/lzw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipcomp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		alg        = flag.String("alg", "bwt", "codec: lz77, lzw, or bwt")
+		decompress = flag.Bool("d", false, "decompress instead of compress")
+		inFile     = flag.String("in", "", "input file (default stdin)")
+		outFile    = flag.String("out", "", "output file (default stdout)")
+		stats      = flag.Bool("stats", false, "print size statistics to stderr")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	src, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+
+	var result []byte
+	switch *alg {
+	case "lz77":
+		if *decompress {
+			result, err = lz77.Decompress(src)
+		} else {
+			result, err = lz77.Compress(src, lz77.Options{Lazy: true})
+		}
+	case "lzw":
+		if *decompress {
+			result, err = lzw.Decompress(src)
+		} else {
+			result, err = lzw.Compress(src, nil)
+		}
+	case "bwt":
+		if *decompress {
+			result, err = bwt.Decompress(src)
+		} else {
+			result, err = bwt.Compress(src, bwt.Options{})
+		}
+	default:
+		return fmt.Errorf("unknown codec %q (lz77, lzw, bwt)", *alg)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(result); err != nil {
+		return err
+	}
+	if *stats {
+		dir := "compressed"
+		if *decompress {
+			dir = "decompressed"
+		}
+		ratio := 0.0
+		if len(src) > 0 {
+			ratio = float64(len(result)) / float64(len(src))
+		}
+		fmt.Fprintf(os.Stderr, "%s %d -> %d bytes (%.1f%%) with %s\n",
+			dir, len(src), len(result), 100*ratio, *alg)
+	}
+	return nil
+}

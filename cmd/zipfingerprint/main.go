@@ -1,0 +1,111 @@
+// Command zipfingerprint runs the paper's second end-to-end attack (§VI):
+// it generates Flush+Reload traces of the bzip2 compressor's
+// mainSort/fallbackSort activity for a file corpus, trains the
+// classifier, and prints the resulting confusion matrix (Figs 7 and 8).
+//
+// Usage:
+//
+//	zipfingerprint -experiment fig7 -traces 40
+//	zipfingerprint -experiment fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/zipchannel/zipchannel/internal/corpus"
+	"github.com/zipchannel/zipchannel/internal/fingerprint"
+	"github.com/zipchannel/zipchannel/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipfingerprint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("experiment", "fig7", "fig7 (21-file corpus) or fig8 (repetitiveness series)")
+		traces = flag.Int("traces", 40, "traces recorded per file")
+		noise  = flag.Float64("noise", 0.05, "unrelated shared-library accesses per sample")
+		epochs = flag.Int("epochs", 30, "training epochs")
+		seed   = flag.Int64("seed", 7, "seed for corpus, traces, and training")
+	)
+	flag.Parse()
+
+	var files []corpus.File
+	switch *exp {
+	case "fig7":
+		files = corpus.BrotliLike(*seed)
+	case "fig8":
+		files = corpus.RepetitivenessSeries(*seed, 20000)
+	default:
+		return fmt.Errorf("unknown experiment %q (fig7 or fig8)", *exp)
+	}
+
+	fmt.Printf("recording %d Flush+Reload traces for each of %d files...\n", *traces, len(files))
+	ds, err := fingerprint.BuildDataset(files, fingerprint.DatasetConfig{
+		TracesPerFile: *traces,
+		NoiseRate:     *noise,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	train, _, test := nn.Split(ds, 0.8, 0.1, *seed+1)
+	fmt.Printf("training on %d traces, testing on %d...\n", len(train), len(test))
+
+	m, err := nn.New(*seed+2, 2*fingerprint.PoolWidth, 64, len(files))
+	if err != nil {
+		return err
+	}
+	if _, err := m.Train(train, nn.TrainConfig{
+		Epochs: *epochs, LR: 0.02, LRDecay: 0.95,
+		Verbose: func(epoch int, loss float64) {
+			if epoch%10 == 9 {
+				fmt.Printf("  epoch %2d: loss %.4f\n", epoch+1, loss)
+			}
+		},
+	}); err != nil {
+		return err
+	}
+
+	cm, err := m.ConfusionMatrix(test)
+	if err != nil {
+		return err
+	}
+	acc, err := m.Accuracy(test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nconfusion matrix (rows = actual file, columns = prediction):\n")
+	printConfusion(files, cm)
+	fmt.Printf("\ntest accuracy: %.2f (chance: %.3f)\n", acc, 1/float64(len(files)))
+	return nil
+}
+
+func printConfusion(files []corpus.File, cm [][]float64) {
+	const w = 9
+	fmt.Printf("%*s", w+2, "")
+	for _, f := range files {
+		fmt.Printf("%*s ", w, trunc(f.Name, w))
+	}
+	fmt.Println()
+	for i, row := range cm {
+		fmt.Printf("%*s  ", w, trunc(files[i].Name, w))
+		for _, v := range row {
+			fmt.Printf("%*.2f ", w, v)
+		}
+		fmt.Println()
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

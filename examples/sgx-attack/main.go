@@ -1,0 +1,29 @@
+// SGX attack example: a victim enclave compresses a secret message with
+// the bzip2 histogram gadget; the attacker single-steps it with page
+// faults, Prime+Probes the frequency table, and reconstructs the message
+// (paper §V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/zipchannel/zipchannel/internal/zipchannel"
+)
+
+func main() {
+	secret := []byte("Meet me behind the old clock tower at midnight. " +
+		"Bring the documents and tell absolutely no one about this plan.")
+
+	cfg := zipchannel.DefaultConfig() // CAT + frame selection, §V-C
+	result, err := zipchannel.Attack(secret, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the enclave compressed a secret; the attacker saw only")
+	fmt.Println("page faults and cache timings, and recovered:")
+	fmt.Printf("\n  %q\n\n", result.Recovered)
+	fmt.Printf("accuracy: %.1f%% of bytes, %.2f%% of bits (%d page remaps used)\n",
+		100*result.ByteAcc, 100*result.BitAcc, result.Remaps)
+}

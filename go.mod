@@ -1,0 +1,3 @@
+module github.com/zipchannel/zipchannel
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package aescipher is a from-scratch T-table implementation of AES-128
+// encryption, the validation target for TaintChannel (§III-B): its
+// first-round lookups Te[pt[i] ^ key[i]] are the classic Osvik et al.
+// cache-attack gadget. The implementation exists to be attacked and
+// analyzed, not to be used as a cipher — use crypto/aes for real work.
+package aescipher
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// ErrKeySize reports a key that is not 16 bytes.
+var ErrKeySize = errors.New("aescipher: key must be 16 bytes")
+
+// sbox is the AES S-box, generated from the finite-field inverse.
+var sbox = buildSBox()
+
+// te0..te3 are the four T-tables combining SubBytes, ShiftRows, and
+// MixColumns.
+var te0, te1, te2, te3 = buildTTables()
+
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+func buildSBox() [256]byte {
+	// Multiplicative inverses in GF(2^8) by brute force, then the affine
+	// transform.
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	var s [256]byte
+	for i := 0; i < 256; i++ {
+		x := inv[i]
+		s[i] = x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+	}
+	return s
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+func buildTTables() (t0, t1, t2, t3 [256]uint32) {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		t0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		t1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		t2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		t3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+	}
+	return t0, t1, t2, t3
+}
+
+// Tracer observes the cipher's secret-dependent table lookups.
+type Tracer interface {
+	// TableLookup fires per T-table access with the table id (0-3), the
+	// index (the secret-dependent byte), and the round.
+	TableLookup(table int, index byte, round int)
+}
+
+// Cipher is an expanded AES-128 key.
+type Cipher struct {
+	rk [44]uint32
+}
+
+// New expands a 16-byte key.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("%w: got %d", ErrKeySize, len(key))
+	}
+	c := &Cipher{}
+	for i := 0; i < 4; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1)
+	for i := 4; i < 44; i++ {
+		t := c.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon<<24
+			rcon = uint32(xtime(byte(rcon)))
+		}
+		c.rk[i] = c.rk[i-4] ^ t
+	}
+	return c, nil
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// Encrypt encrypts one 16-byte block with the T-table rounds, reporting
+// every table lookup to the tracer (which may be nil).
+func (c *Cipher) Encrypt(dst, src []byte, tr Tracer) error {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		return fmt.Errorf("aescipher: block must be %d bytes", BlockSize)
+	}
+	var s [4]uint32
+	for i := 0; i < 4; i++ {
+		s[i] = uint32(src[4*i])<<24 | uint32(src[4*i+1])<<16 |
+			uint32(src[4*i+2])<<8 | uint32(src[4*i+3])
+		s[i] ^= c.rk[i]
+	}
+	look := func(tbl int, idx byte, round int) uint32 {
+		if tr != nil {
+			tr.TableLookup(tbl, idx, round)
+		}
+		switch tbl {
+		case 0:
+			return te0[idx]
+		case 1:
+			return te1[idx]
+		case 2:
+			return te2[idx]
+		default:
+			return te3[idx]
+		}
+	}
+	var t [4]uint32
+	for round := 1; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			t[i] = look(0, byte(s[i]>>24), round) ^
+				look(1, byte(s[(i+1)%4]>>16), round) ^
+				look(2, byte(s[(i+2)%4]>>8), round) ^
+				look(3, byte(s[(i+3)%4]), round) ^
+				c.rk[4*round+i]
+		}
+		s = t
+	}
+	// Final round: SubBytes + ShiftRows (no MixColumns), via the S-box.
+	for i := 0; i < 4; i++ {
+		t[i] = uint32(sbox[s[i]>>24])<<24 |
+			uint32(sbox[s[(i+1)%4]>>16&0xff])<<16 |
+			uint32(sbox[s[(i+2)%4]>>8&0xff])<<8 |
+			uint32(sbox[s[(i+3)%4]&0xff])
+		t[i] ^= c.rk[40+i]
+	}
+	for i := 0; i < 4; i++ {
+		dst[4*i] = byte(t[i] >> 24)
+		dst[4*i+1] = byte(t[i] >> 16)
+		dst[4*i+2] = byte(t[i] >> 8)
+		dst[4*i+3] = byte(t[i])
+	}
+	return nil
+}
+
+// FirstRoundIndices returns the 16 first-round T-table indices for a
+// plaintext: pt[i] ^ key[i], the values the Osvik attack observes. Used
+// by the survey experiment to cross-check TaintChannel's finding.
+func (c *Cipher) FirstRoundIndices(pt []byte) ([]byte, error) {
+	if len(pt) < BlockSize {
+		return nil, fmt.Errorf("aescipher: plaintext must be %d bytes", BlockSize)
+	}
+	out := make([]byte, BlockSize)
+	for i := 0; i < 4; i++ {
+		w := c.rk[i]
+		out[4*i] = pt[4*i] ^ byte(w>>24)
+		out[4*i+1] = pt[4*i+1] ^ byte(w>>16)
+		out[4*i+2] = pt[4*i+2] ^ byte(w>>8)
+		out[4*i+3] = pt[4*i+3] ^ byte(w)
+	}
+	return out, nil
+}

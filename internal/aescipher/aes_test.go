@@ -1,0 +1,147 @@
+package aescipher
+
+import (
+	"bytes"
+	"crypto/aes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FIPS-197 Appendix C.1 vector.
+func TestFIPS197Vector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := c.Encrypt(got, pt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ciphertext = %x, want %x", got, want)
+	}
+}
+
+// Cross-check against the standard library on random inputs.
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		if err := ours.Encrypt(got, pt, nil); err != nil {
+			t.Fatal(err)
+		}
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iteration %d: %x != %x", i, got, want)
+		}
+	}
+}
+
+func TestKeySizeValidation(t *testing.T) {
+	if _, err := New(make([]byte, 24)); !errors.Is(err, ErrKeySize) {
+		t.Errorf("24-byte key should be rejected: %v", err)
+	}
+}
+
+type lookupTrace struct {
+	round1 []byte
+	total  int
+}
+
+func (l *lookupTrace) TableLookup(_ int, idx byte, round int) {
+	if round == 1 {
+		l.round1 = append(l.round1, idx)
+	}
+	l.total++
+}
+
+// The first-round lookup indices must be exactly pt ^ roundkey0: the
+// Osvik gadget's leaked values.
+func TestFirstRoundIndicesMatchTrace(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("the secret block")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr lookupTrace
+	out := make([]byte, 16)
+	if err := c.Encrypt(out, pt, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.round1) != 16 {
+		t.Fatalf("round 1 performed %d lookups, want 16", len(tr.round1))
+	}
+	if tr.total != 9*16 {
+		t.Errorf("total lookups = %d, want 144 (9 T-table rounds)", tr.total)
+	}
+	want, err := c.FirstRoundIndices(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace interleaves the 4 state words; compare as sets per word
+	// layout: t[i] uses bytes of words i, i+1, i+2, i+3.
+	got := map[byte]int{}
+	for _, b := range tr.round1 {
+		got[b]++
+	}
+	wantCount := map[byte]int{}
+	for _, b := range want {
+		wantCount[b]++
+	}
+	for b, n := range wantCount {
+		if got[b] != n {
+			t.Errorf("index %#x appears %d times in trace, want %d", b, got[b], n)
+		}
+	}
+}
+
+// Leaking the first round at cache-line granularity (top 4 bits of each
+// index) recovers the top 4 bits of every plaintext byte given the key:
+// the §III-B validation that the gadget is exploitable.
+func TestCacheLineLeakRecoversPlaintextNibbles(t *testing.T) {
+	key := []byte("fedcba9876543210")
+	pt := []byte("attack at dawn!!")
+	c, _ := New(key)
+	idx, err := c.FirstRoundIndices(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, _ := New(key)
+	recovered, _ := rk.FirstRoundIndices(make([]byte, 16)) // = round key bytes
+	for i := 0; i < 16; i++ {
+		lineIdx := idx[i] >> 4                            // 16 4-byte entries per 64-byte line
+		ptHigh := (lineIdx << 4) ^ (recovered[i] &^ 0x0f) // undo key's high nibble
+		if ptHigh&0xf0 != pt[i]&0xf0 {
+			t.Errorf("byte %d: recovered high nibble %#x, want %#x", i, ptHigh&0xf0, pt[i]&0xf0)
+		}
+	}
+}
+
+func TestEncryptShortBuffers(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	if err := c.Encrypt(make([]byte, 8), make([]byte, 16), nil); err == nil {
+		t.Error("short dst should error")
+	}
+	if err := c.Encrypt(make([]byte, 16), make([]byte, 8), nil); err == nil {
+		t.Error("short src should error")
+	}
+}

@@ -1,0 +1,203 @@
+// Package attacker implements the two classic cache attack primitives the
+// paper builds on: Prime+Probe (Osvik et al.) against the simulated LLC,
+// with eviction-set construction over an attacker-owned physical buffer
+// and latency-threshold calibration, and Flush+Reload (Yarom & Falkner)
+// against shared lines.
+package attacker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/zipchannel/zipchannel/internal/cache"
+)
+
+// ErrNoEvictionSet reports that the attacker's buffer has too few lines
+// mapping to the requested cache set.
+var ErrNoEvictionSet = errors.New("attacker: cannot build eviction set")
+
+// PrimeProbe drives the prime/probe cycle for one attacker actor.
+type PrimeProbe struct {
+	c     *cache.Cache
+	actor int
+
+	poolBase  uint64
+	poolLines int
+
+	threshold int
+	// setLines caches, per global set, the attacker lines mapping to it.
+	setLines map[int][]uint64
+}
+
+// NewPrimeProbe creates the attacker with a contiguous physical buffer of
+// poolBytes at poolBase (its "own data" in the paper's step 1). Buffer
+// lines are indexed lazily into per-set eviction candidates.
+func NewPrimeProbe(c *cache.Cache, actor int, poolBase, poolBytes uint64) *PrimeProbe {
+	lineSize := uint64(c.Config().LineSize)
+	p := &PrimeProbe{
+		c:         c,
+		actor:     actor,
+		poolBase:  poolBase,
+		poolLines: int(poolBytes / lineSize),
+		setLines:  map[int][]uint64{},
+	}
+	for i := 0; i < p.poolLines; i++ {
+		addr := poolBase + uint64(i)*lineSize
+		gs := c.GlobalSet(addr)
+		p.setLines[gs] = append(p.setLines[gs], addr)
+	}
+	return p
+}
+
+// Calibrate measures hit and miss latencies over the attacker's own lines
+// and fixes the threshold between them. Returns the threshold.
+func (p *PrimeProbe) Calibrate(samples int) int {
+	if samples <= 0 {
+		samples = 64
+	}
+	addr := p.poolBase
+	var hits, misses []int
+	for i := 0; i < samples; i++ {
+		p.c.Flush(addr)
+		misses = append(misses, p.c.Probe(p.actor, addr))
+		hits = append(hits, p.c.Probe(p.actor, addr))
+	}
+	sort.Ints(hits)
+	sort.Ints(misses)
+	// Midpoint between the hit distribution's high tail and the miss
+	// distribution's low tail.
+	hiHit := hits[len(hits)*9/10]
+	loMiss := misses[len(misses)/10]
+	p.threshold = (hiHit + loMiss) / 2
+	return p.threshold
+}
+
+// Threshold returns the calibrated hit/miss boundary.
+func (p *PrimeProbe) Threshold() int { return p.threshold }
+
+// EvictionSet returns `ways` attacker line addresses mapping to the given
+// global set.
+func (p *PrimeProbe) EvictionSet(globalSet, ways int) ([]uint64, error) {
+	lines := p.setLines[globalSet]
+	if len(lines) < ways {
+		return nil, fmt.Errorf("%w: set %d has %d/%d candidate lines",
+			ErrNoEvictionSet, globalSet, len(lines), ways)
+	}
+	return lines[:ways], nil
+}
+
+// Prime loads the eviction set into the cache (attack step 1).
+func (p *PrimeProbe) Prime(ev []uint64) {
+	for _, a := range ev {
+		p.c.Access(p.actor, a)
+	}
+	// Second pass in reverse defeats self-eviction under LRU-like
+	// policies, a standard prime refinement.
+	for i := len(ev) - 1; i >= 0; i-- {
+		p.c.Access(p.actor, ev[i])
+	}
+}
+
+// Probe measures the eviction set and returns the number of lines whose
+// latency exceeded the threshold (i.e. were evicted by the victim), along
+// with each line's latency (attack step 3).
+func (p *PrimeProbe) Probe(ev []uint64) (evicted int, lats []int) {
+	if p.threshold == 0 {
+		p.Calibrate(0)
+	}
+	lats = make([]int, len(ev))
+	for i, a := range ev {
+		lats[i] = p.c.Probe(p.actor, a)
+		if lats[i] > p.threshold {
+			evicted++
+		}
+	}
+	return evicted, lats
+}
+
+// ProbeSets primes-then-probes each of the given global sets around a call
+// to victim (typically one single-stepped victim access) and returns the
+// set indices that saw evictions.
+func (p *PrimeProbe) ProbeSets(sets []int, ways int, victim func()) ([]int, error) {
+	evs := make([][]uint64, len(sets))
+	for i, s := range sets {
+		ev, err := p.EvictionSet(s, ways)
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
+		p.Prime(ev)
+	}
+	victim()
+	var hot []int
+	for i, ev := range evs {
+		if n, _ := p.Probe(ev); n > 0 {
+			hot = append(hot, sets[i])
+		}
+	}
+	return hot, nil
+}
+
+// FlushReload drives the flush/reload cycle against lines the attacker
+// shares with the victim (a shared library's code pages, §VI).
+type FlushReload struct {
+	c         *cache.Cache
+	actor     int
+	threshold int
+}
+
+// NewFlushReload creates the attacker.
+func NewFlushReload(c *cache.Cache, actor int) *FlushReload {
+	return &FlushReload{c: c, actor: actor}
+}
+
+// Calibrate fixes the hit/miss threshold using a scratch address.
+func (f *FlushReload) Calibrate(scratch uint64, samples int) int {
+	if samples <= 0 {
+		samples = 64
+	}
+	var hits, misses []int
+	for i := 0; i < samples; i++ {
+		f.c.Flush(scratch)
+		misses = append(misses, f.c.Probe(f.actor, scratch))
+		hits = append(hits, f.c.Probe(f.actor, scratch))
+	}
+	sort.Ints(hits)
+	sort.Ints(misses)
+	f.threshold = (hits[len(hits)*9/10] + misses[len(misses)/10]) / 2
+	f.c.Flush(scratch)
+	return f.threshold
+}
+
+// Threshold returns the calibrated boundary.
+func (f *FlushReload) Threshold() int { return f.threshold }
+
+// Flush evicts the monitored lines (step 1).
+func (f *FlushReload) Flush(addrs ...uint64) {
+	for _, a := range addrs {
+		f.c.Flush(a)
+	}
+}
+
+// Reload measures one line and reports whether the victim touched it
+// since the last flush (a cache hit), then flushes it again for the next
+// round — the standard Flush+Reload sampling loop body.
+func (f *FlushReload) Reload(addr uint64) bool {
+	if f.threshold == 0 {
+		f.Calibrate(addr^0x3f000, 0)
+	}
+	lat := f.c.Probe(f.actor, addr)
+	f.c.Flush(addr)
+	return lat < f.threshold
+}
+
+// Sample reloads every monitored address once, returning per-address hit
+// flags for this sampling interval.
+func (f *FlushReload) Sample(addrs []uint64) []bool {
+	out := make([]bool, len(addrs))
+	for i, a := range addrs {
+		out[i] = f.Reload(a)
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+// Package cache models a sliced, set-associative last-level cache with
+// way-based Intel CAT partitioning, pluggable replacement policies, and a
+// noisy latency model. It is the architectural substrate for the paper's
+// Prime+Probe and Flush+Reload attacks: instead of timing real loads
+// (which Go's runtime would perturb, per the reproduction brief), the
+// attacker observes simulated latencies whose distribution mirrors
+// hardware behaviour.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Policy selects the replacement policy.
+type Policy uint8
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	TreePLRU
+	RandomRepl
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case TreePLRU:
+		return "tree-plru"
+	default:
+		return "random"
+	}
+}
+
+// Config describes the cache geometry and timing.
+type Config struct {
+	LineSize    int // bytes per line (default 64)
+	Sets        int // sets per slice (default 1024, power of two)
+	Ways        int // associativity (default 16)
+	Slices      int // LLC slices (default 4, power of two)
+	Replacement Policy
+
+	HitLatency  int // cycles (default 40)
+	MissLatency int // cycles (default 200)
+	Jitter      int // +- uniform cycles of measurement noise (default 5)
+	// OutlierProb injects occasional large latency spikes (context
+	// switches, TLB misses); default 0.
+	OutlierProb float64
+	// OutlierLatency is the spike magnitude (default 800).
+	OutlierLatency int
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.Sets == 0 {
+		c.Sets = 1024
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	if c.Slices == 0 {
+		c.Slices = 4
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 40
+	}
+	if c.MissLatency == 0 {
+		c.MissLatency = 200
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 5
+	}
+	if c.OutlierLatency == 0 {
+		c.OutlierLatency = 800
+	}
+	return c
+}
+
+// DefaultCoS is the class of service used by accessors that were not
+// explicitly assigned one; its mask allows every way.
+const DefaultCoS = 0
+
+type way struct {
+	valid bool
+	line  uint64 // line address (paddr >> log2(lineSize))
+	owner int    // actor that brought the line in
+	lru   uint64 // logical timestamp for LRU
+}
+
+type set struct {
+	ways []way
+	plru uint64 // tree-PLRU state bits
+}
+
+// Result describes one access.
+type Result struct {
+	Hit     bool
+	Latency int
+	Set     int // global set index (slice * sets + set)
+	Slice   int
+	Evicted uint64 // line address evicted on miss, or ^0 if none
+	Victim  int    // owner of the evicted line, -1 if none
+}
+
+// Stats aggregates access counts.
+type Stats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// Cache is the simulated LLC. Not safe for concurrent use: the attack
+// harness interleaves victim and attacker deterministically.
+type Cache struct {
+	cfg    Config
+	slices [][]set
+	cos    map[int]uint64 // class of service -> allowed-way bitmask
+	actor  map[int]int    // actor -> class of service
+	clock  uint64
+	rng    *rand.Rand
+	stats  Stats
+
+	setBits   int
+	lineBits  int
+	sliceBits int
+}
+
+// New builds a cache from cfg (zero fields take defaults).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.Slices&(cfg.Slices-1) != 0 ||
+		cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: sets (%d), slices (%d), and line size (%d) must be powers of two",
+			cfg.Sets, cfg.Slices, cfg.LineSize))
+	}
+	c := &Cache{
+		cfg:       cfg,
+		cos:       map[int]uint64{DefaultCoS: waymask(cfg.Ways)},
+		actor:     map[int]int{},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		setBits:   bits.TrailingZeros(uint(cfg.Sets)),
+		lineBits:  bits.TrailingZeros(uint(cfg.LineSize)),
+		sliceBits: bits.TrailingZeros(uint(cfg.Slices)),
+	}
+	c.slices = make([][]set, cfg.Slices)
+	for s := range c.slices {
+		sets := make([]set, cfg.Sets)
+		for i := range sets {
+			sets[i].ways = make([]way, cfg.Ways)
+		}
+		c.slices[s] = sets
+	}
+	return c
+}
+
+func waymask(n int) uint64 { return (uint64(1) << uint(n)) - 1 }
+
+// Config returns the (defaulted) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetCoSMask defines a class of service as a bitmask over ways; this is
+// the simulated `pqos` CAT configuration the attack uses to shrink the
+// effective cache and shut out system noise (§V-C1).
+func (c *Cache) SetCoSMask(cos int, mask uint64) {
+	c.cos[cos] = mask & waymask(c.cfg.Ways)
+}
+
+// AssignActor pins an actor (victim, attacker, noise process) to a class
+// of service.
+func (c *Cache) AssignActor(actor, cos int) { c.actor[actor] = cos }
+
+func (c *Cache) maskFor(actor int) uint64 {
+	cos, ok := c.actor[actor]
+	if !ok {
+		cos = DefaultCoS
+	}
+	m, ok := c.cos[cos]
+	if !ok || m == 0 {
+		m = waymask(c.cfg.Ways)
+	}
+	return m
+}
+
+// LineOf returns the line address of a physical address.
+func (c *Cache) LineOf(paddr uint64) uint64 { return paddr >> uint(c.lineBits) }
+
+// AddrOfLine returns the first byte address of a line address.
+func (c *Cache) AddrOfLine(line uint64) uint64 { return line << uint(c.lineBits) }
+
+// SetOf returns (slice, set) for a physical address. The set index uses
+// the address bits above the line offset; the slice uses the complex
+// hash.
+func (c *Cache) SetOf(paddr uint64) (slice, set int) {
+	line := c.LineOf(paddr)
+	return c.SliceOf(paddr), int(line & uint64(c.cfg.Sets-1))
+}
+
+// SliceOf computes the slice via an xor-folding hash over the line
+// address, in the spirit of the reverse-engineered Intel complex
+// addressing function (Liu et al., §V-C1).
+func (c *Cache) SliceOf(paddr uint64) int {
+	if c.cfg.Slices == 1 {
+		return 0
+	}
+	line := c.LineOf(paddr)
+	var out int
+	for b := 0; b < c.sliceBits; b++ {
+		// Each slice bit is the parity of a distinct comb of line bits.
+		v := line >> uint(b)
+		var parity uint64
+		for v != 0 {
+			parity ^= v & 1
+			v >>= uint(c.sliceBits + 1)
+		}
+		out |= int(parity) << uint(b)
+	}
+	return out
+}
+
+// GlobalSet returns a single index identifying (slice, set).
+func (c *Cache) GlobalSet(paddr uint64) int {
+	sl, st := c.SetOf(paddr)
+	return sl*c.cfg.Sets + st
+}
+
+// Access simulates one access by actor to physical address paddr and
+// returns the hit/miss outcome with a noisy latency.
+func (c *Cache) Access(actor int, paddr uint64) Result {
+	c.clock++
+	line := c.LineOf(paddr)
+	sl, st := c.SetOf(paddr)
+	s := &c.slices[sl][st]
+	res := Result{Set: sl*c.cfg.Sets + st, Slice: sl, Evicted: ^uint64(0), Victim: -1}
+
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.line == line {
+			w.lru = c.clock
+			c.touchPLRU(s, i)
+			res.Hit = true
+			res.Latency = c.latency(c.cfg.HitLatency)
+			c.stats.Hits++
+			return res
+		}
+	}
+
+	// Miss: allocate within the actor's CAT mask.
+	c.stats.Misses++
+	res.Latency = c.latency(c.cfg.MissLatency)
+	mask := c.maskFor(actor)
+	victim := c.pickVictim(s, mask)
+	w := &s.ways[victim]
+	if w.valid {
+		res.Evicted = w.line
+		res.Victim = w.owner
+		c.stats.Evictions++
+	}
+	*w = way{valid: true, line: line, owner: actor, lru: c.clock}
+	c.touchPLRU(s, victim)
+	return res
+}
+
+// Probe is like Access but reports only what a timing measurement would
+// reveal: the latency. Attackers use it for the probe phase.
+func (c *Cache) Probe(actor int, paddr uint64) int {
+	return c.Access(actor, paddr).Latency
+}
+
+// Flush removes the line containing paddr from the cache (clflush). It
+// affects all ways regardless of CoS, like the real instruction.
+func (c *Cache) Flush(paddr uint64) {
+	line := c.LineOf(paddr)
+	sl, st := c.SetOf(paddr)
+	s := &c.slices[sl][st]
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].line == line {
+			s.ways[i] = way{}
+			c.stats.Flushes++
+			return
+		}
+	}
+}
+
+// Contains reports whether the line of paddr is cached (test/diagnostic
+// introspection; a real attacker infers this from Probe latency).
+func (c *Cache) Contains(paddr uint64) bool {
+	line := c.LineOf(paddr)
+	sl, st := c.SetOf(paddr)
+	for _, w := range c.slices[sl][st].ways {
+		if w.valid && w.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyOf returns how many valid lines actor owns in the set of paddr.
+func (c *Cache) OccupancyOf(actor int, paddr uint64) int {
+	sl, st := c.SetOf(paddr)
+	n := 0
+	for _, w := range c.slices[sl][st].ways {
+		if w.valid && w.owner == actor {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) pickVictim(s *set, mask uint64) int {
+	// Prefer an invalid way within the mask.
+	for i := range s.ways {
+		if mask&(1<<uint(i)) != 0 && !s.ways[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Replacement {
+	case LRU:
+		best, bestLRU := -1, ^uint64(0)
+		for i := range s.ways {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if s.ways[i].lru < bestLRU {
+				best, bestLRU = i, s.ways[i].lru
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	case TreePLRU:
+		if v := c.plruVictim(s, mask); v >= 0 {
+			return v
+		}
+	case RandomRepl:
+		candidates := make([]int, 0, len(s.ways))
+		for i := range s.ways {
+			if mask&(1<<uint(i)) != 0 {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 {
+			return candidates[c.rng.Intn(len(candidates))]
+		}
+	}
+	return 0 // empty mask: fall back to way 0
+}
+
+// plruVictim walks the PLRU tree, constrained to ways in the mask; if the
+// tree leads outside the mask it falls back to the first allowed way.
+func (c *Cache) plruVictim(s *set, mask uint64) int {
+	n := len(s.ways)
+	idx := 1 // tree node index, 1-based heap layout
+	for idx < n {
+		bit := (s.plru >> uint(idx)) & 1
+		idx = idx*2 + int(bit)
+	}
+	v := idx - n
+	if v >= 0 && v < n && mask&(1<<uint(v)) != 0 {
+		return v
+	}
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// touchPLRU flips the tree bits away from the touched way.
+func (c *Cache) touchPLRU(s *set, wayIdx int) {
+	n := len(s.ways)
+	idx := wayIdx + n
+	for idx > 1 {
+		parent := idx / 2
+		bit := uint64(idx & 1) // which child we are
+		// Point the parent away from us.
+		if bit == 0 {
+			s.plru |= 1 << uint(parent)
+		} else {
+			s.plru &^= 1 << uint(parent)
+		}
+		idx = parent
+	}
+}
+
+func (c *Cache) latency(base int) int {
+	lat := base
+	if c.cfg.Jitter > 0 {
+		lat += c.rng.Intn(2*c.cfg.Jitter+1) - c.cfg.Jitter
+	}
+	if c.cfg.OutlierProb > 0 && c.rng.Float64() < c.cfg.OutlierProb {
+		lat += c.cfg.OutlierLatency
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	return lat
+}

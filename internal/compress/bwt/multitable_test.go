@@ -1,0 +1,131 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/compress/huffcoding"
+)
+
+func TestNumTablesHeuristic(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{10, 2}, {199, 2}, {200, 3}, {599, 3}, {600, 4}, {1199, 4},
+		{1200, 5}, {2399, 5}, {2400, 6}, {100000, 6},
+	}
+	for _, c := range cases {
+		if got := numTablesFor(c.n); got != c.want {
+			t.Errorf("numTablesFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBuildTablesCoverUsedSymbols(t *testing.T) {
+	// A stream whose front and back have very different distributions:
+	// the tables should specialize, but every table must still encode
+	// every used symbol.
+	var syms []uint16
+	for i := 0; i < 500; i++ {
+		syms = append(syms, uint16(2+i%3)) // small symbols up front
+	}
+	for i := 0; i < 500; i++ {
+		syms = append(syms, uint16(200+i%5)) // large symbols at the back
+	}
+	syms = append(syms, symEOB)
+	lengths, selectors, err := buildTables(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selectors) != (len(syms)+groupSize-1)/groupSize {
+		t.Errorf("selector count = %d", len(selectors))
+	}
+	used := map[uint16]bool{}
+	for _, s := range syms {
+		used[s] = true
+	}
+	for ti, l := range lengths {
+		for s := range used {
+			if l[s] == 0 {
+				t.Errorf("table %d cannot encode used symbol %d", ti, s)
+			}
+		}
+	}
+	// The front and back groups should not all share one table.
+	if selectors[0] == selectors[len(selectors)-2] {
+		t.Log("note: front and back groups share a table (allowed, but specialization expected)")
+	}
+}
+
+func TestMultiTableEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(4000)
+		syms := make([]uint16, 0, n+1)
+		for i := 0; i < n; i++ {
+			// Phase-dependent distribution to exercise selectors.
+			if (i/200)%2 == 0 {
+				syms = append(syms, uint16(rng.Intn(8)))
+			} else {
+				syms = append(syms, uint16(100+rng.Intn(100)))
+			}
+		}
+		syms = append(syms, symEOB)
+		var w huffcoding.BitWriter
+		if err := encodeMultiTable(&w, syms); err != nil {
+			t.Fatal(err)
+		}
+		back, err := decodeMultiTable(huffcoding.NewBitReader(w.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(syms) {
+			t.Fatalf("trial %d: got %d symbols, want %d", trial, len(back), len(syms))
+		}
+		for i := range syms {
+			if back[i] != syms[i] {
+				t.Fatalf("trial %d: symbol %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestMultiTableBeatsWorseSingleTableOnPhasedData(t *testing.T) {
+	// Phase-shifting data is where multiple tables pay off: compare the
+	// full pipeline against itself to make sure the selectors actually
+	// vary (specialization happened).
+	src := []byte(strings.Repeat("aaaaabbbbb", 800) + strings.Repeat("{\"k\":12345}", 700))
+	comp, err := Compress(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("round trip failed")
+	}
+	if len(comp) > len(src)/2 {
+		t.Errorf("phased data compressed to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestDecodeMultiTableCorrupt(t *testing.T) {
+	var w huffcoding.BitWriter
+	if err := encodeMultiTable(&w, []uint16{1, 2, 3, symEOB}); err != nil {
+		t.Fatal(err)
+	}
+	good := w.Bytes()
+	if _, err := decodeMultiTable(huffcoding.NewBitReader(good[:1])); err == nil {
+		t.Error("truncated header should fail")
+	}
+	if _, err := decodeMultiTable(huffcoding.NewBitReader(good[:len(good)-1])); err == nil {
+		t.Error("missing EOB should fail")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xff // nTables = 7 > max
+	if _, err := decodeMultiTable(huffcoding.NewBitReader(bad)); err == nil {
+		t.Error("bad table count should fail")
+	}
+}

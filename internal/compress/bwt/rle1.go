@@ -1,0 +1,61 @@
+package bwt
+
+import "fmt"
+
+// rle1Encode performs bzip2's initial run-length encoding: any run of 4
+// to 255 identical bytes becomes the 4 bytes followed by a count of the
+// extras (0-251). This is the step that precedes the BWT; the paper
+// treats its output as "the input" (§IV-D). Greedy run detection
+// guarantees two adjacent encoded runs never share a byte value, which
+// makes decoding unambiguous.
+func rle1Encode(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/4)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 255 {
+			run++
+		}
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+		} else {
+			for k := 0; k < run; k++ {
+				out = append(out, b)
+			}
+		}
+		i += run
+	}
+	return out
+}
+
+// rle1Decode inverts rle1Encode: after copying four identical bytes in a
+// row, the next byte is the count of extra repeats.
+func rle1Decode(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src))
+	run := 0
+	var prev byte
+	for i := 0; i < len(src); {
+		b := src[i]
+		i++
+		if run > 0 && b == prev {
+			run++
+		} else {
+			run = 1
+			prev = b
+		}
+		out = append(out, b)
+		if run == 4 {
+			if i >= len(src) {
+				return nil, fmt.Errorf("%w: rle1 run missing count byte", ErrCorrupt)
+			}
+			extra := int(src[i])
+			i++
+			for k := 0; k < extra; k++ {
+				out = append(out, b)
+			}
+			run = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package bwt
+
+import (
+	"errors"
+	"sort"
+)
+
+// errAbandon is the internal signal that mainSort's work budget was
+// exhausted by a too-repetitive block (Fig 6's "abandon mainSort
+// mid-way and continue with fallbackSort").
+var errAbandon = errors.New("bwt: mainSort abandoned")
+
+// FtabSize is the 2-byte-pair frequency table size (65536 pairs plus the
+// cumulative-sum slot, as in bzip2's 65537-entry ftab).
+const FtabSize = 65537
+
+// mainSort sorts all rotations of block using bzip2's strategy: a
+// frequency table over 2-byte prefixes (the §IV-D gadget — every
+// increment is reported to the tracer), bucket placement, then per-bucket
+// comparison sorting under a work budget. It returns the sorted rotation
+// indices, or errAbandon when the budget is exhausted.
+func mainSort(block []byte, workLimit int, tr Tracer) ([]int32, error) {
+	n := len(block)
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Listing 3: the 2-byte frequency table, built in reverse order with
+	// j carrying a sliding byte pair.
+	ftab := make([]int32, FtabSize)
+	j := uint32(block[0]) << 8
+	for i := n - 1; i >= 0; i-- {
+		j = (j >> 8) | (uint32(block[i]) << 8)
+		if tr != nil {
+			tr.FtabInc(uint16(j))
+		}
+		ftab[j]++
+	}
+	if tr != nil {
+		tr.Work(n)
+	}
+
+	// Bucket boundaries: cumulative counts.
+	starts := make([]int32, FtabSize)
+	var sum int32
+	for k := 0; k < FtabSize; k++ {
+		starts[k] = sum
+		if k < FtabSize-1 {
+			sum += ftab[k]
+		}
+	}
+
+	// Place each rotation into its 2-byte bucket.
+	ptr := make([]int32, n)
+	fill := make([]int32, FtabSize)
+	copy(fill, starts)
+	for i := 0; i < n; i++ {
+		pair := uint32(block[i])<<8 | uint32(block[(i+1)%n])
+		ptr[fill[pair]] = int32(i)
+		fill[pair]++
+	}
+
+	// Sort inside each bucket by full rotation order, under a budget.
+	work := 0
+	budget := workLimit
+	var abandoned bool
+	cmp := func(a, b int32) bool {
+		// Compare rotations starting at a and b beyond their shared
+		// 2-byte prefix.
+		for k := 0; k < n; k++ {
+			ca := block[(int(a)+k)%n]
+			cb := block[(int(b)+k)%n]
+			work++
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return a < b // identical rotations: stable by index
+	}
+	for pair := 0; pair < FtabSize-1 && !abandoned; pair++ {
+		lo, hi := starts[pair], fill[pair]
+		if hi-lo <= 1 {
+			continue
+		}
+		bucket := ptr[lo:hi]
+		sort.Slice(bucket, func(x, y int) bool { return cmp(bucket[x], bucket[y]) })
+		if work > budget {
+			abandoned = true
+		}
+	}
+	if tr != nil {
+		tr.Work(work)
+	}
+	if abandoned {
+		if tr != nil {
+			tr.MainSortAbandon(work)
+		}
+		return nil, errAbandon
+	}
+	return ptr, nil
+}
+
+// fallbackSort is the guaranteed-progress sorter bzip2 retreats to: here a
+// Manber-Myers prefix-doubling sort over rotations, O(n log^2 n)
+// regardless of repetitiveness.
+func fallbackSort(block []byte, tr Tracer) []int32 {
+	n := len(block)
+	if n == 0 {
+		return nil
+	}
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	idx := make([]int32, n)
+	for i := 0; i < n; i++ {
+		idx[i] = int32(i)
+		rank[i] = int32(block[i])
+	}
+	work := 0
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int32, int32) {
+			return rank[i], rank[(int(i)+k)%n]
+		}
+		sort.Slice(idx, func(x, y int) bool {
+			ax, bx := key(idx[x])
+			ay, by := key(idx[y])
+			work++
+			if ax != ay {
+				return ax < ay
+			}
+			return bx < by
+		})
+		tmp[idx[0]] = 0
+		for i := 1; i < n; i++ {
+			a1, b1 := key(idx[i-1])
+			a2, b2 := key(idx[i])
+			tmp[idx[i]] = tmp[idx[i-1]]
+			if a1 != a2 || b1 != b2 {
+				tmp[idx[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[idx[n-1]]) == n-1 {
+			break
+		}
+		if k >= n {
+			break
+		}
+	}
+	if tr != nil {
+		tr.Work(work)
+	}
+	return idx
+}
+
+// sortBlock applies the Fig 6 control flow: full-size blocks start in
+// mainSort and may abandon to fallbackSort; short blocks go straight to
+// fallbackSort.
+func sortBlock(block []byte, fullSize bool, workFactor int, tr Tracer) []int32 {
+	if fullSize {
+		if tr != nil {
+			tr.MainSortEnter()
+		}
+		ptr, err := mainSort(block, workFactor*len(block), tr)
+		if err == nil {
+			return ptr
+		}
+		// Too repetitive: retreat (Fig 6).
+	}
+	if tr != nil {
+		tr.FallbackSortEnter()
+	}
+	return fallbackSort(block, tr)
+}

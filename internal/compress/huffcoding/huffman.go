@@ -1,0 +1,245 @@
+package huffcoding
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// MaxCodeLen is the longest canonical code we emit, matching DEFLATE.
+const MaxCodeLen = 15
+
+// ErrBadLengths reports an invalid (non-prefix-complete) length set.
+var ErrBadLengths = errors.New("huffcoding: invalid code lengths")
+
+type hnode struct {
+	freq        int64
+	sym         int // leaf symbol, -1 for internal
+	left, right int // node indices, -1 for leaves
+}
+
+type nodeHeap struct {
+	nodes *[]hnode
+	order []int
+}
+
+func (h nodeHeap) Len() int { return len(h.order) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := (*h.nodes)[h.order[i]], (*h.nodes)[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return h.order[i] < h.order[j] // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int)       { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *nodeHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// BuildLengths computes Huffman code lengths for the given symbol
+// frequencies, limited to maxLen bits. Symbols with zero frequency get
+// length 0 (no code). At least one symbol must have nonzero frequency.
+// Length limiting uses bzip2's approach: halve the frequencies and
+// rebuild until the tree fits.
+func BuildLengths(freq []int64, maxLen int) ([]uint8, error) {
+	if maxLen <= 0 || maxLen > MaxCodeLen {
+		maxLen = MaxCodeLen
+	}
+	n := len(freq)
+	lengths := make([]uint8, n)
+	work := make([]int64, n)
+	copy(work, freq)
+
+	alive := 0
+	for _, f := range work {
+		if f > 0 {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("%w: no symbols", ErrBadLengths)
+	}
+	if alive == 1 {
+		for i, f := range work {
+			if f > 0 {
+				lengths[i] = 1
+			}
+		}
+		return lengths, nil
+	}
+
+	for attempt := 0; ; attempt++ {
+		nodes := make([]hnode, 0, 2*n)
+		h := &nodeHeap{nodes: &nodes}
+		for i, f := range work {
+			if f > 0 {
+				nodes = append(nodes, hnode{freq: f, sym: i, left: -1, right: -1})
+				h.order = append(h.order, len(nodes)-1)
+			}
+		}
+		heap.Init(h)
+		for h.Len() > 1 {
+			a := heap.Pop(h).(int)
+			b := heap.Pop(h).(int)
+			nodes = append(nodes, hnode{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+			heap.Push(h, len(nodes)-1)
+		}
+		root := h.order[0]
+		over := false
+		var walk func(i, depth int)
+		walk = func(i, depth int) {
+			nd := nodes[i]
+			if nd.sym >= 0 {
+				if depth > maxLen {
+					over = true
+					depth = maxLen
+				}
+				lengths[nd.sym] = uint8(depth)
+				return
+			}
+			walk(nd.left, depth+1)
+			walk(nd.right, depth+1)
+		}
+		walk(root, 0)
+		if !over {
+			return lengths, nil
+		}
+		if attempt > 32 {
+			return nil, fmt.Errorf("%w: cannot limit lengths to %d bits", ErrBadLengths, maxLen)
+		}
+		// Flatten the distribution and retry (bzip2's trick).
+		for i := range work {
+			if work[i] > 0 {
+				work[i] = work[i]/2 + 1
+			}
+		}
+	}
+}
+
+// CanonicalCodes assigns canonical codes (MSB-first) to the given
+// lengths: shorter codes first, ties broken by symbol order.
+func CanonicalCodes(lengths []uint8) ([]uint32, error) {
+	var count [MaxCodeLen + 1]int
+	for _, l := range lengths {
+		if int(l) > MaxCodeLen {
+			return nil, fmt.Errorf("%w: length %d", ErrBadLengths, l)
+		}
+		count[l]++
+	}
+	count[0] = 0
+	var next [MaxCodeLen + 2]uint32
+	code := uint32(0)
+	for l := 1; l <= MaxCodeLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		next[l] = code
+	}
+	codes := make([]uint32, len(lengths))
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = next[l]
+		if next[l] >= 1<<l {
+			return nil, fmt.Errorf("%w: over-subscribed at length %d", ErrBadLengths, l)
+		}
+		next[l]++
+	}
+	return codes, nil
+}
+
+// Encoder writes symbols as canonical Huffman codes.
+type Encoder struct {
+	lengths []uint8
+	codes   []uint32
+}
+
+// NewEncoder builds an encoder from code lengths.
+func NewEncoder(lengths []uint8) (*Encoder, error) {
+	codes, err := CanonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{lengths: lengths, codes: codes}, nil
+}
+
+// Encode writes the code for sym (MSB-first).
+func (e *Encoder) Encode(w *BitWriter, sym int) error {
+	l := e.lengths[sym]
+	if l == 0 {
+		return fmt.Errorf("%w: symbol %d has no code", ErrBadLengths, sym)
+	}
+	code := e.codes[sym]
+	for i := int(l) - 1; i >= 0; i-- {
+		w.WriteBit((code >> uint(i)) & 1)
+	}
+	return nil
+}
+
+// CodeLen returns sym's code length in bits (0 = unused symbol).
+func (e *Encoder) CodeLen(sym int) int { return int(e.lengths[sym]) }
+
+// Decoder reads canonical Huffman codes bit by bit using per-length
+// first-code/offset tables (the zlib decode structure).
+type Decoder struct {
+	counts  [MaxCodeLen + 1]int
+	symbols []int // symbols sorted by (length, symbol)
+}
+
+// NewDecoder builds a decoder from the same lengths the encoder used.
+func NewDecoder(lengths []uint8) (*Decoder, error) {
+	d := &Decoder{}
+	for _, l := range lengths {
+		if int(l) > MaxCodeLen {
+			return nil, fmt.Errorf("%w: length %d", ErrBadLengths, l)
+		}
+		d.counts[l]++
+	}
+	d.counts[0] = 0
+	// Validate Kraft sum <= 1.
+	left := 1
+	for l := 1; l <= MaxCodeLen; l++ {
+		left <<= 1
+		left -= d.counts[l]
+		if left < 0 {
+			return nil, fmt.Errorf("%w: over-subscribed", ErrBadLengths)
+		}
+	}
+	var offs [MaxCodeLen + 2]int
+	for l := 1; l <= MaxCodeLen; l++ {
+		offs[l+1] = offs[l] + d.counts[l]
+	}
+	d.symbols = make([]int, offs[MaxCodeLen+1])
+	idx := offs
+	for sym, l := range lengths {
+		if l > 0 {
+			d.symbols[idx[l]] = sym
+			idx[l]++
+		}
+	}
+	return d, nil
+}
+
+// Decode consumes one code from r and returns its symbol.
+func (d *Decoder) Decode(r *BitReader) (int, error) {
+	code, first, index := 0, 0, 0
+	for l := 1; l <= MaxCodeLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code |= int(b)
+		count := d.counts[l]
+		if code-first < count {
+			return d.symbols[index+code-first], nil
+		}
+		index += count
+		first = (first + count) << 1
+		code <<= 1
+	}
+	return 0, fmt.Errorf("%w: invalid code", ErrBadLengths)
+}

@@ -1,0 +1,380 @@
+// Package lz77 implements a DEFLATE-style LZ77 compressor and
+// decompressor with the exact hash-head structure the paper analyzes in
+// Zlib (§IV-B): repetitions are found through a chained hash table whose
+// hash is the 15-bit rolling function of three consecutive input bytes,
+//
+//	ins_h = ((ins_h << HashShift) ^ window[i+2]) & HashMask,
+//
+// and every INSERT_STRING updates head[ins_h] — the input-dependent store
+// of Listing 1/Fig 2. A Tracer hook exposes those hash values so the
+// survey experiment can feed the recovery code with the compressor's real
+// access stream.
+package lz77
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/compress/huffcoding"
+)
+
+// Hash parameters, matching zlib's deflate with a 15-bit table.
+const (
+	HashBits  = 15
+	HashShift = 5
+	HashMask  = (1 << HashBits) - 1
+	HashSize  = 1 << HashBits
+)
+
+// Matching parameters, matching DEFLATE.
+const (
+	MinMatch    = 3
+	MaxMatch    = 258
+	WindowSize  = 32768
+	maxChainLen = 256 // how many chain links to follow per match attempt
+)
+
+// Tracer observes the compressor's secret-dependent accesses.
+type Tracer interface {
+	// HeadInsert fires on every head[ins_h] update with the full 15-bit
+	// hash; the cache channel exposes ins_h >> 5 of it.
+	HeadInsert(insH uint32, pos int)
+}
+
+// Options tunes compression.
+type Options struct {
+	// Lazy enables zlib's deflate_slow lazy matching.
+	Lazy bool
+	// Tracer, if non-nil, receives gadget events.
+	Tracer Tracer
+}
+
+// Token stream symbols: literals 0-255, EOB 256, then length codes.
+const (
+	symEOB      = 256
+	numLitLen   = 286
+	numDistSyms = 30
+)
+
+// DEFLATE length code table: code -> (base length, extra bits).
+var lengthCodes = [29]struct {
+	base  int
+	extra uint
+}{
+	{3, 0}, {4, 0}, {5, 0}, {6, 0}, {7, 0}, {8, 0}, {9, 0}, {10, 0},
+	{11, 1}, {13, 1}, {15, 1}, {17, 1}, {19, 2}, {23, 2}, {27, 2}, {31, 2},
+	{35, 3}, {43, 3}, {51, 3}, {59, 3}, {67, 4}, {83, 4}, {99, 4}, {115, 4},
+	{131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}
+
+// DEFLATE distance code table: code -> (base distance, extra bits).
+var distCodes = [30]struct {
+	base  int
+	extra uint
+}{
+	{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 1}, {7, 1}, {9, 2}, {13, 2},
+	{17, 3}, {25, 3}, {33, 4}, {49, 4}, {65, 5}, {97, 5}, {129, 6}, {193, 6},
+	{257, 7}, {385, 7}, {513, 8}, {769, 8}, {1025, 9}, {1537, 9},
+	{2049, 10}, {3073, 10}, {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12},
+	{16385, 13}, {24577, 13},
+}
+
+func lengthCode(l int) int {
+	for i := len(lengthCodes) - 1; i >= 0; i-- {
+		if l >= lengthCodes[i].base {
+			return i
+		}
+	}
+	return 0
+}
+
+func distCode(d int) int {
+	for i := len(distCodes) - 1; i >= 0; i-- {
+		if d >= distCodes[i].base {
+			return i
+		}
+	}
+	return 0
+}
+
+type token struct {
+	lit      byte
+	length   int // 0 for literals
+	distance int
+}
+
+// Compress encodes src. The output format is a self-contained
+// DEFLATE-style stream: a header with the two code-length tables, then
+// Huffman-coded literal/length and distance symbols with DEFLATE's extra
+// bits. (Unlike real DEFLATE there is a single dynamic block and lengths
+// are stored flat — documented divergence, see DESIGN.md.)
+func Compress(src []byte, opts Options) ([]byte, error) {
+	tokens := tokenize(src, opts)
+
+	// Frequencies for the two trees.
+	litFreq := make([]int64, numLitLen)
+	distFreq := make([]int64, numDistSyms)
+	for _, t := range tokens {
+		if t.length == 0 {
+			litFreq[t.lit]++
+		} else {
+			litFreq[257+lengthCode(t.length)]++
+			distFreq[distCode(t.distance)]++
+		}
+	}
+	litFreq[symEOB]++
+	hasMatches := false
+	for _, f := range distFreq {
+		if f > 0 {
+			hasMatches = true
+			break
+		}
+	}
+	if !hasMatches {
+		distFreq[0] = 1 // keep the distance tree valid
+	}
+
+	litLens, err := huffcoding.BuildLengths(litFreq, huffcoding.MaxCodeLen)
+	if err != nil {
+		return nil, fmt.Errorf("lz77: literal tree: %w", err)
+	}
+	distLens, err := huffcoding.BuildLengths(distFreq, huffcoding.MaxCodeLen)
+	if err != nil {
+		return nil, fmt.Errorf("lz77: distance tree: %w", err)
+	}
+	litEnc, err := huffcoding.NewEncoder(litLens)
+	if err != nil {
+		return nil, err
+	}
+	distEnc, err := huffcoding.NewEncoder(distLens)
+	if err != nil {
+		return nil, err
+	}
+
+	var w huffcoding.BitWriter
+	w.WriteBits(uint32(len(src)), 32)
+	for _, l := range litLens {
+		w.WriteBits(uint32(l), 4)
+	}
+	for _, l := range distLens {
+		w.WriteBits(uint32(l), 4)
+	}
+	for _, t := range tokens {
+		if t.length == 0 {
+			if err := litEnc.Encode(&w, int(t.lit)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		lc := lengthCode(t.length)
+		if err := litEnc.Encode(&w, 257+lc); err != nil {
+			return nil, err
+		}
+		w.WriteBits(uint32(t.length-lengthCodes[lc].base), lengthCodes[lc].extra)
+		dc := distCode(t.distance)
+		if err := distEnc.Encode(&w, dc); err != nil {
+			return nil, err
+		}
+		w.WriteBits(uint32(t.distance-distCodes[dc].base), distCodes[dc].extra)
+	}
+	if err := litEnc.Encode(&w, symEOB); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// tokenize runs the hash-chain matcher, firing the gadget tracer on every
+// INSERT_STRING.
+func tokenize(src []byte, opts Options) []token {
+	var tokens []token
+	if len(src) == 0 {
+		return tokens
+	}
+
+	head := make([]int32, HashSize)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+
+	var insH uint32
+	if len(src) >= 2 {
+		insH = (uint32(src[0])<<HashShift ^ uint32(src[1])) & HashMask
+	}
+	insert := func(pos int) int32 {
+		insH = ((insH << HashShift) ^ uint32(src[pos+2])) & HashMask
+		if opts.Tracer != nil {
+			opts.Tracer.HeadInsert(insH, pos)
+		}
+		h := head[insH]
+		prev[pos] = h
+		head[insH] = int32(pos)
+		return h
+	}
+
+	bestMatch := func(pos int, chain int32) (length, dist int) {
+		limit := pos - WindowSize
+		maxLen := len(src) - pos
+		if maxLen > MaxMatch {
+			maxLen = MaxMatch
+		}
+		if maxLen < MinMatch {
+			return 0, 0
+		}
+		for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
+			cand := int(chain)
+			l := 0
+			for l < maxLen && src[cand+l] == src[pos+l] {
+				l++
+			}
+			if l > length {
+				length, dist = l, pos-cand
+				if l == maxLen {
+					break
+				}
+			}
+			chain = prev[cand]
+		}
+		if length < MinMatch {
+			return 0, 0
+		}
+		return length, dist
+	}
+
+	pos := 0
+	prevLen, prevDist := 0, 0
+	havePrev := false
+	for pos < len(src) {
+		var length, dist int
+		if pos+MinMatch <= len(src) && pos+2 < len(src) {
+			chain := insert(pos)
+			length, dist = bestMatch(pos, chain)
+		}
+		if !opts.Lazy {
+			if length >= MinMatch {
+				tokens = append(tokens, token{length: length, distance: dist})
+				// Insert the skipped positions to keep chains fresh.
+				for k := pos + 1; k < pos+length && k+2 < len(src); k++ {
+					insert(k)
+				}
+				pos += length
+			} else {
+				tokens = append(tokens, token{lit: src[pos]})
+				pos++
+			}
+			continue
+		}
+		// deflate_slow: defer emitting a match by one byte to see if the
+		// next position matches longer.
+		if havePrev {
+			if length > prevLen {
+				// Previous position becomes a literal; current match is
+				// kept pending.
+				tokens = append(tokens, token{lit: src[pos-1]})
+				prevLen, prevDist = length, dist
+				pos++
+				continue
+			}
+			tokens = append(tokens, token{length: prevLen, distance: prevDist})
+			for k := pos + 1; k < pos-1+prevLen && k+2 < len(src); k++ {
+				insert(k)
+			}
+			pos = pos - 1 + prevLen
+			havePrev = false
+			continue
+		}
+		if length >= MinMatch {
+			prevLen, prevDist = length, dist
+			havePrev = true
+			pos++
+			continue
+		}
+		tokens = append(tokens, token{lit: src[pos]})
+		pos++
+	}
+	if havePrev {
+		tokens = append(tokens, token{length: prevLen, distance: prevDist})
+	}
+	return tokens
+}
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("lz77: corrupt stream")
+
+// Decompress inverts Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r := huffcoding.NewBitReader(data)
+	size, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	litLens := make([]uint8, numLitLen)
+	for i := range litLens {
+		v, err := r.ReadBits(4)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		litLens[i] = uint8(v)
+	}
+	distLens := make([]uint8, numDistSyms)
+	for i := range distLens {
+		v, err := r.ReadBits(4)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		distLens[i] = uint8(v)
+	}
+	litDec, err := huffcoding.NewDecoder(litLens)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	distDec, err := huffcoding.NewDecoder(distLens)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	out := make([]byte, 0, size)
+	for {
+		sym, err := litDec.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym < 256:
+			out = append(out, byte(sym))
+		case sym == symEOB:
+			if uint32(len(out)) != size {
+				return nil, fmt.Errorf("%w: size mismatch: %d != %d", ErrCorrupt, len(out), size)
+			}
+			return out, nil
+		default:
+			lc := sym - 257
+			if lc >= len(lengthCodes) {
+				return nil, fmt.Errorf("%w: bad length code %d", ErrCorrupt, lc)
+			}
+			extra, err := r.ReadBits(lengthCodes[lc].extra)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			length := lengthCodes[lc].base + int(extra)
+			dc, err := distDec.Decode(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if dc >= len(distCodes) {
+				return nil, fmt.Errorf("%w: bad distance code %d", ErrCorrupt, dc)
+			}
+			dextra, err := r.ReadBits(distCodes[dc].extra)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			dist := distCodes[dc].base + int(dextra)
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: distance %d beyond output %d", ErrCorrupt, dist, len(out))
+			}
+			for i := 0; i < length; i++ {
+				out = append(out, out[len(out)-dist])
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/zipchannel/zipchannel/internal/recovery"
+)
+
+func roundTrip(t *testing.T, src []byte, opts Options) []byte {
+	t.Helper()
+	comp, err := Compress(src, opts)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(back), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"one":       {42},
+		"two":       []byte("ab"),
+		"repeat":    bytes.Repeat([]byte("abc"), 1000),
+		"text":      []byte("the quick brown fox jumps over the lazy dog, the quick brown fox again"),
+		"zeros":     make([]byte, 5000),
+		"alternate": bytes.Repeat([]byte{0, 255}, 2000),
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			roundTrip(t, src, Options{})
+			roundTrip(t, src, Options{Lazy: true})
+		})
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	prop := func(seed int64, lazy bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8192)
+		src := make([]byte, n)
+		// Mix of random and repetitive sections.
+		for i := 0; i < n; {
+			if rng.Intn(2) == 0 {
+				run := min(rng.Intn(300)+1, n-i)
+				b := byte(rng.Intn(256))
+				for j := 0; j < run; j++ {
+					src[i+j] = b
+				}
+				i += run
+			} else {
+				src[i] = byte(rng.Intn(256))
+				i++
+			}
+		}
+		comp, err := Compress(src, Options{Lazy: lazy})
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp)
+		return err == nil && bytes.Equal(back, src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	src := []byte(strings.Repeat("compression leaks through caches. ", 500))
+	comp := roundTrip(t, src, Options{Lazy: true})
+	if len(comp) >= len(src)/3 {
+		t.Errorf("repetitive text compressed to %d/%d bytes; expected < 1/3", len(comp), len(src))
+	}
+}
+
+func TestLazyMatchingNoWorse(t *testing.T) {
+	src := []byte(strings.Repeat("abcde abcdef abcdefg ", 300))
+	greedy, _ := Compress(src, Options{})
+	lazy, _ := Compress(src, Options{Lazy: true})
+	if len(lazy) > len(greedy)+16 {
+		t.Errorf("lazy (%d) much worse than greedy (%d)", len(lazy), len(greedy))
+	}
+}
+
+// traceCollector records the gadget's hash stream.
+type traceCollector struct {
+	hashes []uint32
+	pos    []int
+}
+
+func (tc *traceCollector) HeadInsert(h uint32, pos int) {
+	tc.hashes = append(tc.hashes, h)
+	tc.pos = append(tc.pos, pos)
+}
+
+// The compressor's own INSERT_STRING stream must match the reference
+// rolling hash — the bridge between the real compressor and the recovery
+// model (E4's survey).
+func TestTracerMatchesReferenceHash(t *testing.T) {
+	src := []byte("taint tracking finds the gadget in the hash head table")
+	var tc traceCollector
+	if _, err := Compress(src, Options{Tracer: &tc}); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: h after inserting position p covers src[p..p+2].
+	h := (uint32(src[0])<<HashShift ^ uint32(src[1])) & HashMask
+	ref := map[int]uint32{}
+	for p := 0; p+2 < len(src); p++ {
+		h = ((h << HashShift) ^ uint32(src[p+2])) & HashMask
+		ref[p] = h
+	}
+	if len(tc.hashes) == 0 {
+		t.Fatal("tracer saw no inserts")
+	}
+	for k, p := range tc.pos {
+		want, ok := ref[p]
+		if !ok {
+			t.Fatalf("insert at unexpected position %d", p)
+		}
+		if tc.hashes[k] != want {
+			t.Errorf("insert %d (pos %d): hash %#x, want %#x", k, p, tc.hashes[k], want)
+		}
+	}
+}
+
+// End-to-end leak check (E4, zlib row): feed the real compressor's hash
+// trace through the recovery code.
+func TestSurveyRecoveryFromCompressorTrace(t *testing.T) {
+	src := []byte("thisisalonglowercasestringwithoutspacesthatkeepsgoingandgoing")
+	var tc traceCollector
+	if _, err := Compress(src, Options{Tracer: &tc}); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential inserts: positions 0..n-3 in order (greedy inserts
+	// skipped positions too, so every position up to n-3 appears).
+	obs := make([]uint16, 0, len(tc.hashes))
+	seen := map[int]bool{}
+	for k, p := range tc.pos {
+		if !seen[p] {
+			seen[p] = true
+			obs = append(obs, uint16(tc.hashes[k]>>5))
+		}
+	}
+	rec := recovery.RecoverZlib(obs, len(src), 0x60, true)
+	frac := recovery.ZlibLeakFraction(rec, src)
+	if frac < 0.9 {
+		t.Errorf("leak fraction from real compressor trace = %.3f, want >= 0.9", frac)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	comp, err := Compress([]byte("hello hello hello"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)/2] },
+		func(b []byte) []byte { return nil },
+		func(b []byte) []byte { b[4] ^= 0xff; return b },
+	} {
+		c := append([]byte(nil), comp...)
+		if _, err := Decompress(mutate(c)); err == nil {
+			t.Error("corrupt stream should not decompress cleanly")
+		}
+	}
+}
+
+func TestMatchAtWindowBoundary(t *testing.T) {
+	// A repetition just within and just beyond the 32K window.
+	src := make([]byte, WindowSize+600)
+	copy(src, []byte("unique-prefix-0123456789"))
+	copy(src[WindowSize+300:], []byte("unique-prefix-0123456789"))
+	roundTrip(t, src, Options{Lazy: true})
+}

@@ -1,0 +1,277 @@
+// Package lzw implements an ncompress-style LZW compressor and
+// decompressor with the exact hash-probe structure the paper analyzes
+// (§IV-C, Listing 2): each consumed input byte probes
+//
+//	hp = (c << 9) ^ ent
+//
+// in an open-addressed hash table, leaking hp (minus the cache line's low
+// bits) through the cache channel. The Replayer type re-derives the
+// compressor's deterministic ent sequence from recovered plaintext, which
+// is what makes full input recovery possible.
+package lzw
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/compress/huffcoding"
+)
+
+// Dictionary geometry, following ncompress with the paper's 9-bit probe
+// shift.
+const (
+	ProbeShift = 9
+	MaxBits    = 16
+	MaxCodes   = 1 << MaxBits
+	firstFree  = 257 // 0-255 literals, 256 = CLEAR
+	clearCode  = 256
+	initWidth  = 9
+	// HTabSize covers hp = (c<<9)^ent for 8-bit c and 16-bit ent.
+	HTabSize = 1 << 17
+)
+
+// Tracer observes the compressor's secret-dependent hash probes.
+type Tracer interface {
+	// Probe fires for each hash-table probe with the full hp value;
+	// primary marks the first probe for the current input byte (the
+	// Listing 2 access recovery relies on).
+	Probe(hp uint64, primary bool)
+}
+
+// dict is the shared compressor state: Compress and Replayer step it
+// identically, so the recovery replay cannot diverge from the encoder.
+type dict struct {
+	htab    []int64 // stored fcode, -1 = free
+	codetab []uint16
+	ent     uint32
+	next    int
+	started bool
+	tracer  Tracer
+}
+
+func newDict(tracer Tracer) *dict {
+	d := &dict{
+		htab:    make([]int64, HTabSize),
+		codetab: make([]uint16, HTabSize),
+		next:    firstFree,
+		tracer:  tracer,
+	}
+	for i := range d.htab {
+		d.htab[i] = -1
+	}
+	return d
+}
+
+func (d *dict) reset() {
+	for i := range d.htab {
+		d.htab[i] = -1
+	}
+	d.next = firstFree
+}
+
+// step consumes one input byte. It returns (emit, code, full): when emit
+// is true the compressor outputs code before switching to the new string;
+// full reports that the code space just filled (caller emits CLEAR and
+// resets).
+func (d *dict) step(c byte) (emit bool, code uint16, full bool) {
+	if !d.started {
+		d.started = true
+		d.ent = uint32(c)
+		return false, 0, false
+	}
+	fcode := int64(d.ent)<<8 | int64(c)
+	hp := (uint64(c) << ProbeShift) ^ uint64(d.ent)
+	if d.tracer != nil {
+		d.tracer.Probe(hp, true)
+	}
+	if d.htab[hp] == fcode {
+		d.ent = uint32(d.codetab[hp])
+		return false, 0, false
+	}
+	if d.htab[hp] >= 0 {
+		// Secondary probing, ncompress style. ncompress relies on a prime
+		// HSIZE so that any displacement cycles through the whole table;
+		// with our power-of-two table the displacement must be odd for
+		// the same guarantee (an even stride over 2^17 slots visits only
+		// a subgroup and can spin forever once that subgroup fills).
+		disp := ((uint64(HTabSize) - hp) % HTabSize) | 1
+		for {
+			if hp < disp {
+				hp += HTabSize
+			}
+			hp -= disp
+			if d.tracer != nil {
+				d.tracer.Probe(hp, false)
+			}
+			if d.htab[hp] == fcode {
+				d.ent = uint32(d.codetab[hp])
+				return false, 0, false
+			}
+			if d.htab[hp] < 0 {
+				break
+			}
+		}
+	}
+	// Free slot: output the current string's code, insert, restart at c.
+	code = uint16(d.ent)
+	if d.next < MaxCodes {
+		d.htab[hp] = fcode
+		d.codetab[hp] = uint16(d.next)
+		d.next++
+	}
+	full = d.next >= MaxCodes
+	d.ent = uint32(c)
+	return true, code, full
+}
+
+// Compress encodes src: a 4-byte length header, then variable-width
+// (9..16 bit) codes, with CLEAR emitted when the code space fills.
+func Compress(src []byte, tracer Tracer) ([]byte, error) {
+	var w huffcoding.BitWriter
+	w.WriteBits(uint32(len(src)), 32)
+	d := newDict(tracer)
+	width := uint(initWidth)
+
+	emit := func(code uint16) {
+		// Width grows when the next code to be assigned no longer fits;
+		// the decoder mirrors this one entry earlier (it lags one insert).
+		w.WriteBits(uint32(code), width)
+	}
+	for _, c := range src {
+		doEmit, code, full := d.step(c)
+		if doEmit {
+			emit(code)
+			if full {
+				emit(clearCode)
+				d.reset()
+				width = initWidth
+			} else if d.next > (1 << width) {
+				width++
+			}
+		}
+	}
+	if d.started {
+		emit(uint16(d.ent))
+	}
+	return w.Bytes(), nil
+}
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("lzw: corrupt stream")
+
+// Decompress inverts Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r := huffcoding.NewBitReader(data)
+	size, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := make([]byte, 0, size)
+	if size == 0 {
+		return out, nil
+	}
+
+	prefix := make([]uint16, MaxCodes)
+	suffix := make([]byte, MaxCodes)
+	next := firstFree
+	width := uint(initWidth)
+
+	expand := func(code int) ([]byte, error) {
+		var stack []byte
+		for code >= 256 {
+			if code >= next {
+				return nil, fmt.Errorf("%w: code %d >= next %d", ErrCorrupt, code, next)
+			}
+			stack = append(stack, suffix[code])
+			code = int(prefix[code])
+		}
+		stack = append(stack, byte(code))
+		// Reverse.
+		for i, j := 0, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+		return stack, nil
+	}
+
+	readCode := func() (int, error) {
+		v, err := r.ReadBits(width)
+		return int(v), err
+	}
+
+	prevCode := -1
+	var prevStr []byte
+	for uint32(len(out)) < size {
+		code, err := readCode()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if code == clearCode {
+			next = firstFree
+			width = initWidth
+			prevCode = -1
+			continue
+		}
+		var str []byte
+		switch {
+		case prevCode < 0:
+			if code > 255 {
+				return nil, fmt.Errorf("%w: first code %d not a literal", ErrCorrupt, code)
+			}
+			str = []byte{byte(code)}
+		case code < next:
+			str, err = expand(code)
+			if err != nil {
+				return nil, err
+			}
+		case code == next:
+			// KwKwK: the code being defined right now.
+			str = append(append([]byte{}, prevStr...), prevStr[0])
+		default:
+			return nil, fmt.Errorf("%w: code %d ahead of dictionary (%d)", ErrCorrupt, code, next)
+		}
+		out = append(out, str...)
+		if prevCode >= 0 && next < MaxCodes {
+			prefix[next] = uint16(prevCode)
+			suffix[next] = str[0]
+			next++
+			// Mirror the encoder's width growth: the encoder is one
+			// insert ahead of the decoder at each code boundary.
+			if next+1 > (1<<width) && width < MaxBits {
+				width++
+			}
+		}
+		prevCode = code
+		prevStr = str
+	}
+	if uint32(len(out)) != size {
+		return nil, fmt.Errorf("%w: size mismatch %d != %d", ErrCorrupt, len(out), size)
+	}
+	return out, nil
+}
+
+// Replayer reproduces the compressor's ent sequence from plaintext: the
+// recovery.EntReplayer for this implementation (§IV-C's "knowledge of all
+// previous input bytes allows the attacker to compute all dictionary
+// entries in the same manner as the compressor").
+type Replayer struct {
+	d *dict
+}
+
+// NewReplayer starts a replay with the (guessed) first plaintext byte.
+func NewReplayer(first byte) *Replayer {
+	rep := &Replayer{d: newDict(nil)}
+	rep.d.step(first)
+	return rep
+}
+
+// Ent returns the ent value the compressor holds before consuming the
+// next byte.
+func (r *Replayer) Ent() uint32 { return r.d.ent }
+
+// Push advances the replayed dictionary by one plaintext byte.
+func (r *Replayer) Push(c byte) {
+	_, _, full := r.d.step(c)
+	if full {
+		r.d.reset()
+	}
+}

@@ -1,0 +1,556 @@
+// Package core implements TaintChannel, the paper's tool for automatically
+// detecting cache side-channel vulnerabilities (§III). It attaches to a vm
+// execution as an instrumentation client (the DynamoRIO role), marks every
+// byte returned by the read syscall with a sequential taint tag, propagates
+// taint bit-granularly through direct data manipulation only (Fig 1's
+// decision tree: no control-flow taint), and reports
+//
+//   - data-flow gadgets: memory dereferences whose address is tainted, and
+//   - control-flow gadgets: conditional branches whose flags derive from
+//     tainted data,
+//
+// together with the exact per-bit relation between input bytes and the
+// dereferenced address (the ASCII matrices of Figs 2-4).
+package core
+
+import (
+	"math/bits"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/taint"
+	"github.com/zipchannel/zipchannel/internal/vm"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// CarryAware selects the sound carry-propagating rule for add/sub/neg
+	// instead of the paper-faithful per-bit rule (DESIGN.md §2).
+	CarryAware bool
+	// MaxSamplesPerGadget bounds how many concrete access samples are
+	// retained per gadget site (default 4).
+	MaxSamplesPerGadget int
+	// TrackTags selects input-byte tags whose full propagation history is
+	// recorded (Fig 3). Nil tracks none.
+	TrackTags map[taint.Tag]bool
+	// MaxHistoryPerTag bounds each tracked tag's history (default 64).
+	MaxHistoryPerTag int
+	// ReducedTrace records the sequence of taint-touching instructions,
+	// the input to cross-input control-flow diffing (§VI). Default off.
+	ReducedTrace bool
+	// MaxReducedTrace bounds the reduced trace length (default 1<<20).
+	MaxReducedTrace int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSamplesPerGadget == 0 {
+		c.MaxSamplesPerGadget = 4
+	}
+	if c.MaxHistoryPerTag == 0 {
+		c.MaxHistoryPerTag = 64
+	}
+	if c.MaxReducedTrace == 0 {
+		c.MaxReducedTrace = 1 << 20
+	}
+	return c
+}
+
+// GadgetKind classifies a finding.
+type GadgetKind uint8
+
+// Gadget kinds.
+const (
+	// DataFlow is a memory dereference with a tainted address (§IV).
+	DataFlow GadgetKind = iota
+	// ControlFlow is a conditional branch on tainted flags (§VI).
+	ControlFlow
+)
+
+// String names the kind.
+func (k GadgetKind) String() string {
+	if k == DataFlow {
+		return "data-flow"
+	}
+	return "control-flow"
+}
+
+// AccessSample is one concrete triggering of a gadget.
+type AccessSample struct {
+	Step      uint64
+	Addr      uint64     // effective address (data-flow) or flag-setter pc (control-flow)
+	AddrTaint taint.Word // per-bit taint of the address / compared value
+	Taken     bool       // control-flow only: branch outcome
+}
+
+// Finding is one leakage gadget: a static instruction that performed at
+// least one taint-dependent access or branch.
+type Finding struct {
+	Kind    GadgetKind
+	PC      int
+	Instr   isa.Instr
+	Count   int
+	Samples []AccessSample
+}
+
+// HistEvent is one step in a tracked tag's propagation history (Fig 3).
+type HistEvent struct {
+	Step  uint64
+	PC    int
+	Instr string
+	Note  string
+}
+
+// ReducedEvent is one entry of the reduced (taint-touching-only) trace.
+type ReducedEvent struct {
+	PC    int
+	Op    isa.Op
+	Taken bool // meaningful for branches
+}
+
+type findingKey struct {
+	kind GadgetKind
+	pc   int
+}
+
+// Analyzer is a TaintChannel instance attached to one execution.
+type Analyzer struct {
+	cfg Config
+
+	regs      [isa.NumRegs]taint.Word
+	mem       map[uint64]byteShadow
+	flagTaint *taint.Set
+	flagPC    int
+
+	findings map[findingKey]*Finding
+	order    []findingKey
+	history  map[taint.Tag][]HistEvent
+	reduced  []ReducedEvent
+
+	instrCount uint64
+	taintOps   uint64
+}
+
+type byteShadow [8]*taint.Set
+
+func (b byteShadow) clean() bool {
+	for _, s := range b {
+		if !s.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// New creates an analyzer.
+func New(cfg Config) *Analyzer {
+	return &Analyzer{
+		cfg:      cfg.withDefaults(),
+		mem:      map[uint64]byteShadow{},
+		findings: map[findingKey]*Finding{},
+		history:  map[taint.Tag][]HistEvent{},
+	}
+}
+
+// Attach installs the analyzer's hooks on the machine. Existing hooks are
+// replaced; TaintChannel assumes it is the only instrumentation client.
+func (a *Analyzer) Attach(v *vm.VM) {
+	v.Hooks.BeforeInstr = a.step
+	v.Hooks.OnSyscallRead = a.onRead
+}
+
+// InstrCount returns how many instructions the analyzer observed.
+func (a *Analyzer) InstrCount() uint64 { return a.instrCount }
+
+// TaintOps returns how many observed instructions touched tainted state.
+func (a *Analyzer) TaintOps() uint64 { return a.taintOps }
+
+// Reduced returns the reduced trace (only if Config.ReducedTrace).
+func (a *Analyzer) Reduced() []ReducedEvent { return a.reduced }
+
+// History returns the recorded propagation history for a tracked tag.
+func (a *Analyzer) History(t taint.Tag) []HistEvent { return a.history[t] }
+
+// onRead taints freshly read input bytes with sequential tags, the taint
+// source of the whole analysis.
+func (a *Analyzer) onRead(_ *vm.VM, bufAddr uint64, n, firstIndex int) {
+	for i := 0; i < n; i++ {
+		tag := taint.Tag(firstIndex + i)
+		w := taint.ByteWord(tag)
+		a.storeShadow(bufAddr+uint64(i), 1, w)
+		if a.cfg.TrackTags[tag] {
+			a.recordHistory(tag, 0, -1, "read syscall", "byte enters memory")
+		}
+	}
+}
+
+// step performs taint propagation for one instruction; it runs before the
+// instruction executes, so register values are pre-state.
+func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
+	a.instrCount++
+	w := int(in.Width)
+	touched := false
+
+	switch in.Op {
+	case isa.OpMov:
+		src := a.operandShadow(in.Src, w)
+		touched = !src.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, src.Truncate(w))
+
+	case isa.OpLea:
+		addr := a.addrShadow(v, in.Src.Mem)
+		touched = !addr.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, addr)
+
+	case isa.OpLd:
+		addrT := a.addrShadow(v, in.Src.Mem)
+		if !addrT.IsClean() {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Src.Mem), addrT)
+		}
+		loaded := a.loadShadow(v.EffectiveAddr(in.Src.Mem), w)
+		touched = !loaded.IsClean() || !addrT.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, loaded)
+
+	case isa.OpSt:
+		addrT := a.addrShadow(v, in.Dst.Mem)
+		if !addrT.IsClean() {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Dst.Mem), addrT)
+		}
+		src := a.operandShadow(in.Src, w)
+		touched = !src.IsClean() || !addrT.IsClean()
+		a.storeShadowTracked(v, in, v.EffectiveAddr(in.Dst.Mem), w, src.Truncate(w))
+
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
+		touched = a.aluTaint(v, in)
+
+	case isa.OpNot:
+		touched = !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, a.regs[in.Dst.Reg].Truncate(w))
+
+	case isa.OpNeg:
+		d := a.regs[in.Dst.Reg]
+		touched = !d.IsClean()
+		if a.cfg.CarryAware {
+			var zero taint.Word
+			d = taint.AddCarryAware(zero, d)
+		}
+		a.setReg(v, in, in.Dst.Reg, d.Truncate(w))
+
+	case isa.OpCmp, isa.OpTest:
+		d := a.regs[in.Dst.Reg].Truncate(w)
+		s := a.operandShadow(in.Src, w)
+		a.flagTaint = taint.Union(d.AllTags(), s.AllTags())
+		a.flagPC = v.PC
+		touched = !a.flagTaint.IsEmpty()
+
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
+		isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
+		if !a.flagTaint.IsEmpty() {
+			var word taint.Word
+			for i := 0; i < taint.WordBits; i++ {
+				word.SetBit(i, a.flagTaint)
+			}
+			a.recordBranch(v, in, word)
+			touched = true
+		}
+
+	case isa.OpPush:
+		src := a.operandShadow(in.Src, 8)
+		touched = !src.IsClean()
+		a.storeShadow(v.Regs[isa.SP]-8, 8, src)
+
+	case isa.OpPop:
+		loaded := a.loadShadow(v.Regs[isa.SP], 8)
+		touched = !loaded.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, loaded)
+
+	case isa.OpCall:
+		var zero taint.Word
+		a.storeShadow(v.Regs[isa.SP]-8, 8, zero)
+	}
+
+	if touched {
+		a.taintOps++
+		if a.cfg.ReducedTrace && len(a.reduced) < a.cfg.MaxReducedTrace {
+			ev := ReducedEvent{PC: v.PC, Op: in.Op}
+			if in.Op.IsCondJump() {
+				ev.Taken = v.ZF // approximation only used for display
+			}
+			a.reduced = append(a.reduced, ev)
+		}
+	}
+}
+
+// aluTaint propagates taint for ALU instructions, including the
+// read-modify-write memory-destination form. Returns whether taint moved.
+func (a *Analyzer) aluTaint(v *vm.VM, in *isa.Instr) bool {
+	w := int(in.Width)
+	src := a.operandShadow(in.Src, w)
+
+	// x86-style zeroing idiom: xor r, r produces a clean zero.
+	if in.Op == isa.OpXor && in.Dst.Kind == isa.KindReg && in.Src.Kind == isa.KindReg &&
+		in.Dst.Reg == in.Src.Reg {
+		touched := !a.regs[in.Dst.Reg].IsClean()
+		var zero taint.Word
+		a.setReg(v, in, in.Dst.Reg, zero)
+		return touched
+	}
+
+	if in.Dst.Kind == isa.KindMem {
+		addrT := a.addrShadow(v, in.Dst.Mem)
+		addr := v.EffectiveAddr(in.Dst.Mem)
+		if !addrT.IsClean() {
+			a.recordGadget(v, in, DataFlow, addr, addrT)
+		}
+		old := a.loadShadow(addr, w)
+		res := a.combine(in.Op, old, src, v, in, w)
+		a.flagTaint = res.AllTags()
+		a.flagPC = v.PC
+		a.storeShadowTracked(v, in, addr, w, res.Truncate(w))
+		return !old.IsClean() || !src.IsClean() || !addrT.IsClean()
+	}
+
+	d := a.regs[in.Dst.Reg].Truncate(w)
+	res := a.combine(in.Op, d, src, v, in, w)
+	res = res.Truncate(w)
+	a.flagTaint = res.AllTags()
+	a.flagPC = v.PC
+	touched := !d.IsClean() || !src.IsClean()
+	a.setReg(v, in, in.Dst.Reg, res)
+	return touched
+}
+
+// combine applies the per-opcode taint transfer function (the paper's
+// Fig 1 decision tree plus the §III-B special cases for and-masks and
+// shifts).
+func (a *Analyzer) combine(op isa.Op, d, s taint.Word, v *vm.VM, in *isa.Instr, w int) taint.Word {
+	switch op {
+	case isa.OpAdd, isa.OpSub:
+		if a.cfg.CarryAware {
+			return taint.AddCarryAware(d, s)
+		}
+		return taint.MergePerBit(d, s)
+	case isa.OpXor:
+		return taint.MergePerBit(d, s)
+	case isa.OpOr:
+		// Or with an untainted operand destroys taint where that operand
+		// has 1 bits (forced to 1).
+		if s.IsClean() {
+			return taint.OrMask(d, a.srcValue(v, in, w))
+		}
+		if d.IsClean() {
+			return taint.OrMask(s, v.Regs[in.Dst.Reg])
+		}
+		return taint.MergePerBit(d, s)
+	case isa.OpAnd:
+		// And with an untainted mask keeps taint only at the mask's 1 bits.
+		if s.IsClean() {
+			return taint.AndMask(d, a.srcValue(v, in, w))
+		}
+		if d.IsClean() {
+			return taint.AndMask(s, v.Regs[in.Dst.Reg])
+		}
+		return taint.MergePerBit(d, s)
+	case isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
+		if !s.IsClean() {
+			// Tainted shift count: conservatively smear everything.
+			return taint.MergeAll(d, s)
+		}
+		n := uint(a.srcValue(v, in, w))
+		switch op {
+		case isa.OpShl:
+			return taint.Shl(d, n)
+		case isa.OpShr:
+			return taint.Shr(d, n)
+		case isa.OpSar:
+			return taint.Sar(d, n, w)
+		default:
+			return taint.Rol(d, n, w)
+		}
+	case isa.OpMul:
+		// Multiplication by an untainted power of two is a shift.
+		if s.IsClean() {
+			val := a.srcValue(v, in, w)
+			if val != 0 && val&(val-1) == 0 {
+				return taint.Shl(d, uint(bits.TrailingZeros64(val)))
+			}
+		}
+		if d.IsClean() && s.IsClean() {
+			var zero taint.Word
+			return zero
+		}
+		return taint.MergeAll(d, s)
+	case isa.OpDiv, isa.OpMod:
+		if d.IsClean() && s.IsClean() {
+			var zero taint.Word
+			return zero
+		}
+		return taint.MergeAll(d, s)
+	default:
+		return taint.MergePerBit(d, s)
+	}
+}
+
+// srcValue returns the concrete (pre-instruction) value of the source
+// operand, used for mask-aware taint rules.
+func (a *Analyzer) srcValue(v *vm.VM, in *isa.Instr, w int) uint64 {
+	switch in.Src.Kind {
+	case isa.KindReg:
+		return v.Regs[in.Src.Reg]
+	case isa.KindImm:
+		return uint64(in.Src.Imm)
+	default:
+		return 0
+	}
+}
+
+// operandShadow returns the taint word of a register or immediate operand.
+func (a *Analyzer) operandShadow(o isa.Operand, w int) taint.Word {
+	var zero taint.Word
+	switch o.Kind {
+	case isa.KindReg:
+		return a.regs[o.Reg].Truncate(w)
+	default:
+		return zero
+	}
+}
+
+// addrShadow computes the taint of a memory operand's effective address:
+// base + index*scale + disp, modelling the scale as a left shift (the
+// pointer arithmetic that places ins_h<<1 inside rdx in Fig 2).
+func (a *Analyzer) addrShadow(_ *vm.VM, m isa.MemRef) taint.Word {
+	var addr taint.Word
+	if m.HasBase {
+		addr = a.regs[m.Base]
+	}
+	if m.HasIndex {
+		idx := taint.Shl(a.regs[m.Index], uint(bits.TrailingZeros8(m.Scale)))
+		if a.cfg.CarryAware {
+			addr = taint.AddCarryAware(addr, idx)
+		} else {
+			addr = taint.MergePerBit(addr, idx)
+		}
+	}
+	return addr
+}
+
+func (a *Analyzer) setReg(v *vm.VM, in *isa.Instr, r isa.Reg, word taint.Word) {
+	a.regs[r] = word
+	a.trackWord(v, in, word, "-> "+r.String())
+}
+
+func (a *Analyzer) loadShadow(addr uint64, w int) taint.Word {
+	var bs [][8]*taint.Set
+	for i := 0; i < w; i++ {
+		b := a.mem[addr+uint64(i)]
+		bs = append(bs, [8]*taint.Set(b))
+	}
+	return taint.FromBytes(bs)
+}
+
+func (a *Analyzer) storeShadow(addr uint64, w int, word taint.Word) {
+	bytes := word.Bytes()
+	for i := 0; i < w; i++ {
+		b := byteShadow(bytes[i])
+		if b.clean() {
+			delete(a.mem, addr+uint64(i))
+		} else {
+			a.mem[addr+uint64(i)] = b
+		}
+	}
+}
+
+func (a *Analyzer) storeShadowTracked(v *vm.VM, in *isa.Instr, addr uint64, w int, word taint.Word) {
+	a.storeShadow(addr, w, word)
+	a.trackWord(v, in, word, "-> memory")
+}
+
+func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr uint64, addrT taint.Word) {
+	key := findingKey{kind, v.PC}
+	f, ok := a.findings[key]
+	if !ok {
+		f = &Finding{Kind: kind, PC: v.PC, Instr: *in}
+		a.findings[key] = f
+		a.order = append(a.order, key)
+	}
+	f.Count++
+	if len(f.Samples) < a.cfg.MaxSamplesPerGadget {
+		f.Samples = append(f.Samples, AccessSample{
+			Step: v.Steps, Addr: addr, AddrTaint: addrT,
+		})
+	}
+}
+
+func (a *Analyzer) recordBranch(v *vm.VM, in *isa.Instr, word taint.Word) {
+	key := findingKey{ControlFlow, v.PC}
+	f, ok := a.findings[key]
+	if !ok {
+		f = &Finding{Kind: ControlFlow, PC: v.PC, Instr: *in}
+		a.findings[key] = f
+		a.order = append(a.order, key)
+	}
+	f.Count++
+	if len(f.Samples) < a.cfg.MaxSamplesPerGadget {
+		f.Samples = append(f.Samples, AccessSample{
+			Step: v.Steps, Addr: uint64(a.flagPC), AddrTaint: word,
+			Taken: v.Halted == false && a.branchTaken(v, in),
+		})
+	}
+}
+
+func (a *Analyzer) branchTaken(v *vm.VM, in *isa.Instr) bool {
+	switch in.Op {
+	case isa.OpJe:
+		return v.ZF
+	case isa.OpJne:
+		return !v.ZF
+	case isa.OpJl:
+		return v.SF
+	case isa.OpJle:
+		return v.SF || v.ZF
+	case isa.OpJg:
+		return !v.SF && !v.ZF
+	case isa.OpJge:
+		return !v.SF
+	case isa.OpJb:
+		return v.CF
+	case isa.OpJbe:
+		return v.CF || v.ZF
+	case isa.OpJa:
+		return !v.CF && !v.ZF
+	case isa.OpJae:
+		return !v.CF
+	}
+	return false
+}
+
+// trackWord appends a history event for any tracked tag present in word.
+func (a *Analyzer) trackWord(v *vm.VM, in *isa.Instr, word taint.Word, note string) {
+	if len(a.cfg.TrackTags) == 0 {
+		return
+	}
+	tags := word.AllTags()
+	if tags.IsEmpty() {
+		return
+	}
+	for _, t := range tags.Tags() {
+		if a.cfg.TrackTags[t] {
+			a.recordHistory(t, v.Steps, v.PC, in.String(), note)
+		}
+	}
+}
+
+func (a *Analyzer) recordHistory(t taint.Tag, step uint64, pc int, instr, note string) {
+	h := a.history[t]
+	if len(h) >= a.cfg.MaxHistoryPerTag {
+		return
+	}
+	a.history[t] = append(h, HistEvent{Step: step, PC: pc, Instr: instr, Note: note})
+}
+
+// RegTaint exposes a register's current shadow (tests, reports).
+func (a *Analyzer) RegTaint(r isa.Reg) taint.Word { return a.regs[r] }
+
+// MemTaint exposes a memory byte's current shadow.
+func (a *Analyzer) MemTaint(addr uint64) [8]*taint.Set {
+	return [8]*taint.Set(a.mem[addr])
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/vm"
+)
+
+// This file implements the trace-based baseline the paper contrasts
+// TaintChannel with (§VII-A2, tools like Microwalk and DATA): run the
+// program repeatedly with mutated inputs, record the cache-line trace per
+// program counter, and flag PCs whose traces vary with the input. Such
+// tools detect THAT a leak exists but — unlike TaintChannel — "inherently
+// cannot determine the exact relation between the input and the pointer".
+
+// CorrelationFinding is one input-correlated program point.
+type CorrelationFinding struct {
+	PC    int
+	Instr isa.Instr
+	// DistinctTraces counts how many different line-address traces the
+	// mutated runs produced at this PC.
+	DistinctTraces int
+	// Branch marks control-flow variation (differing execution counts)
+	// rather than differing access addresses.
+	Branch bool
+}
+
+// CorrelationReport is the baseline tool's output: leaky PCs, with no
+// input-to-address computation attached.
+type CorrelationReport struct {
+	Program  string
+	Runs     int
+	Findings []CorrelationFinding
+	// Instructions is the total executed across all runs: the cost side
+	// of the comparison (TaintChannel needs a single run).
+	Instructions uint64
+}
+
+// String renders the report.
+func (r *CorrelationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace-correlation report for %q (%d mutated runs, %d instructions)\n",
+		r.Program, r.Runs, r.Instructions)
+	for _, f := range r.Findings {
+		kind := "address"
+		if f.Branch {
+			kind = "count"
+		}
+		fmt.Fprintf(&b, "  pc %d: %s   (%s varies across inputs: %d distinct traces)\n",
+			f.PC, f.Instr.String(), kind, f.DistinctTraces)
+	}
+	b.WriteString("  (no input-to-address relation available from this analysis)\n")
+	return b.String()
+}
+
+// lineTrace is one run's observation at a PC: the ordered cache-line
+// addresses it accessed.
+type lineTrace struct {
+	lines []uint64
+}
+
+func (t *lineTrace) key() string {
+	var b strings.Builder
+	for _, l := range t.lines {
+		fmt.Fprintf(&b, "%x,", l)
+	}
+	return b.String()
+}
+
+// Correlate runs the baseline analysis with the standard mutation
+// strategy: the program executes once on input and once on `runs-1`
+// random single-byte mutations of it. Note the inherited weakness of
+// differential tools: a leak is only found if the mutations happen to
+// perturb the bytes it depends on (CorrelateInputs lets callers steer).
+func Correlate(prog *isa.Program, input []byte, runs int, seed int64) (*CorrelationReport, error) {
+	if runs < 2 {
+		runs = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([][]byte, runs)
+	for run := 0; run < runs; run++ {
+		in := append([]byte(nil), input...)
+		if run > 0 && len(in) > 0 {
+			// Mutate one byte, like the differential tools do.
+			in[rng.Intn(len(in))] ^= byte(1 + rng.Intn(255))
+		}
+		inputs[run] = in
+	}
+	return CorrelateInputs(prog, inputs)
+}
+
+// CorrelateInputs runs the baseline analysis over an explicit input set.
+func CorrelateInputs(prog *isa.Program, inputs [][]byte) (*CorrelationReport, error) {
+	rep := &CorrelationReport{Program: prog.Name, Runs: len(inputs)}
+
+	// traceKeys[pc] collects the distinct per-run trace fingerprints.
+	traceKeys := map[int]map[string]bool{}
+	instrs := map[int]isa.Instr{}
+
+	for _, in := range inputs {
+		machine, err := vm.NewFlat(prog)
+		if err != nil {
+			return nil, err
+		}
+		machine.SetInput(append([]byte(nil), in...))
+		perPC := map[int]*lineTrace{}
+		record := func(v *vm.VM, instr *isa.Instr, addr uint64) {
+			t := perPC[v.PC]
+			if t == nil {
+				t = &lineTrace{}
+				perPC[v.PC] = t
+			}
+			t.lines = append(t.lines, addr>>CacheLineOffsetBits)
+			instrs[v.PC] = *instr
+		}
+		machine.Hooks.OnLoad = func(v *vm.VM, instr *isa.Instr, addr uint64, _ int, _ uint64) {
+			record(v, instr, addr)
+		}
+		machine.Hooks.OnStore = func(v *vm.VM, instr *isa.Instr, addr uint64, _ int, _ uint64) {
+			record(v, instr, addr)
+		}
+		if err := machine.Run(); err != nil {
+			return nil, fmt.Errorf("correlate: %w", err)
+		}
+		rep.Instructions += machine.Steps
+		for pc, t := range perPC {
+			m := traceKeys[pc]
+			if m == nil {
+				m = map[string]bool{}
+				traceKeys[pc] = m
+			}
+			m[t.key()] = true
+		}
+		// PCs absent in this run but present in others count as varying;
+		// mark with an empty-key sentinel.
+		for pc := range traceKeys {
+			if _, ok := perPC[pc]; !ok {
+				traceKeys[pc][""] = true
+			}
+		}
+	}
+
+	var pcs []int
+	for pc, keys := range traceKeys {
+		if len(keys) > 1 {
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		in := instrs[pc]
+		rep.Findings = append(rep.Findings, CorrelationFinding{
+			PC:             pc,
+			Instr:          in,
+			DistinctTraces: len(traceKeys[pc]),
+			Branch:         traceKeys[pc][""],
+		})
+	}
+	return rep, nil
+}
+
+// LeakyPCs returns the flagged program counters.
+func (r *CorrelationReport) LeakyPCs() []int {
+	out := make([]int, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		out = append(out, f.PC)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+// Package corpus generates the deterministic test inputs the experiments
+// use in place of the paper's external data: a 21-file collection
+// mimicking the Brotli test corpus's diversity (Fig 7), a lorem-ipsum
+// paragraph generator standing in for the Python lipsum utility, and the
+// 5-file repetitiveness series of Fig 8.
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// File is one named test input.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// loremWords is the vocabulary of the lipsum generator.
+var loremWords = []string{
+	"lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing",
+	"elit", "sed", "do", "eiusmod", "tempor", "incididunt", "ut", "labore",
+	"et", "dolore", "magna", "aliqua", "enim", "ad", "minim", "veniam",
+	"quis", "nostrud", "exercitation", "ullamco", "laboris", "nisi",
+	"aliquip", "ex", "ea", "commodo", "consequat", "duis", "aute", "irure",
+	"in", "reprehenderit", "voluptate", "velit", "esse", "cillum", "eu",
+	"fugiat", "nulla", "pariatur", "excepteur", "sint", "occaecat",
+	"cupidatat", "non", "proident", "sunt", "culpa", "qui", "officia",
+	"deserunt", "mollit", "anim", "id", "est", "laborum",
+}
+
+// englishWords gives the text generator a more English-like distribution.
+var englishWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he",
+	"was", "for", "on", "are", "as", "with", "his", "they", "I", "at",
+	"be", "this", "have", "from", "or", "one", "had", "by", "word", "but",
+	"not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their",
+	"if", "will", "up", "other", "about", "out", "many", "then", "them",
+	"these", "so", "some", "her", "would", "make", "like", "him", "into",
+	"time", "has", "look", "two", "more", "write", "go", "see", "number",
+	"no", "way", "could", "people", "my", "than", "first", "water",
+	"been", "call", "who", "oil", "its", "now", "find", "long", "down",
+	"day", "did", "get", "come", "made", "may", "part",
+}
+
+// LoremParagraph generates one deterministic lorem-ipsum paragraph of
+// roughly n words (the lipsum stand-in for Fig 8).
+func LoremParagraph(rng *rand.Rand, nWords int) string {
+	return paragraph(rng, nWords, loremWords)
+}
+
+// EnglishText generates deterministic English-like text of about n bytes.
+func EnglishText(rng *rand.Rand, nBytes int) []byte {
+	var b strings.Builder
+	for b.Len() < nBytes {
+		b.WriteString(paragraph(rng, 60+rng.Intn(60), englishWords))
+		b.WriteString("\n\n")
+	}
+	return []byte(b.String())[:nBytes]
+}
+
+func paragraph(rng *rand.Rand, nWords int, vocab []string) string {
+	var b strings.Builder
+	sentence := 0
+	for w := 0; w < nWords; w++ {
+		word := vocab[rng.Intn(len(vocab))]
+		if sentence == 0 {
+			word = strings.ToUpper(word[:1]) + word[1:]
+		}
+		b.WriteString(word)
+		sentence++
+		if sentence >= 6+rng.Intn(10) || w == nWords-1 {
+			b.WriteString(". ")
+			sentence = 0
+		} else {
+			b.WriteString(" ")
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// BrotliLike returns the 21-file corpus for the Fig 7 fingerprinting
+// experiment: the same *kinds* of files as the Brotli testdata (large
+// English texts, structured/numeric data, random bytes, all-zeros,
+// tiny degenerate files, repetitive data), deterministically generated.
+func BrotliLike(seed int64) []File {
+	rng := rand.New(rand.NewSource(seed))
+	files := []File{
+		{"alice29.txt", EnglishText(rng, 152089)},
+		{"asyoulik.txt", EnglishText(rng, 125179)},
+		{"lcet10.txt", EnglishText(rng, 426754)},
+		{"plrabn12.txt", EnglishText(rng, 481861)},
+		{"quickfox", []byte("The quick brown fox jumps over the lazy dog")},
+		{"quickfox_repeated", repeat("The quick brown fox jumps over the lazy dog", 2048)},
+		{"random_org_10k.bin", randomBytes(rng, 10000)},
+		{"random_chunks", randomChunks(rng, 80000)},
+		{"zeros", make([]byte, 65536)},
+		{"ones_64k", repeatByte(0xff, 65536)},
+		{"x", []byte("x")},
+		{"xyzzy", []byte("xyzzy")},
+		{"64x", repeatByte('x', 64)},
+		{"ukkonooa", repeat("ukko nooa, ukko nooa on iloinen mies. ", 320)},
+		{"monkey", EnglishText(rng, 843)},
+		{"backward65536", backwardBytes(65536)},
+		{"numbers.csv", numbersCSV(rng, 120000)},
+		{"dictionary_words", wordList(rng, 90000)},
+		{"html_like", htmlLike(rng, 100000)},
+		{"binary_struct", binaryStruct(rng, 70000)},
+		{"ab_repetitive", repeat("ab", 30000)},
+	}
+	return files
+}
+
+func repeat(s string, times int) []byte {
+	return []byte(strings.Repeat(s, times))
+}
+
+func repeatByte(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// randomChunks interleaves random and compressible stretches.
+func randomChunks(rng *rand.Rand, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if rng.Intn(2) == 0 {
+			chunk := make([]byte, 512)
+			rng.Read(chunk)
+			out = append(out, chunk...)
+		} else {
+			out = append(out, repeatByte(byte(rng.Intn(256)), 512)...)
+		}
+	}
+	return out[:n]
+}
+
+func backwardBytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(255 - i%256)
+	}
+	return out
+}
+
+func numbersCSV(rng *rand.Rand, n int) []byte {
+	var b strings.Builder
+	b.WriteString("id,value,flag\n")
+	for i := 0; b.Len() < n; i++ {
+		b.WriteString(itoa(i))
+		b.WriteByte(',')
+		b.WriteString(itoa(rng.Intn(100000)))
+		b.WriteByte(',')
+		b.WriteString(itoa(rng.Intn(2)))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())[:n]
+}
+
+func wordList(rng *rand.Rand, n int) []byte {
+	var b strings.Builder
+	for b.Len() < n {
+		b.WriteString(englishWords[rng.Intn(len(englishWords))])
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())[:n]
+}
+
+func htmlLike(rng *rand.Rand, n int) []byte {
+	var b strings.Builder
+	b.WriteString("<html><head><title>corpus</title></head><body>\n")
+	for b.Len() < n {
+		b.WriteString("<div class=\"para\"><p>")
+		b.WriteString(paragraph(rng, 40+rng.Intn(40), englishWords))
+		b.WriteString("</p></div>\n")
+	}
+	return []byte(b.String())[:n]
+}
+
+func binaryStruct(rng *rand.Rand, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		// Record: 4-byte magic, 4-byte length, payload of small ints.
+		out = append(out, 0xCA, 0xFE, 0xBA, 0xBE)
+		l := 16 + rng.Intn(48)
+		out = append(out, byte(l), 0, 0, 0)
+		for i := 0; i < l; i++ {
+			out = append(out, byte(rng.Intn(16)))
+		}
+	}
+	return out[:n]
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// RepetitivenessSeries generates the Fig 8 experiment's 5 files: each is
+// `size` bytes assembled from random picks among the first i of 5 lipsum
+// paragraphs (truncated to 20 characters each, as the paper describes),
+// so file 1 is maximally repetitive and file 5 the most diverse.
+func RepetitivenessSeries(seed int64, size int) []File {
+	rng := rand.New(rand.NewSource(seed))
+	paras := make([]string, 5)
+	for i := range paras {
+		p := LoremParagraph(rng, 40)
+		if len(p) > 20 {
+			p = p[:20]
+		}
+		paras[i] = p
+	}
+	files := make([]File, 5)
+	for i := 1; i <= 5; i++ {
+		var b strings.Builder
+		for b.Len() < size {
+			b.WriteString(paras[rng.Intn(i)])
+		}
+		files[i-1] = File{
+			Name: "test_0000" + itoa(i) + ".txt",
+			Data: []byte(b.String())[:size],
+		}
+	}
+	return files
+}

@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBrotliLikeDeterministic(t *testing.T) {
+	a := BrotliLike(1)
+	b := BrotliLike(1)
+	if len(a) != 21 {
+		t.Fatalf("corpus has %d files, want 21", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Errorf("file %d (%s) not deterministic", i, a[i].Name)
+		}
+	}
+	c := BrotliLike(2)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].Data, c[i].Data) {
+			same++
+		}
+	}
+	// Fixed-content files (x, zeros, ...) match; generated ones must not.
+	if same > 10 {
+		t.Errorf("%d/21 files identical across seeds; generator ignores seed?", same)
+	}
+}
+
+func TestBrotliLikeNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range BrotliLike(1) {
+		if seen[f.Name] {
+			t.Errorf("duplicate name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if len(f.Data) == 0 {
+			t.Errorf("file %q is empty", f.Name)
+		}
+	}
+}
+
+func TestEnglishTextSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := EnglishText(rng, 5000)
+	if len(text) != 5000 {
+		t.Errorf("size = %d, want 5000", len(text))
+	}
+	// Should be mostly printable ASCII words.
+	letters := 0
+	for _, c := range text {
+		if c >= 'a' && c <= 'z' || c == ' ' {
+			letters++
+		}
+	}
+	if float64(letters)/float64(len(text)) < 0.7 {
+		t.Error("English text does not look like text")
+	}
+}
+
+func TestLoremParagraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := LoremParagraph(rng, 30)
+	if len(p) < 100 {
+		t.Errorf("paragraph suspiciously short: %q", p)
+	}
+	if p[0] < 'A' || p[0] > 'Z' {
+		t.Errorf("paragraph should start capitalized: %q", p[:20])
+	}
+}
+
+func TestRepetitivenessSeries(t *testing.T) {
+	files := RepetitivenessSeries(9, 20000)
+	if len(files) != 5 {
+		t.Fatalf("series has %d files, want 5", len(files))
+	}
+	distinct := make([]int, 5)
+	for i, f := range files {
+		if len(f.Data) != 20000 {
+			t.Errorf("file %d is %d bytes, want 20000", i, len(f.Data))
+		}
+		// Count distinct 20-byte chunks as a repetitiveness proxy.
+		chunks := map[string]bool{}
+		for off := 0; off+20 <= len(f.Data); off += 20 {
+			chunks[string(f.Data[off:off+20])] = true
+		}
+		distinct[i] = len(chunks)
+	}
+	// File 1 (one paragraph) must be far more repetitive than file 5.
+	if distinct[0] >= distinct[4] {
+		t.Errorf("distinct chunks should increase with i: %v", distinct)
+	}
+	if distinct[0] > 3 {
+		t.Errorf("file 1 should repeat a single truncated paragraph: %d distinct chunks", distinct[0])
+	}
+}
+
+func TestRepetitivenessSeriesNames(t *testing.T) {
+	files := RepetitivenessSeries(1, 1000)
+	want := []string{"test_00001.txt", "test_00002.txt", "test_00003.txt", "test_00004.txt", "test_00005.txt"}
+	for i, f := range files {
+		if f.Name != want[i] {
+			t.Errorf("file %d name = %q, want %q", i, f.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md §4): the
+// TaintChannel reports of Figs 2-4, the §IV survey summary, the AES and
+// memcpy tool validations, the §V-E SGX attack headline with its
+// ablations, the Fig 6 control-flow census, the Fig 7/8 fingerprinting
+// confusion matrices, and the §VIII mitigation evaluation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated experiment: human-readable lines plus the
+// numeric outcomes benches and tests assert on.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+	// Metrics holds the headline numbers (accuracy fractions, counts).
+	Metrics map[string]float64
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+func (r *Result) addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the experiment output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.4f", k, r.Metrics[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	Name string
+	// Quick runs a reduced-size variant suitable for tests/benches.
+	Run func(quick bool) (*Result, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"aes", AESValidation},
+		{"memcpy", MemcpyValidation},
+		{"tools", ToolComparison},
+		{"survey", Survey},
+		{"sgx", SGXHeadline},
+		{"sgx-ablate", SGXAblations},
+		{"sgx-all-gadgets", AllGadgetsSGX},
+		{"mitigation", Mitigation},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+	}
+}
+
+// Lookup finds a runner by name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// renderConfusion formats a confusion matrix with row/column labels, in
+// the layout of the paper's Figs 7 and 8 (rows = actual, columns =
+// predicted).
+func renderConfusion(labels []string, cm [][]float64) []string {
+	short := make([]string, len(labels))
+	width := 7
+	for i, l := range labels {
+		if len(l) > width {
+			l = l[:width]
+		}
+		short[i] = l
+	}
+	var out []string
+	header := strings.Repeat(" ", width+2)
+	for _, l := range short {
+		header += fmt.Sprintf("%*s ", width, l)
+	}
+	out = append(out, header)
+	for i, row := range cm {
+		line := fmt.Sprintf("%*s  ", width, short[i])
+		for _, v := range row {
+			line += fmt.Sprintf("%*.2f ", width, v)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func diagonalMean(cm [][]float64) float64 {
+	if len(cm) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range cm {
+		sum += cm[i][i]
+	}
+	return sum / float64(len(cm))
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run green in its quick variant; the
+// per-experiment assertions (accuracy floors, gadget counts) live inside
+// the runners themselves.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			res, err := r.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if res.ID == "" || res.Title == "" {
+				t.Errorf("%s: missing ID/title", r.Name)
+			}
+			if len(res.Lines) == 0 {
+				t.Errorf("%s: no output lines", r.Name)
+			}
+			if testing.Verbose() {
+				t.Logf("\n%s", res)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7"); !ok {
+		t.Error("fig7 should be registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown name should not resolve")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := newResult("X", "test")
+	r.addf("line %d", 1)
+	r.Metrics["m"] = 0.5
+	s := r.String()
+	for _, want := range []string{"=== X: test ===", "line 1", "m=0.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderConfusion(t *testing.T) {
+	lines := renderConfusion([]string{"aa", "bb"}, [][]float64{{0.9, 0.1}, {0.25, 0.75}})
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], "0.90") || !strings.Contains(lines[2], "0.75") {
+		t.Errorf("matrix values missing:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestDiagonalMean(t *testing.T) {
+	if diagonalMean(nil) != 0 {
+		t.Error("empty matrix should give 0")
+	}
+	if got := diagonalMean([][]float64{{1, 0}, {0, 0.5}}); got != 0.75 {
+		t.Errorf("diagonalMean = %f, want 0.75", got)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/compress/bwt"
+	"github.com/zipchannel/zipchannel/internal/corpus"
+	"github.com/zipchannel/zipchannel/internal/fingerprint"
+	"github.com/zipchannel/zipchannel/internal/nn"
+)
+
+// Fig6 regenerates the sorting control-flow census behind Fig 6: for
+// every corpus file, which path each block takes (mainSort, abandon to
+// fallbackSort, or direct fallbackSort for the short tail).
+func Fig6(quick bool) (*Result, error) {
+	files := corpus.BrotliLike(1)
+	if quick {
+		files = files[:6]
+	}
+	res := newResult("E10/Fig6", "bzip2 sorting control flow per input block")
+	res.addf("%-20s %8s %8s %8s %8s", "file", "blocks", "mainSort", "abandon", "fallback")
+	var totalAbandons, totalFallbacks int
+	for _, f := range files {
+		var c flowCounter
+		if _, err := bwt.Compress(f.Data, bwt.Options{Tracer: &c}); err != nil {
+			return nil, fmt.Errorf("fig6: %s: %w", f.Name, err)
+		}
+		res.addf("%-20s %8d %8d %8d %8d", f.Name, c.blocks, c.mains, c.abandons, c.fallbacks)
+		totalAbandons += c.abandons
+		totalFallbacks += c.fallbacks
+	}
+	res.Metrics["abandons"] = float64(totalAbandons)
+	res.Metrics["fallbacks"] = float64(totalFallbacks)
+	if totalFallbacks == 0 {
+		return nil, fmt.Errorf("fig6: corpus exercised no fallbackSort path")
+	}
+	return res, nil
+}
+
+type flowCounter struct {
+	bwt.BaseTracer
+	blocks, mains, abandons, fallbacks int
+}
+
+func (c *flowCounter) BlockStart(int, int) { c.blocks++ }
+func (c *flowCounter) MainSortEnter()      { c.mains++ }
+func (c *flowCounter) MainSortAbandon(int) { c.abandons++ }
+func (c *flowCounter) FallbackSortEnter()  { c.fallbacks++ }
+
+// runFingerprint generates traces for the files, trains the classifier,
+// and returns (labels, confusion matrix, test accuracy).
+func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed int64) ([]string, [][]float64, float64, error) {
+	ds, err := fingerprint.BuildDataset(files, fingerprint.DatasetConfig{
+		TracesPerFile:    tracesPerFile,
+		NoiseRate:        0.05,
+		PeriodJitterFrac: jitter,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// The paper states 90/10/10 ratios (which over-count by 10%); we use
+	// 80/10/10 and note the divergence in EXPERIMENTS.md.
+	train, _, test := nn.Split(ds, 0.8, 0.1, seed+1)
+	m, err := nn.New(seed+2, 2*fingerprint.PoolWidth, 64, len(files))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if _, err := m.Train(train, nn.TrainConfig{Epochs: 30, LR: 0.02, LRDecay: 0.95}); err != nil {
+		return nil, nil, 0, err
+	}
+	cm, err := m.ConfusionMatrix(test)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	acc, err := m.Accuracy(test)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	labels := make([]string, len(files))
+	for i, f := range files {
+		labels[i] = f.Name
+	}
+	return labels, cm, acc, nil
+}
+
+// Fig7 regenerates the 21-file fingerprinting confusion matrix: most
+// files classify well; tiny files that go straight to fallbackSort
+// confuse each other (the paper's file "x" at 20%).
+func Fig7(quick bool) (*Result, error) {
+	files := corpus.BrotliLike(1)
+	traces := 40
+	if quick {
+		files = files[:8]
+		traces = 12
+	}
+	labels, cm, acc, err := runFingerprint(files, traces, 0.05, 7)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E8/Fig7", fmt.Sprintf("fingerprinting %d corpus files (confusion matrix, rows=actual)", len(files)))
+	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
+	res.Metrics["testAcc"] = acc
+	res.Metrics["diagMean"] = diagonalMean(cm)
+	chance := 1.0 / float64(len(files))
+	res.addf("test accuracy %.2f (chance %.3f)", acc, chance)
+	if acc < 4*chance {
+		return nil, fmt.Errorf("fig7: accuracy %.3f not meaningfully above chance %.3f", acc, chance)
+	}
+	return res, nil
+}
+
+// Fig8 regenerates the repetitiveness experiment: 5 same-size lipsum
+// files drawing from i paragraphs each; the most repetitive file is
+// nearly always identified, its neighbours are confused with each other.
+func Fig8(quick bool) (*Result, error) {
+	size := 20000
+	traces := 50
+	if quick {
+		traces = 15
+	}
+	files := corpus.RepetitivenessSeries(11, size)
+	// Per-trace timing jitter models the run-to-run variation that makes
+	// the paper's similar lipsum files confusable (Fig 8 off-diagonals).
+	labels, cm, acc, err := runFingerprint(files, traces, 0.25, 13)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E9/Fig8", "fingerprinting 5 lipsum files of increasing diversity")
+	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
+	res.Metrics["testAcc"] = acc
+	res.Metrics["file1Diag"] = cm[0][0]
+	res.addf("test accuracy %.2f (chance 0.200); file 1 diagonal %.2f (paper: 0.98)", acc, cm[0][0])
+	if cm[0][0] < 0.6 {
+		return nil, fmt.Errorf("fig8: the most repetitive file should classify reliably (got %.2f)", cm[0][0])
+	}
+	if acc <= 0.2 {
+		return nil, fmt.Errorf("fig8: accuracy %.3f at or below chance", acc)
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/core"
+	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/taint"
+	"github.com/zipchannel/zipchannel/internal/victims"
+	"github.com/zipchannel/zipchannel/internal/vm"
+)
+
+// runTaintChannel executes a victim program under a fresh analyzer.
+func runTaintChannel(prog *isa.Program, input []byte, cfg core.Config) (*core.Report, *core.Analyzer, error) {
+	machine, err := vm.NewFlat(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	machine.SetInput(input)
+	a := core.New(cfg)
+	a.Attach(machine)
+	if err := machine.Run(); err != nil {
+		return nil, nil, err
+	}
+	return a.Report(prog.Name), a, nil
+}
+
+// Fig2 regenerates the paper's Fig 2: TaintChannel's report for the zlib
+// INSERT_STRING gadget, showing three consecutive input bytes tainting
+// the dereferenced address at bit ranges 1-8 / 6-13 / 11-15.
+func Fig2(quick bool) (*Result, error) {
+	n := 6000
+	if quick {
+		n = 256
+	}
+	rng := rand.New(rand.NewSource(2))
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(26))
+	}
+	rep, _, err := runTaintChannel(victims.ZlibInsertString(), input, core.Config{MaxSamplesPerGadget: 1})
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E1/Fig2", "TaintChannel on zlib INSERT_STRING (head[ins_h] store)")
+	df := rep.DataFlowFindings()
+	res.Metrics["gadgets"] = float64(len(df))
+	for _, f := range df {
+		res.Lines = append(res.Lines, strings.Split(strings.TrimRight(f.Render(), "\n"), "\n")...)
+	}
+	if len(df) != 1 {
+		return nil, fmt.Errorf("fig2: found %d data-flow gadgets, want 1", len(df))
+	}
+	return res, nil
+}
+
+// Fig3 regenerates Fig 3: the propagation history of one input byte
+// through the ncompress gadget (read -> shl 9 -> xor ent -> scaled
+// dereference), plus the resulting taint matrix.
+func Fig3(quick bool) (*Result, error) {
+	input := []byte{0x20, 0x20, 0x41, 0x42, 0x43}
+	_ = quick
+	trackedTag := taint.Tag(2) // the byte that Fig 3 follows
+	rep, a, err := runTaintChannel(victims.LZWHashProbe(), input, core.Config{
+		MaxSamplesPerGadget: 1,
+		TrackTags:           map[taint.Tag]bool{trackedTag: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E2/Fig3", "taint propagation of one input byte through the ncompress htab probe")
+	res.addf("history of input byte #%d:", trackedTag)
+	for _, ev := range a.History(trackedTag) {
+		res.addf("  step %6d  pc %4d  %-28s %s", ev.Step, ev.PC, ev.Instr, ev.Note)
+	}
+	df := rep.DataFlowFindings()
+	res.Metrics["gadgets"] = float64(len(df))
+	if len(df) == 0 {
+		return nil, fmt.Errorf("fig3: no data-flow gadget found")
+	}
+	res.Lines = append(res.Lines, strings.Split(strings.TrimRight(df[0].Render(), "\n"), "\n")...)
+	return res, nil
+}
+
+// Fig4 regenerates Fig 4: two consecutive ftab increments showing the
+// same input byte first in the high half, then the low half of the index.
+func Fig4(quick bool) (*Result, error) {
+	input := []byte("ILLINOIS")
+	_ = quick
+	rep, _, err := runTaintChannel(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), input,
+		core.Config{MaxSamplesPerGadget: 2})
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E3/Fig4", "two consecutive bzip2 ftab increments sharing input byte taint")
+	df := rep.DataFlowFindings()
+	res.Metrics["gadgets"] = float64(len(df))
+	if len(df) != 1 {
+		return nil, fmt.Errorf("fig4: found %d data-flow gadgets, want 1", len(df))
+	}
+	res.Lines = append(res.Lines, strings.Split(strings.TrimRight(df[0].Render(), "\n"), "\n")...)
+	return res, nil
+}
+
+// AESValidation regenerates the §III-B check that TaintChannel
+// rediscovers the Osvik et al. AES T-table gadget.
+func AESValidation(quick bool) (*Result, error) {
+	_ = quick
+	pt := make([]byte, 16)
+	rand.New(rand.NewSource(7)).Read(pt)
+	rep, _, err := runTaintChannel(victims.AESFirstRound(), pt, core.Config{MaxSamplesPerGadget: 1})
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E5", "TaintChannel validation: the AES T-table gadget (Osvik et al.)")
+	df := rep.DataFlowFindings()
+	res.Metrics["gadgets"] = float64(len(df))
+	if len(df) != 1 {
+		return nil, fmt.Errorf("aes: found %d gadgets, want 1 (Te0 lookup)", len(df))
+	}
+	res.addf("gadget: %s (triggered %d times = one per state byte)", df[0].Instr.String(), df[0].Count)
+	res.Metrics["lookups"] = float64(df[0].Count)
+	res.Lines = append(res.Lines, strings.Split(strings.TrimRight(df[0].Render(), "\n"), "\n")...)
+	return res, nil
+}
+
+// MemcpyValidation regenerates the §III-B memcpy finding: a control-flow
+// gadget on the copy size, with reduced traces diverging between a
+// multiple-of-word and a ragged size.
+func MemcpyValidation(quick bool) (*Result, error) {
+	_ = quick
+	mk := func(n byte) []byte {
+		in := make([]byte, int(n)+1)
+		in[0] = n
+		for i := range in[1:] {
+			in[i+1] = byte(i)
+		}
+		return in
+	}
+	run := func(n byte) (*core.Report, []core.ReducedEvent, error) {
+		rep, a, err := runTaintChannel(victims.Memcpy(), mk(n), core.Config{ReducedTrace: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, a.Reduced(), nil
+	}
+	rep96, tr96, err := run(96)
+	if err != nil {
+		return nil, err
+	}
+	_, tr97, err := run(97)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("E6", "memcpy control-flow leak: vector path vs byte-tail path")
+	cf := rep96.ControlFlowFindings()
+	res.Metrics["controlFlowGadgets"] = float64(len(cf))
+	for _, f := range cf {
+		res.addf("tainted branch at pc %d: %s (x%d)", f.PC, f.Instr.String(), f.Count)
+	}
+	div := core.DiffTraces(tr96, tr97)
+	res.Metrics["divergingPCs"] = float64(len(div))
+	res.addf("reduced traces for sizes 96 vs 97 diverge at %d program points: %v", len(div), div)
+	if len(cf) == 0 || len(div) == 0 {
+		return nil, fmt.Errorf("memcpy: expected control-flow findings and trace divergence")
+	}
+	return res, nil
+}

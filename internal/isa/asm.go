@@ -1,0 +1,674 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrAssemble wraps all assembler failures.
+var ErrAssemble = errors.New("assemble")
+
+// DefaultDataBase is the virtual address of the data segment unless the
+// source overrides it with a .base directive. Code is not addressable; only
+// data lives in the address space.
+const DefaultDataBase uint64 = 0x10000
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+}
+
+func (e *asmError) Unwrap() error { return ErrAssemble }
+
+// Assemble translates assembly text into a Program. The syntax is
+// line-oriented:
+//
+//	; comment                         (also "#" and "//")
+//	.base 0x10000                     data segment base address
+//	.entry main                       entry label (default: first instr)
+//	.const HSIZE 65536                named immediate
+//	.data ftab 262148 align=64        reserve bytes, optional alignment
+//	.init msg "hello"                 initialize a symbol's bytes
+//	label:
+//	  mov r1, 0x7fff                  default width 8; suffix .1/.2/.4/.8
+//	  ld.2 r2, [head + r3*2 + 8]
+//	  st.4 [ftab + r4*4], r5
+//	  jne loop
+//	  syscall
+//	  halt
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{
+		prog: &Program{
+			Name:     name,
+			Symbols:  map[string]Symbol{},
+			DataBase: DefaultDataBase,
+			Entry:    0,
+		},
+		consts: map[string]int64{},
+		labels: map[string]int{},
+	}
+	if err := a.run(src); err != nil {
+		return nil, fmt.Errorf("%w: program %q: %w", ErrAssemble, name, err)
+	}
+	return a.prog, nil
+}
+
+// MustAssemble assembles or panics; for static victim programs whose text
+// is compiled into the binary and covered by tests.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pendingData struct {
+	name  string
+	size  uint64
+	align uint64
+	line  int
+}
+
+type assembler struct {
+	prog   *Program
+	consts map[string]int64
+	labels map[string]int
+	data   []pendingData
+	inits  []struct {
+		sym   string
+		bytes []byte
+		line  int
+	}
+	entryLabel string
+	entryLine  int
+}
+
+func (a *assembler) run(src string) error {
+	lines := strings.Split(src, "\n")
+	// Pass 1: directives, labels, raw instruction parse (targets as labels).
+	for i, raw := range lines {
+		line := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			if err := a.directive(text, line); err != nil {
+				return err
+			}
+			continue
+		}
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			if !isIdent(label) {
+				return &asmError{line, fmt.Sprintf("invalid label %q", label)}
+			}
+			if _, dup := a.labels[label]; dup {
+				return &asmError{line, fmt.Sprintf("duplicate label %q", label)}
+			}
+			a.labels[label] = len(a.prog.Instrs)
+			text = strings.TrimSpace(text[colon+1:])
+			if text == "" {
+				break
+			}
+		}
+		if text == "" {
+			continue
+		}
+		in, err := a.parseInstr(text, line)
+		if err != nil {
+			return err
+		}
+		a.prog.Instrs = append(a.prog.Instrs, in)
+	}
+
+	if err := a.layoutData(); err != nil {
+		return err
+	}
+	if err := a.applyInits(); err != nil {
+		return err
+	}
+
+	// Pass 2: resolve labels and data symbols.
+	for idx := range a.prog.Instrs {
+		in := &a.prog.Instrs[idx]
+		if in.Op.IsJump() {
+			tgt, ok := a.labels[in.Label]
+			if !ok {
+				return &asmError{in.Line, fmt.Sprintf("undefined label %q", in.Label)}
+			}
+			in.Target = tgt
+		}
+		for _, opnd := range []*Operand{&in.Dst, &in.Src} {
+			if opnd.Kind != KindMem || opnd.Mem.Symbol == "" {
+				continue
+			}
+			sym, ok := a.prog.Symbols[opnd.Mem.Symbol]
+			if !ok {
+				return &asmError{in.Line, fmt.Sprintf("undefined data symbol %q", opnd.Mem.Symbol)}
+			}
+			opnd.Mem.Disp += int64(sym.Addr)
+			opnd.Mem.SymAddr = int64(sym.Addr)
+		}
+	}
+
+	if a.entryLabel != "" {
+		e, ok := a.labels[a.entryLabel]
+		if !ok {
+			return &asmError{a.entryLine, fmt.Sprintf("undefined entry label %q", a.entryLabel)}
+		}
+		a.prog.Entry = e
+	}
+	if len(a.prog.Instrs) == 0 {
+		return &asmError{1, "program has no instructions"}
+	}
+	return nil
+}
+
+func (a *assembler) layoutData() error {
+	addr := a.prog.DataBase
+	for _, d := range a.data {
+		if d.align > 1 {
+			addr = (addr + d.align - 1) &^ (d.align - 1)
+		}
+		a.prog.Symbols[d.name] = Symbol{Name: d.name, Addr: addr, Size: d.size}
+		addr += d.size
+	}
+	a.prog.DataSize = addr - a.prog.DataBase
+	return nil
+}
+
+func (a *assembler) applyInits() error {
+	for _, init := range a.inits {
+		sym, ok := a.prog.Symbols[init.sym]
+		if !ok {
+			return &asmError{init.line, fmt.Sprintf("cannot .init undefined symbol %q", init.sym)}
+		}
+		if uint64(len(init.bytes)) > sym.Size {
+			return &asmError{init.line, fmt.Sprintf(".init data (%d bytes) exceeds symbol %q size %d", len(init.bytes), init.sym, sym.Size)}
+		}
+		a.prog.Init = append(a.prog.Init, DataInit{Addr: sym.Addr, Bytes: init.bytes})
+	}
+	return nil
+}
+
+func (a *assembler) directive(text string, line int) error {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".base":
+		if len(fields) != 2 {
+			return &asmError{line, ".base needs one address"}
+		}
+		v, err := a.parseInt(fields[1], line)
+		if err != nil {
+			return err
+		}
+		a.prog.DataBase = uint64(v)
+	case ".entry":
+		if len(fields) != 2 {
+			return &asmError{line, ".entry needs one label"}
+		}
+		a.entryLabel, a.entryLine = fields[1], line
+	case ".const":
+		if len(fields) != 3 {
+			return &asmError{line, ".const needs a name and a value"}
+		}
+		v, err := a.parseInt(fields[2], line)
+		if err != nil {
+			return err
+		}
+		a.consts[fields[1]] = v
+	case ".data":
+		if len(fields) < 3 {
+			return &asmError{line, ".data needs a name and a size"}
+		}
+		size, err := a.parseInt(fields[2], line)
+		if err != nil {
+			return err
+		}
+		if size <= 0 {
+			return &asmError{line, ".data size must be positive"}
+		}
+		d := pendingData{name: fields[1], size: uint64(size), align: 1, line: line}
+		for _, extra := range fields[3:] {
+			val, found := strings.CutPrefix(extra, "align=")
+			if !found {
+				return &asmError{line, fmt.Sprintf("unknown .data option %q", extra)}
+			}
+			al, err := a.parseInt(val, line)
+			if err != nil {
+				return err
+			}
+			if al <= 0 || al&(al-1) != 0 {
+				return &asmError{line, "alignment must be a power of two"}
+			}
+			d.align = uint64(al)
+		}
+		if !isIdent(d.name) {
+			return &asmError{line, fmt.Sprintf("invalid symbol name %q", d.name)}
+		}
+		for _, prev := range a.data {
+			if prev.name == d.name {
+				return &asmError{line, fmt.Sprintf("duplicate .data symbol %q", d.name)}
+			}
+		}
+		a.data = append(a.data, d)
+	case ".init":
+		rest := strings.TrimSpace(strings.TrimPrefix(text, ".init"))
+		name, val, ok := strings.Cut(rest, " ")
+		if !ok {
+			return &asmError{line, ".init needs a symbol and a value"}
+		}
+		val = strings.TrimSpace(val)
+		var data []byte
+		if strings.HasPrefix(val, `"`) {
+			s, err := strconv.Unquote(val)
+			if err != nil {
+				return &asmError{line, fmt.Sprintf("bad string literal: %v", err)}
+			}
+			data = []byte(s)
+		} else {
+			for _, tok := range strings.Fields(val) {
+				v, err := a.parseInt(tok, line)
+				if err != nil {
+					return err
+				}
+				if v < 0 || v > 255 {
+					return &asmError{line, fmt.Sprintf("byte value %d out of range", v)}
+				}
+				data = append(data, byte(v))
+			}
+		}
+		a.inits = append(a.inits, struct {
+			sym   string
+			bytes []byte
+			line  int
+		}{name, data, line})
+	default:
+		return &asmError{line, fmt.Sprintf("unknown directive %q", fields[0])}
+	}
+	return nil
+}
+
+func (a *assembler) parseInstr(text string, line int) (Instr, error) {
+	mnem := text
+	rest := ""
+	if sp := strings.IndexAny(text, " \t"); sp >= 0 {
+		mnem, rest = text[:sp], strings.TrimSpace(text[sp+1:])
+	}
+	width := uint8(8)
+	if dot := strings.Index(mnem, "."); dot >= 0 {
+		w, err := strconv.Atoi(mnem[dot+1:])
+		if err != nil || (w != 1 && w != 2 && w != 4 && w != 8) {
+			return Instr{}, &asmError{line, fmt.Sprintf("bad width suffix in %q", mnem)}
+		}
+		width = uint8(w)
+		mnem = mnem[:dot]
+	}
+	op, ok := opByName(mnem)
+	if !ok {
+		return Instr{}, &asmError{line, fmt.Sprintf("unknown mnemonic %q", mnem)}
+	}
+	in := Instr{Op: op, Width: width, Line: line}
+
+	operands, err := splitOperands(rest)
+	if err != nil {
+		return Instr{}, &asmError{line, err.Error()}
+	}
+	parse := func(s string) (Operand, error) {
+		o, err := a.parseOperand(s, line)
+		if err != nil {
+			return Operand{}, err
+		}
+		return o, nil
+	}
+
+	switch op {
+	case OpNop, OpRet, OpSyscall, OpHalt:
+		if len(operands) != 0 {
+			return Instr{}, &asmError{line, mnem + " takes no operands"}
+		}
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJbe, OpJa, OpJae, OpCall:
+		if len(operands) != 1 || !isIdent(operands[0]) {
+			return Instr{}, &asmError{line, mnem + " needs one label operand"}
+		}
+		in.Label = operands[0]
+	case OpNot, OpNeg:
+		if len(operands) != 1 {
+			return Instr{}, &asmError{line, mnem + " needs one register operand"}
+		}
+		o, err := parse(operands[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if o.Kind != KindReg {
+			return Instr{}, &asmError{line, mnem + " operand must be a register"}
+		}
+		in.Dst = o
+	case OpPush:
+		if len(operands) != 1 {
+			return Instr{}, &asmError{line, "push needs one operand"}
+		}
+		o, err := parse(operands[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if o.Kind == KindMem {
+			return Instr{}, &asmError{line, "push memory operand not supported"}
+		}
+		in.Src = o
+	case OpPop:
+		if len(operands) != 1 {
+			return Instr{}, &asmError{line, "pop needs one register operand"}
+		}
+		o, err := parse(operands[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		if o.Kind != KindReg {
+			return Instr{}, &asmError{line, "pop operand must be a register"}
+		}
+		in.Dst = o
+	default: // two-operand forms
+		if len(operands) != 2 {
+			return Instr{}, &asmError{line, mnem + " needs two operands"}
+		}
+		dst, err := parse(operands[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		src, err := parse(operands[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Dst, in.Src = dst, src
+		if err := checkShape(op, in, line); err != nil {
+			return Instr{}, err
+		}
+	}
+	return in, nil
+}
+
+func checkShape(op Op, in Instr, line int) error {
+	switch op {
+	case OpLd, OpLea:
+		if in.Dst.Kind != KindReg || in.Src.Kind != KindMem {
+			return &asmError{line, op.String() + " needs: reg, [mem]"}
+		}
+	case OpSt:
+		if in.Dst.Kind != KindMem || in.Src.Kind == KindMem {
+			return &asmError{line, "st needs: [mem], reg|imm"}
+		}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		// Read-modify-write memory destinations are allowed, reproducing
+		// the paper's `add $1, (%rsi,%rcx,4)` ftab gadget (Fig 4).
+		if in.Dst.Kind == KindMem {
+			if in.Src.Kind == KindMem {
+				return &asmError{line, op.String() + " cannot have two memory operands"}
+			}
+			return nil
+		}
+		if in.Dst.Kind != KindReg || in.Src.Kind == KindMem {
+			return &asmError{line, op.String() + " needs: reg, reg|imm or [mem], reg|imm"}
+		}
+	default:
+		if in.Dst.Kind != KindReg || in.Src.Kind == KindMem {
+			return &asmError{line, op.String() + " needs: reg, reg|imm"}
+		}
+	}
+	return nil
+}
+
+// splitOperands splits on commas that are not inside brackets.
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, errors.New("unbalanced ']'")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, errors.New("unbalanced '['")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+func (a *assembler) parseOperand(s string, line int) (Operand, error) {
+	if s == "" {
+		return Operand{}, &asmError{line, "empty operand"}
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, &asmError{line, fmt.Sprintf("bad memory operand %q", s)}
+		}
+		m, err := a.parseMem(s[1:len(s)-1], line)
+		if err != nil {
+			return Operand{}, err
+		}
+		return MemOp(m), nil
+	}
+	if r, ok := regByName(s); ok {
+		return RegOp(r), nil
+	}
+	v, err := a.parseInt(s, line)
+	if err != nil {
+		return Operand{}, err
+	}
+	return ImmOp(v), nil
+}
+
+func (a *assembler) parseMem(expr string, line int) (MemRef, error) {
+	var m MemRef
+	m.Scale = 1
+	terms := splitTerms(expr)
+	if len(terms) == 0 {
+		return m, &asmError{line, "empty memory expression"}
+	}
+	for _, t := range terms {
+		body := strings.TrimSpace(t.body)
+		if body == "" {
+			return m, &asmError{line, fmt.Sprintf("bad memory expression %q", expr)}
+		}
+		if star := strings.Index(body, "*"); star >= 0 {
+			rname := strings.TrimSpace(body[:star])
+			sstr := strings.TrimSpace(body[star+1:])
+			r, ok := regByName(rname)
+			if !ok {
+				return m, &asmError{line, fmt.Sprintf("bad index register %q", rname)}
+			}
+			sc, err := a.parseInt(sstr, line)
+			if err != nil {
+				return m, err
+			}
+			if sc != 1 && sc != 2 && sc != 4 && sc != 8 {
+				return m, &asmError{line, fmt.Sprintf("scale must be 1/2/4/8, got %d", sc)}
+			}
+			if t.neg {
+				return m, &asmError{line, "negative index term not supported"}
+			}
+			if m.HasIndex {
+				return m, &asmError{line, "multiple index terms"}
+			}
+			m.Index, m.HasIndex, m.Scale = r, true, uint8(sc)
+			continue
+		}
+		if r, ok := regByName(body); ok {
+			if t.neg {
+				return m, &asmError{line, "negative register term not supported"}
+			}
+			switch {
+			case !m.HasBase:
+				m.Base, m.HasBase = r, true
+			case !m.HasIndex:
+				m.Index, m.HasIndex, m.Scale = r, true, 1
+			default:
+				return m, &asmError{line, "too many register terms"}
+			}
+			continue
+		}
+		if isIdent(body) {
+			if m.Symbol != "" {
+				return m, &asmError{line, "multiple symbols in memory expression"}
+			}
+			if t.neg {
+				return m, &asmError{line, "negative symbol term not supported"}
+			}
+			m.Symbol = body
+			continue
+		}
+		v, err := a.parseInt(body, line)
+		if err != nil {
+			return m, err
+		}
+		if t.neg {
+			v = -v
+		}
+		m.Disp += v
+	}
+	return m, nil
+}
+
+type term struct {
+	body string
+	neg  bool
+}
+
+func splitTerms(expr string) []term {
+	var out []term
+	cur := strings.Builder{}
+	neg := false
+	flush := func(nextNeg bool) {
+		if s := strings.TrimSpace(cur.String()); s != "" {
+			out = append(out, term{s, neg})
+		}
+		cur.Reset()
+		neg = nextNeg
+	}
+	for i := 0; i < len(expr); i++ {
+		switch expr[i] {
+		case '+':
+			flush(false)
+		case '-':
+			if strings.TrimSpace(cur.String()) == "" && len(out) == 0 {
+				neg = true // leading minus
+			} else {
+				flush(true)
+			}
+		default:
+			cur.WriteByte(expr[i])
+		}
+	}
+	flush(false)
+	return out
+}
+
+func (a *assembler) parseInt(s string, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := a.consts[s]; ok {
+		return v, nil
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, &asmError{line, fmt.Sprintf("bad char literal %s", s)}
+		}
+		return int64(body[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, &asmError{line, fmt.Sprintf("bad integer %q", s)}
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Reject register names and keywords.
+	if _, isReg := regByName(s); isReg {
+		return false
+	}
+	return true
+}
+
+func opByName(s string) (Op, bool) {
+	for op := Op(0); op < numOps; op++ {
+		if opNames[op] == s {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func regByName(s string) (Reg, bool) {
+	if s == "sp" {
+		return SP, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operand in assembler syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		if o.Imm < 0 || o.Imm > 9 {
+			return fmt.Sprintf("0x%x", uint64(o.Imm))
+		}
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		return o.Mem.String()
+	default:
+		return "?"
+	}
+}
+
+// String renders the memory reference in assembler syntax, preferring the
+// symbolic form when the displacement came from a data symbol.
+func (m MemRef) String() string {
+	var parts []string
+	disp := m.Disp
+	if m.Symbol != "" {
+		parts = append(parts, m.Symbol)
+		disp -= m.SymAddr
+	}
+	if m.HasBase {
+		parts = append(parts, m.Base.String())
+	}
+	if m.HasIndex {
+		if m.Scale != 1 {
+			parts = append(parts, fmt.Sprintf("%s*%d", m.Index, m.Scale))
+		} else {
+			parts = append(parts, m.Index.String())
+		}
+	}
+	if disp != 0 || len(parts) == 0 {
+		if disp < 0 {
+			parts = append(parts, fmt.Sprintf("-0x%x", uint64(-disp)))
+		} else {
+			parts = append(parts, fmt.Sprintf("0x%x", uint64(disp)))
+		}
+	}
+	return "[" + strings.Join(parts, "+") + "]"
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	mnem := in.Op.String()
+	if in.Width != 8 && widthMatters(in.Op) {
+		mnem = fmt.Sprintf("%s.%d", mnem, in.Width)
+	}
+	switch {
+	case in.Op.IsJump():
+		return fmt.Sprintf("%s %s", mnem, in.Label)
+	case in.Op == OpNop || in.Op == OpRet || in.Op == OpSyscall || in.Op == OpHalt:
+		return mnem
+	case in.Op == OpNot || in.Op == OpNeg || in.Op == OpPop:
+		return fmt.Sprintf("%s %s", mnem, in.Dst)
+	case in.Op == OpPush:
+		return fmt.Sprintf("%s %s", mnem, in.Src)
+	default:
+		return fmt.Sprintf("%s %s, %s", mnem, in.Dst, in.Src)
+	}
+}
+
+func widthMatters(op Op) bool {
+	switch op {
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpJb, OpJbe, OpJa, OpJae,
+		OpCall, OpRet, OpNop, OpSyscall, OpHalt:
+		return false
+	}
+	return true
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// instruction indices and jump targets resolved back to index form.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		marker := "  "
+		if i == p.Entry {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s %4d: %s", marker, i, in)
+		if in.Op.IsJump() {
+			fmt.Fprintf(&b, "  ; -> %d", in.Target)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package isa_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+// The shipped sample gadget (used in the taintchannel CLI's -file docs)
+// must keep assembling.
+func TestShippedSampleGadgetAssembles(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "toy_gadget.zasm")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	prog, err := isa.Assemble("toy_gadget", string(src))
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if _, ok := prog.Symbols["table"]; !ok {
+		t.Error("sample should declare the table symbol")
+	}
+	if len(prog.Instrs) < 5 {
+		t.Errorf("sample has only %d instructions", len(prog.Instrs))
+	}
+}

@@ -1,0 +1,320 @@
+// Package nn implements the small feed-forward network the fingerprinting
+// attack trains on Flush+Reload traces (§VI). It stands in for the
+// paper's PyTorch DNN: dense layers with ReLU, softmax cross-entropy,
+// minibatch SGD, and a confusion-matrix evaluator — all deterministic
+// given a seed.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadShape reports inconsistent layer or sample dimensions.
+var ErrBadShape = errors.New("nn: bad shape")
+
+// Sample is one training example: a feature vector and its class label.
+type Sample struct {
+	X     []float64
+	Label int
+}
+
+// MLP is a multi-layer perceptron with ReLU hidden activations and a
+// softmax output.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // layer l: sizes[l+1] x sizes[l], row-major
+	biases  [][]float64
+	rng     *rand.Rand
+}
+
+// New builds an MLP with the given layer sizes (input, hidden..., output)
+// and He-initialized weights.
+func New(seed int64, sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output layers", ErrBadShape)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: non-positive layer size", ErrBadShape)
+		}
+	}
+	m := &MLP{sizes: sizes, rng: rand.New(rand.NewSource(seed))}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range w {
+			w[i] = m.rng.NormFloat64() * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m, nil
+}
+
+// NumClasses returns the output layer width.
+func (m *MLP) NumClasses() int { return m.sizes[len(m.sizes)-1] }
+
+// forward returns all layer activations (post-ReLU for hidden layers,
+// raw logits for the last).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := [][]float64{x}
+	for l := range m.weights {
+		in, out := m.sizes[l], m.sizes[l+1]
+		a := acts[l]
+		z := make([]float64, out)
+		w := m.weights[l]
+		for o := 0; o < out; o++ {
+			sum := m.biases[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range a {
+				sum += row[i] * v
+			}
+			if l < len(m.weights)-1 && sum < 0 {
+				sum = 0 // ReLU
+			}
+			z[o] = sum
+		}
+		acts = append(acts, z)
+	}
+	return acts
+}
+
+// Predict returns the most likely class for x.
+func (m *MLP) Predict(x []float64) (int, error) {
+	if len(x) != m.sizes[0] {
+		return 0, fmt.Errorf("%w: input %d, want %d", ErrBadShape, len(x), m.sizes[0])
+	}
+	acts := m.forward(x)
+	logits := acts[len(acts)-1]
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Probabilities returns the softmax distribution for x.
+func (m *MLP) Probabilities(x []float64) ([]float64, error) {
+	if len(x) != m.sizes[0] {
+		return nil, fmt.Errorf("%w: input %d, want %d", ErrBadShape, len(x), m.sizes[0])
+	}
+	acts := m.forward(x)
+	return softmax(acts[len(acts)-1]), nil
+}
+
+func softmax(logits []float64) []float64 {
+	maxV := logits[0]
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TrainConfig tunes SGD.
+type TrainConfig struct {
+	Epochs    int     // default 20
+	BatchSize int     // default 16
+	LR        float64 // default 0.01
+	// LRDecay multiplies LR each epoch (default 1.0 = constant).
+	LRDecay float64
+	// Verbose, if non-nil, receives per-epoch loss lines.
+	Verbose func(epoch int, loss float64)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.LRDecay == 0 {
+		c.LRDecay = 1.0
+	}
+	return c
+}
+
+// Train runs minibatch SGD with softmax cross-entropy loss and returns
+// the final average loss.
+func (m *MLP) Train(samples []Sample, cfg TrainConfig) (float64, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("%w: no samples", ErrBadShape)
+	}
+	for _, s := range samples {
+		if len(s.X) != m.sizes[0] {
+			return 0, fmt.Errorf("%w: sample input %d, want %d", ErrBadShape, len(s.X), m.sizes[0])
+		}
+		if s.Label < 0 || s.Label >= m.NumClasses() {
+			return 0, fmt.Errorf("%w: label %d outside %d classes", ErrBadShape, s.Label, m.NumClasses())
+		}
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := cfg.LR
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(idx))
+			epochLoss += m.sgdStep(samples, idx[start:end], lr)
+		}
+		lastLoss = epochLoss / float64(len(samples))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss)
+		}
+		lr *= cfg.LRDecay
+	}
+	return lastLoss, nil
+}
+
+// sgdStep accumulates gradients over one minibatch and applies them.
+func (m *MLP) sgdStep(samples []Sample, batch []int, lr float64) float64 {
+	gradW := make([][]float64, len(m.weights))
+	gradB := make([][]float64, len(m.biases))
+	for l := range m.weights {
+		gradW[l] = make([]float64, len(m.weights[l]))
+		gradB[l] = make([]float64, len(m.biases[l]))
+	}
+	var loss float64
+	for _, si := range batch {
+		s := samples[si]
+		acts := m.forward(s.X)
+		probs := softmax(acts[len(acts)-1])
+		loss += -math.Log(math.Max(probs[s.Label], 1e-12))
+
+		// Backprop. delta over logits:
+		delta := make([]float64, len(probs))
+		copy(delta, probs)
+		delta[s.Label] -= 1
+
+		for l := len(m.weights) - 1; l >= 0; l-- {
+			in, out := m.sizes[l], m.sizes[l+1]
+			a := acts[l]
+			w := m.weights[l]
+			var prev []float64
+			if l > 0 {
+				prev = make([]float64, in)
+			}
+			for o := 0; o < out; o++ {
+				d := delta[o]
+				gradB[l][o] += d
+				row := gradW[l][o*in : (o+1)*in]
+				wrow := w[o*in : (o+1)*in]
+				for i, v := range a {
+					row[i] += d * v
+					if prev != nil {
+						prev[i] += d * wrow[i]
+					}
+				}
+			}
+			if prev != nil {
+				// ReLU derivative on the hidden activation.
+				for i := range prev {
+					if acts[l][i] <= 0 {
+						prev[i] = 0
+					}
+				}
+				delta = prev
+			}
+		}
+	}
+	scale := lr / float64(len(batch))
+	for l := range m.weights {
+		for i := range m.weights[l] {
+			m.weights[l][i] -= scale * gradW[l][i]
+		}
+		for i := range m.biases[l] {
+			m.biases[l][i] -= scale * gradB[l][i]
+		}
+	}
+	return loss
+}
+
+// Accuracy evaluates top-1 accuracy over samples.
+func (m *MLP) Accuracy(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for _, s := range samples {
+		p, err := m.Predict(s.X)
+		if err != nil {
+			return 0, err
+		}
+		if p == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+// ConfusionMatrix returns M where M[actual][predicted] is the fraction of
+// class `actual` samples predicted as `predicted` — the layout of the
+// paper's Figs 7 and 8.
+func (m *MLP) ConfusionMatrix(samples []Sample) ([][]float64, error) {
+	n := m.NumClasses()
+	counts := make([][]float64, n)
+	totals := make([]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	for _, s := range samples {
+		p, err := m.Predict(s.X)
+		if err != nil {
+			return nil, err
+		}
+		counts[s.Label][p]++
+		totals[s.Label]++
+	}
+	for i := range counts {
+		if totals[i] > 0 {
+			for j := range counts[i] {
+				counts[i][j] /= totals[i]
+			}
+		}
+	}
+	return counts, nil
+}
+
+// Split partitions samples into train/eval/test sets with the given
+// fractions (the remainder goes to test), shuffled deterministically.
+func Split(samples []Sample, trainFrac, evalFrac float64, seed int64) (train, eval, test []Sample) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(samples))
+	nTrain := int(float64(len(samples)) * trainFrac)
+	nEval := int(float64(len(samples)) * evalFrac)
+	for k, i := range idx {
+		switch {
+		case k < nTrain:
+			train = append(train, samples[i])
+		case k < nTrain+nEval:
+			eval = append(eval, samples[i])
+		default:
+			test = append(test, samples[i])
+		}
+	}
+	return train, eval, test
+}

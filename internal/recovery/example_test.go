@@ -1,0 +1,67 @@
+package recovery_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/zipchannel/zipchannel/internal/compress/lzw"
+	"github.com/zipchannel/zipchannel/internal/recovery"
+)
+
+// probeTap records the ncompress gadget's primary hash probes at
+// cache-line granularity, exactly what a Prime+Probe attacker observes.
+type probeTap struct{ obs []uint64 }
+
+func (p *probeTap) Probe(hp uint64, primary bool) {
+	if primary {
+		p.obs = append(p.obs, hp>>3)
+	}
+}
+
+// Inverting an LZW probe trace back into plaintext: replay the
+// dictionary for each of the 8 first-byte candidates and keep the most
+// consistent one (§IV-C of the paper).
+func ExampleRecoverLZW() {
+	secret := []byte("attack at dawn, attack at dawn")
+	var tap probeTap
+	if _, err := lzw.Compress(secret, &tap); err != nil {
+		log.Fatal(err)
+	}
+
+	cands, err := recovery.RecoverLZW(tap.obs, 3, func(first byte) recovery.EntReplayer {
+		return lzw.NewReplayer(first)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := recovery.BestLZW(cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", best.Plaintext)
+	// Output:
+	// attack at dawn, attack at dawn
+}
+
+// Inverting a bzip2 histogram trace: each loop iteration constrains a
+// 2-byte pair to a 16-value window, and the ring of constraints pins
+// every byte (§IV-D).
+func ExampleRecoverBzip() {
+	secret := []byte("BANANA BANDANA")
+	n := len(secret)
+	// What the attacker observes: the cache line of ftab + 4*j per
+	// iteration, relative to a line-aligned ftab.
+	trace := make(recovery.BzipTrace, n)
+	for k := 0; k < n; k++ {
+		i := n - 1 - k
+		j := int64(secret[i])<<8 | int64(secret[(i+1)%n])
+		trace[k] = (4 * j) &^ 63
+	}
+	res, err := recovery.RecoverBzip(trace, n, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", res.Block)
+	// Output:
+	// BANANA BANDANA
+}

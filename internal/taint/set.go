@@ -1,0 +1,165 @@
+// Package taint implements bit-granular taint labels and the shadow-value
+// arithmetic that TaintChannel uses to track how program input flows into
+// dereferenced memory addresses.
+//
+// A Tag identifies one input byte by its 1-based sequential read order,
+// exactly as the paper's TaintChannel numbers the bytes returned by the
+// read system call. A Set is an immutable collection of tags attached to a
+// single bit of machine state; a Word is the 64-bit shadow of a register or
+// memory word, holding one Set per bit.
+package taint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tag identifies a single input byte by its 1-based sequential index in the
+// order the program read it.
+type Tag uint32
+
+// Set is an immutable sorted set of tags. The nil *Set is the valid empty
+// set; all methods are nil-safe.
+type Set struct {
+	tags []Tag
+}
+
+// NewSet returns a set holding the given tags. Duplicates are removed.
+// NewSet() returns nil, the canonical empty set.
+func NewSet(tags ...Tag) *Set {
+	if len(tags) == 0 {
+		return nil
+	}
+	dup := make([]Tag, len(tags))
+	copy(dup, tags)
+	sort.Slice(dup, func(i, j int) bool { return dup[i] < dup[j] })
+	out := dup[:1]
+	for _, t := range dup[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return &Set{tags: out}
+}
+
+// IsEmpty reports whether the set holds no tags.
+func (s *Set) IsEmpty() bool {
+	return s == nil || len(s.tags) == 0
+}
+
+// Len returns the number of tags in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tags)
+}
+
+// Tags returns a copy of the tags in ascending order.
+func (s *Set) Tags() []Tag {
+	if s == nil {
+		return nil
+	}
+	out := make([]Tag, len(s.tags))
+	copy(out, s.tags)
+	return out
+}
+
+// Contains reports whether t is a member of the set.
+func (s *Set) Contains(t Tag) bool {
+	if s == nil {
+		return false
+	}
+	i := sort.Search(len(s.tags), func(i int) bool { return s.tags[i] >= t })
+	return i < len(s.tags) && s.tags[i] == t
+}
+
+// Equal reports whether two sets hold the same tags.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	if s == nil {
+		return true
+	}
+	for i, t := range s.tags {
+		if o.tags[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set of tags present in either input. It returns one of
+// its inputs unchanged when possible, so repeated unions of stable sets do
+// not allocate.
+func Union(a, b *Set) *Set {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if subset(a, b) {
+		return b
+	}
+	if subset(b, a) {
+		return a
+	}
+	merged := make([]Tag, 0, len(a.tags)+len(b.tags))
+	i, j := 0, 0
+	for i < len(a.tags) && j < len(b.tags) {
+		switch {
+		case a.tags[i] < b.tags[j]:
+			merged = append(merged, a.tags[i])
+			i++
+		case a.tags[i] > b.tags[j]:
+			merged = append(merged, b.tags[j])
+			j++
+		default:
+			merged = append(merged, a.tags[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, a.tags[i:]...)
+	merged = append(merged, b.tags[j:]...)
+	return &Set{tags: merged}
+}
+
+func subset(inner, outer *Set) bool {
+	if inner.Len() > outer.Len() {
+		return false
+	}
+	j := 0
+	for _, t := range inner.tags {
+		for j < len(outer.tags) && outer.tags[j] < t {
+			j++
+		}
+		if j >= len(outer.tags) || outer.tags[j] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a comma-separated tag list, e.g. "{5750,5751}".
+func (s *Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.tags {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(t), 10))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetDedupAndSort(t *testing.T) {
+	s := NewSet(5, 3, 5, 1, 3)
+	want := []Tag{1, 3, 5}
+	got := s.Tags()
+	if len(got) != len(want) {
+		t.Fatalf("Tags() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tags() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s *Set
+	if !s.IsEmpty() {
+		t.Error("nil set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", s.Len())
+	}
+	if s.Contains(1) {
+		t.Error("nil set should not contain 1")
+	}
+	if NewSet() != nil {
+		t.Error("NewSet() should return nil")
+	}
+	if s.String() != "{}" {
+		t.Errorf("String() = %q, want {}", s.String())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(2, 4, 6)
+	for _, tag := range []Tag{2, 4, 6} {
+		if !s.Contains(tag) {
+			t.Errorf("Contains(%d) = false, want true", tag)
+		}
+	}
+	for _, tag := range []Tag{1, 3, 5, 7} {
+		if s.Contains(tag) {
+			t.Errorf("Contains(%d) = true, want false", tag)
+		}
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	a := NewSet(1, 3)
+	b := NewSet(2, 3, 4)
+	u := Union(a, b)
+	want := []Tag{1, 2, 3, 4}
+	got := u.Tags()
+	if len(got) != len(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionIdentity(t *testing.T) {
+	a := NewSet(1, 2)
+	if Union(a, nil) != a {
+		t.Error("Union(a, nil) should return a unchanged")
+	}
+	if Union(nil, a) != a {
+		t.Error("Union(nil, a) should return a unchanged")
+	}
+	if Union(nil, nil) != nil {
+		t.Error("Union(nil, nil) should be nil")
+	}
+	if Union(a, a) != a {
+		t.Error("Union(a, a) should return a unchanged")
+	}
+}
+
+func TestUnionSubsetReuse(t *testing.T) {
+	small := NewSet(2)
+	big := NewSet(1, 2, 3)
+	if Union(small, big) != big {
+		t.Error("Union with superset should return the superset pointer")
+	}
+	if Union(big, small) != big {
+		t.Error("Union with subset should return the superset pointer")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet(7, 5).String(); got != "{5,7}" {
+		t.Errorf("String() = %q, want {5,7}", got)
+	}
+}
+
+func randomSet(r *rand.Rand) *Set {
+	n := r.Intn(6)
+	tags := make([]Tag, n)
+	for i := range tags {
+		tags[i] = Tag(r.Intn(16))
+	}
+	return NewSet(tags...)
+}
+
+func TestUnionProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Commutativity.
+	comm := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		return Union(a, b).Equal(Union(b, a))
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	// Associativity.
+	assoc := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomSet(r), randomSet(r), randomSet(r)
+		return Union(Union(a, b), c).Equal(Union(a, Union(b, c)))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("union not associative: %v", err)
+	}
+	// Idempotence.
+	idem := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r)
+		return Union(a, a).Equal(a)
+	}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+	// Membership: union contains exactly the members of both.
+	member := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		u := Union(a, b)
+		for tag := Tag(0); tag < 16; tag++ {
+			if u.Contains(tag) != (a.Contains(tag) || b.Contains(tag)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(member, cfg); err != nil {
+		t.Errorf("union membership wrong: %v", err)
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	if !NewSet(1, 2).Equal(NewSet(2, 1)) {
+		t.Error("order should not matter for Equal")
+	}
+	if NewSet(1).Equal(NewSet(2)) {
+		t.Error("{1} should not equal {2}")
+	}
+	var empty *Set
+	if !empty.Equal(NewSet()) {
+		t.Error("nil should equal empty")
+	}
+}

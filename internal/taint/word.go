@@ -1,0 +1,225 @@
+package taint
+
+// WordBits is the width in bits of a shadow Word.
+const WordBits = 64
+
+// Word is the 64-bit shadow of a register or memory word: one tag set per
+// bit, with bit 0 the least significant. The zero Word is fully untainted.
+type Word struct {
+	bits [WordBits]*Set
+}
+
+// Bit returns the tag set attached to bit i (0 = LSB).
+func (w Word) Bit(i int) *Set {
+	return w.bits[i]
+}
+
+// SetBit replaces the tag set attached to bit i.
+func (w *Word) SetBit(i int, s *Set) {
+	w.bits[i] = s
+}
+
+// IsClean reports whether no bit of the word carries taint.
+func (w Word) IsClean() bool {
+	for _, s := range w.bits {
+		if !s.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyTainted reports whether any of bits [lo, hi) carries taint.
+func (w Word) AnyTainted(lo, hi int) bool {
+	for i := lo; i < hi && i < WordBits; i++ {
+		if !w.bits[i].IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// AllTags returns the union of every bit's tag set.
+func (w Word) AllTags() *Set {
+	var u *Set
+	for _, s := range w.bits {
+		u = Union(u, s)
+	}
+	return u
+}
+
+// Equal reports whether two words carry identical per-bit taint.
+func (w Word) Equal(o Word) bool {
+	for i := range w.bits {
+		if !w.bits[i].Equal(o.bits[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ByteWord returns a word whose low 8 bits all carry the single tag t, the
+// shadow of a freshly read input byte.
+func ByteWord(t Tag) Word {
+	var w Word
+	s := NewSet(t)
+	for i := 0; i < 8; i++ {
+		w.bits[i] = s
+	}
+	return w
+}
+
+// Truncate zeroes the taint of all bits at or above width*8, modelling a
+// narrow (1/2/4-byte) write that discards high bits.
+func (w Word) Truncate(widthBytes int) Word {
+	for i := widthBytes * 8; i < WordBits; i++ {
+		w.bits[i] = nil
+	}
+	return w
+}
+
+// MergePerBit unions the taint of two operands bit by bit. This is
+// TaintChannel's rule for xor, or, and and-with-two-tainted-operands, and
+// the default (carry-ignoring) rule for add/sub, matching the per-bit
+// layouts of the paper's Figs 2-4.
+func MergePerBit(a, b Word) Word {
+	var out Word
+	for i := range out.bits {
+		out.bits[i] = Union(a.bits[i], b.bits[i])
+	}
+	return out
+}
+
+// MergeAll gives every bit of the result the union of all tags of both
+// operands: the conservative rule for instructions (general multiply,
+// division) whose per-bit flow is not tracked.
+func MergeAll(a, b Word) Word {
+	u := Union(a.AllTags(), b.AllTags())
+	var out Word
+	if u.IsEmpty() {
+		return out
+	}
+	for i := range out.bits {
+		out.bits[i] = u
+	}
+	return out
+}
+
+// AddCarryAware is the sound mode for addition/subtraction: result bit i
+// depends on both operands' bits 0..i through the carry chain, so it
+// receives the union of those tag sets. The paper's tool uses the per-bit
+// rule instead; this mode exists as a documented ablation (DESIGN.md §2).
+func AddCarryAware(a, b Word) Word {
+	var out Word
+	var run *Set
+	for i := 0; i < WordBits; i++ {
+		run = Union(run, Union(a.bits[i], b.bits[i]))
+		out.bits[i] = run
+	}
+	return out
+}
+
+// AndMask keeps taint only at bit positions where the untainted mask has a
+// 1 bit: an and with a clean mask zeroes the masked-out bits, destroying
+// their taint (paper §III-B, "special handling").
+func AndMask(a Word, mask uint64) Word {
+	var out Word
+	for i := 0; i < WordBits; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out.bits[i] = a.bits[i]
+		}
+	}
+	return out
+}
+
+// OrMask keeps taint only at positions where the untainted mask has a 0
+// bit: or-ing with a constant 1 forces the bit, destroying its taint.
+func OrMask(a Word, mask uint64) Word {
+	var out Word
+	for i := 0; i < WordBits; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			out.bits[i] = a.bits[i]
+		}
+	}
+	return out
+}
+
+// Shl shifts taint left by n bits; shifted-in bits are untainted.
+func Shl(a Word, n uint) Word {
+	var out Word
+	if n >= WordBits {
+		return out
+	}
+	for i := WordBits - 1; i >= int(n); i-- {
+		out.bits[i] = a.bits[i-int(n)]
+	}
+	return out
+}
+
+// Shr shifts taint right by n bits (logical); shifted-in bits are untainted.
+func Shr(a Word, n uint) Word {
+	var out Word
+	if n >= WordBits {
+		return out
+	}
+	for i := 0; i < WordBits-int(n); i++ {
+		out.bits[i] = a.bits[i+int(n)]
+	}
+	return out
+}
+
+// Sar shifts taint right by n bits arithmetically for the given operand
+// width: the sign bit's taint is replicated into the shifted-in positions.
+func Sar(a Word, n uint, widthBytes int) Word {
+	top := widthBytes*8 - 1
+	if n == 0 {
+		return a
+	}
+	var out Word
+	if int(n) > top {
+		n = uint(top)
+	}
+	for i := 0; i <= top-int(n); i++ {
+		out.bits[i] = a.bits[i+int(n)]
+	}
+	sign := a.bits[top]
+	for i := top - int(n) + 1; i <= top; i++ {
+		out.bits[i] = sign
+	}
+	return out
+}
+
+// Rol rotates taint left by n bits within the given operand width.
+func Rol(a Word, n uint, widthBytes int) Word {
+	bits := widthBytes * 8
+	n %= uint(bits)
+	var out Word
+	for i := 0; i < bits; i++ {
+		out.bits[(i+int(n))%bits] = a.bits[i]
+	}
+	return out
+}
+
+// Bytes splits the word into 8 per-byte shadows, little-endian.
+func (w Word) Bytes() [8][8]*Set {
+	var out [8][8]*Set
+	for i := 0; i < WordBits; i++ {
+		out[i/8][i%8] = w.bits[i]
+	}
+	return out
+}
+
+// FromBytes assembles a word from up to 8 per-byte shadows, little-endian.
+// Missing bytes are untainted.
+func FromBytes(bs [][8]*Set) Word {
+	var w Word
+	for bi, b := range bs {
+		if bi >= 8 {
+			break
+		}
+		for j := 0; j < 8; j++ {
+			w.bits[bi*8+j] = b[j]
+		}
+	}
+	return w
+}

@@ -1,0 +1,245 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteWord(t *testing.T) {
+	w := ByteWord(42)
+	for i := 0; i < 8; i++ {
+		if !w.Bit(i).Contains(42) {
+			t.Errorf("bit %d should carry tag 42", i)
+		}
+	}
+	for i := 8; i < WordBits; i++ {
+		if !w.Bit(i).IsEmpty() {
+			t.Errorf("bit %d should be clean", i)
+		}
+	}
+	if w.IsClean() {
+		t.Error("ByteWord should not be clean")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w := ByteWord(1)
+	w = Shl(w, 12) // taint in bits 12..19
+	got := w.Truncate(2)
+	for i := 12; i < 16; i++ {
+		if !got.Bit(i).Contains(1) {
+			t.Errorf("bit %d lost taint after 2-byte truncate", i)
+		}
+	}
+	for i := 16; i < 24; i++ {
+		if !got.Bit(i).IsEmpty() {
+			t.Errorf("bit %d should have been truncated", i)
+		}
+	}
+}
+
+func TestShlShrInverse(t *testing.T) {
+	w := ByteWord(7)
+	round := Shr(Shl(w, 20), 20)
+	if !round.Equal(w) {
+		t.Error("Shr(Shl(w,20),20) should restore w for low-byte taint")
+	}
+}
+
+func TestShlDropsHighBits(t *testing.T) {
+	w := ByteWord(3)
+	shifted := Shl(w, 60)
+	// Bits 60..63 tainted, the rest clean.
+	for i := 0; i < 60; i++ {
+		if !shifted.Bit(i).IsEmpty() {
+			t.Errorf("bit %d should be clean after Shl 60", i)
+		}
+	}
+	for i := 60; i < 64; i++ {
+		if !shifted.Bit(i).Contains(3) {
+			t.Errorf("bit %d should carry tag 3", i)
+		}
+	}
+	if out := Shl(w, 64); !out.IsClean() {
+		t.Error("Shl by 64 should clear all taint")
+	}
+	if out := Shr(w, 64); !out.IsClean() {
+		t.Error("Shr by 64 should clear all taint")
+	}
+}
+
+func TestSarReplicatesSignTaint(t *testing.T) {
+	var w Word
+	w.SetBit(31, NewSet(9)) // sign bit of a 4-byte operand
+	out := Sar(w, 4, 4)
+	for i := 27; i <= 31; i++ {
+		if !out.Bit(i).Contains(9) {
+			t.Errorf("bit %d should carry the sign taint", i)
+		}
+	}
+	if !out.Bit(26).IsEmpty() {
+		t.Error("bit 26 should be clean")
+	}
+}
+
+func TestAndMask(t *testing.T) {
+	w := ByteWord(5)
+	// Mask 0b1010: keeps bits 1 and 3 only.
+	out := AndMask(w, 0xA)
+	if !out.Bit(1).Contains(5) || !out.Bit(3).Contains(5) {
+		t.Error("bits 1 and 3 should keep taint")
+	}
+	if !out.Bit(0).IsEmpty() || !out.Bit(2).IsEmpty() || !out.Bit(4).IsEmpty() {
+		t.Error("masked-out bits should lose taint")
+	}
+}
+
+func TestOrMask(t *testing.T) {
+	w := ByteWord(5)
+	out := OrMask(w, 0x3) // bits 0,1 forced to 1, lose taint
+	if !out.Bit(0).IsEmpty() || !out.Bit(1).IsEmpty() {
+		t.Error("or with constant 1 should destroy taint")
+	}
+	if !out.Bit(2).Contains(5) {
+		t.Error("bit 2 should keep taint")
+	}
+}
+
+func TestMergePerBit(t *testing.T) {
+	a := ByteWord(1)
+	b := Shl(ByteWord(2), 4)
+	m := MergePerBit(a, b)
+	if !m.Bit(0).Contains(1) || m.Bit(0).Contains(2) {
+		t.Error("bit 0 should carry only tag 1")
+	}
+	for i := 4; i < 8; i++ {
+		if !m.Bit(i).Contains(1) || !m.Bit(i).Contains(2) {
+			t.Errorf("bit %d should carry tags 1 and 2", i)
+		}
+	}
+	if !m.Bit(10).Contains(2) || m.Bit(10).Contains(1) {
+		t.Error("bit 10 should carry only tag 2")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	a := ByteWord(1)
+	var b Word
+	m := MergeAll(a, b)
+	for i := 0; i < WordBits; i++ {
+		if !m.Bit(i).Contains(1) {
+			t.Errorf("bit %d should carry tag 1 after MergeAll", i)
+		}
+	}
+	var c, d Word
+	if out := MergeAll(c, d); !out.IsClean() {
+		t.Error("MergeAll of clean words should be clean")
+	}
+}
+
+func TestAddCarryAwareUpwardOnly(t *testing.T) {
+	var a, b Word
+	a.SetBit(3, NewSet(1))
+	b.SetBit(5, NewSet(2))
+	out := AddCarryAware(a, b)
+	if !out.Bit(2).IsEmpty() {
+		t.Error("bits below lowest tainted bit must stay clean")
+	}
+	if !out.Bit(3).Contains(1) || out.Bit(3).Contains(2) {
+		t.Error("bit 3 should carry only tag 1")
+	}
+	if !out.Bit(4).Contains(1) {
+		t.Error("carry propagates tag 1 to bit 4")
+	}
+	if !out.Bit(63).Contains(1) || !out.Bit(63).Contains(2) {
+		t.Error("top bit should carry both tags through the carry chain")
+	}
+}
+
+func TestRol(t *testing.T) {
+	w := ByteWord(4) // bits 0..7
+	out := Rol(w, 3, 1)
+	// 1-byte rotate left 3: bits 3..7 and 0..2 tainted (all 8 still).
+	for i := 0; i < 8; i++ {
+		if !out.Bit(i).Contains(4) {
+			t.Errorf("bit %d should stay tainted after full-byte rotate", i)
+		}
+	}
+	var one Word
+	one.SetBit(7, NewSet(1))
+	out = Rol(one, 1, 1)
+	if !out.Bit(0).Contains(1) {
+		t.Error("bit 7 should wrap to bit 0 in 1-byte rotate")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var w Word
+		for i := 0; i < WordBits; i++ {
+			if r.Intn(3) == 0 {
+				w.SetBit(i, NewSet(Tag(r.Intn(100))))
+			}
+		}
+		bs := w.Bytes()
+		back := FromBytes(bs[:])
+		return back.Equal(w)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("Bytes/FromBytes not inverse: %v", err)
+	}
+}
+
+func TestAnyTainted(t *testing.T) {
+	var w Word
+	w.SetBit(13, NewSet(2))
+	if !w.AnyTainted(8, 16) {
+		t.Error("range covering bit 13 should be tainted")
+	}
+	if w.AnyTainted(0, 8) {
+		t.Error("range 0-8 should be clean")
+	}
+	if w.AnyTainted(14, 64) {
+		t.Error("range 14-64 should be clean")
+	}
+}
+
+func TestAllTags(t *testing.T) {
+	var w Word
+	w.SetBit(0, NewSet(1))
+	w.SetBit(40, NewSet(2, 3))
+	u := w.AllTags()
+	for _, tag := range []Tag{1, 2, 3} {
+		if !u.Contains(tag) {
+			t.Errorf("AllTags missing %d", tag)
+		}
+	}
+	if u.Len() != 3 {
+		t.Errorf("AllTags len = %d, want 3", u.Len())
+	}
+}
+
+// Shift laws, property-checked: Shl distributes over per-bit merge.
+func TestShiftMergeCommute(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := uint(nRaw % 64)
+		var a, b Word
+		for i := 0; i < WordBits; i++ {
+			if r.Intn(4) == 0 {
+				a.SetBit(i, NewSet(Tag(r.Intn(8))))
+			}
+			if r.Intn(4) == 0 {
+				b.SetBit(i, NewSet(Tag(8+r.Intn(8))))
+			}
+		}
+		lhs := Shl(MergePerBit(a, b), n)
+		rhs := MergePerBit(Shl(a, n), Shl(b, n))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("Shl does not distribute over merge: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package vm implements the interpreter for the isa package: a 64-bit
+// machine with x86-like flags, a pluggable memory subsystem (flat memory
+// for analysis runs, paged memory with permissions for the SGX enclave
+// simulation), DynamoRIO-style instrumentation hooks, and a minimal
+// read/write/exit syscall interface.
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a virtual memory page, matching x86.
+const PageSize = 4096
+
+// Fault describes a memory access that violated page permissions. It is the
+// simulated analogue of a SIGSEGV delivered to the attacker's handler.
+type Fault struct {
+	Addr  uint64 // faulting virtual address (full precision; sgx masks it)
+	Write bool   // true for stores, false for loads
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("page fault: %s at %#x", kind, f.Addr)
+}
+
+// ErrOutOfRange reports an access outside the allocated address space.
+var ErrOutOfRange = errors.New("vm: address out of range")
+
+// Memory is the interface between the CPU and the memory subsystem.
+// Load zero-extends; width is 1, 2, 4, or 8 bytes.
+type Memory interface {
+	Load(addr uint64, width int) (uint64, error)
+	Store(addr uint64, width int, val uint64) error
+}
+
+// FlatMemory is a permissionless byte-addressed memory for TaintChannel
+// analysis runs, spanning [base, base+len).
+type FlatMemory struct {
+	base uint64
+	data []byte
+}
+
+// NewFlatMemory allocates size bytes of zeroed memory starting at base.
+func NewFlatMemory(base, size uint64) *FlatMemory {
+	return &FlatMemory{base: base, data: make([]byte, size)}
+}
+
+// Base returns the lowest valid address.
+func (m *FlatMemory) Base() uint64 { return m.base }
+
+// Size returns the number of addressable bytes.
+func (m *FlatMemory) Size() uint64 { return uint64(len(m.data)) }
+
+// Load implements Memory.
+func (m *FlatMemory) Load(addr uint64, width int) (uint64, error) {
+	off, err := m.offset(addr, width)
+	if err != nil {
+		return 0, err
+	}
+	return leLoad(m.data[off:], width), nil
+}
+
+// Store implements Memory.
+func (m *FlatMemory) Store(addr uint64, width int, val uint64) error {
+	off, err := m.offset(addr, width)
+	if err != nil {
+		return err
+	}
+	leStore(m.data[off:], width, val)
+	return nil
+}
+
+// WriteBytes copies raw bytes into memory (program .init data, input
+// staging). It bypasses hooks.
+func (m *FlatMemory) WriteBytes(addr uint64, b []byte) error {
+	off, err := m.offset(addr, len(b))
+	if err != nil {
+		return err
+	}
+	copy(m.data[off:], b)
+	return nil
+}
+
+// ReadBytes copies size raw bytes out of memory.
+func (m *FlatMemory) ReadBytes(addr uint64, size int) ([]byte, error) {
+	off, err := m.offset(addr, size)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, m.data[off:])
+	return out, nil
+}
+
+func (m *FlatMemory) offset(addr uint64, width int) (uint64, error) {
+	if addr < m.base || addr+uint64(width) > m.base+uint64(len(m.data)) {
+		return 0, fmt.Errorf("%w: %#x (width %d)", ErrOutOfRange, addr, width)
+	}
+	return addr - m.base, nil
+}
+
+func leLoad(b []byte, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func leStore(b []byte, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,418 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+// Syscall numbers (in r0 at the syscall instruction; arguments r1..r3,
+// result in r0).
+const (
+	SysRead  = 0 // read(fd, buf, len) -> bytes read from the VM input
+	SysWrite = 1 // write(fd, buf, len) -> bytes appended to the VM output
+	SysExit  = 2 // exit(code) -> halts the machine
+)
+
+// ErrRunaway reports that the step budget was exhausted, guarding against
+// victim programs that fail to terminate.
+var ErrRunaway = errors.New("vm: step budget exhausted")
+
+// ErrHalted reports a step attempt on a halted machine.
+var ErrHalted = errors.New("vm: machine is halted")
+
+// Hooks are the instrumentation callbacks, the simulated analogue of
+// DynamoRIO's instruction and memory-event instrumentation. All hooks are
+// optional.
+type Hooks struct {
+	// BeforeInstr runs before each instruction executes, with register
+	// state still pre-instruction. TaintChannel does all taint propagation
+	// here.
+	BeforeInstr func(v *VM, in *isa.Instr)
+	// OnLoad and OnStore run after a successful data memory access.
+	OnLoad  func(v *VM, in *isa.Instr, addr uint64, width int, val uint64)
+	OnStore func(v *VM, in *isa.Instr, addr uint64, width int, val uint64)
+	// OnSyscallRead runs after a read syscall copied n input bytes to
+	// bufAddr; firstIndex is the 1-based index of the first byte in the
+	// overall input stream (TaintChannel's tag origin).
+	OnSyscallRead func(v *VM, bufAddr uint64, n int, firstIndex int)
+}
+
+// VM is one simulated hardware thread executing a Program.
+type VM struct {
+	Prog  *isa.Program
+	Mem   Memory
+	Hooks Hooks
+
+	Regs [isa.NumRegs]uint64
+	PC   int
+	ZF   bool // zero flag
+	SF   bool // sign flag (at the width of the setting instruction)
+	CF   bool // carry flag (unsigned borrow for cmp/sub)
+
+	Halted   bool
+	ExitCode uint64
+	Steps    uint64
+	MaxSteps uint64
+
+	input    []byte
+	inputPos int
+	output   []byte
+}
+
+// DefaultMaxSteps bounds Run against non-terminating programs.
+const DefaultMaxSteps = 500_000_000
+
+// New creates a VM for prog with the given memory, copying the program's
+// .init data into place.
+func New(prog *isa.Program, mem Memory) (*VM, error) {
+	v := &VM{Prog: prog, Mem: mem, PC: prog.Entry, MaxSteps: DefaultMaxSteps}
+	type rawWriter interface{ WriteBytes(uint64, []byte) error }
+	for _, init := range prog.Init {
+		w, ok := mem.(rawWriter)
+		if !ok {
+			return nil, fmt.Errorf("vm: memory type %T cannot hold .init data", mem)
+		}
+		if err := w.WriteBytes(init.Addr, init.Bytes); err != nil {
+			return nil, fmt.Errorf("vm: init data: %w", err)
+		}
+	}
+	return v, nil
+}
+
+// NewFlat creates a VM with a flat memory sized for the program's data
+// segment plus a stack region above it.
+func NewFlat(prog *isa.Program) (*VM, error) {
+	const stack = 64 * 1024
+	mem := NewFlatMemory(prog.DataBase, prog.DataSize+stack)
+	v, err := New(prog, mem)
+	if err != nil {
+		return nil, err
+	}
+	v.Regs[isa.SP] = prog.DataBase + prog.DataSize + stack
+	return v, nil
+}
+
+// SetInput installs the bytes the read syscall will serve.
+func (v *VM) SetInput(b []byte) {
+	v.input = b
+	v.inputPos = 0
+}
+
+// InputPos returns how many input bytes have been consumed.
+func (v *VM) InputPos() int { return v.inputPos }
+
+// Output returns the bytes written via the write syscall.
+func (v *VM) Output() []byte { return v.output }
+
+// Run executes until halt, fault, or error. A *Fault return leaves the
+// machine resumable: the faulting instruction has had no effect and will
+// re-execute on the next Run or Step.
+func (v *VM) Run() error {
+	for !v.Halted {
+		if err := v.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes a single instruction. On *Fault the PC is unchanged.
+func (v *VM) Step() error {
+	if v.Halted {
+		return ErrHalted
+	}
+	if v.Steps >= v.MaxSteps {
+		return fmt.Errorf("%w after %d steps", ErrRunaway, v.Steps)
+	}
+	if v.PC < 0 || v.PC >= len(v.Prog.Instrs) {
+		return fmt.Errorf("vm: pc %d outside program (%d instrs)", v.PC, len(v.Prog.Instrs))
+	}
+	in := &v.Prog.Instrs[v.PC]
+	if v.Hooks.BeforeInstr != nil {
+		v.Hooks.BeforeInstr(v, in)
+	}
+	next := v.PC + 1
+	var err error
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		v.Halted = true
+	case isa.OpMov:
+		v.setReg(in.Dst.Reg, truncate(v.operandValue(in.Src), int(in.Width)))
+	case isa.OpLea:
+		v.setReg(in.Dst.Reg, v.EffectiveAddr(in.Src.Mem))
+	case isa.OpLd:
+		addr := v.EffectiveAddr(in.Src.Mem)
+		var val uint64
+		val, err = v.Mem.Load(addr, int(in.Width))
+		if err == nil {
+			v.setReg(in.Dst.Reg, val)
+			if v.Hooks.OnLoad != nil {
+				v.Hooks.OnLoad(v, in, addr, int(in.Width), val)
+			}
+		}
+	case isa.OpSt:
+		addr := v.EffectiveAddr(in.Dst.Mem)
+		val := truncate(v.operandValue(in.Src), int(in.Width))
+		err = v.Mem.Store(addr, int(in.Width), val)
+		if err == nil && v.Hooks.OnStore != nil {
+			v.Hooks.OnStore(v, in, addr, int(in.Width), val)
+		}
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
+		err = v.alu(in)
+	case isa.OpNot:
+		v.setReg(in.Dst.Reg, truncate(^v.Regs[in.Dst.Reg], int(in.Width)))
+	case isa.OpNeg:
+		v.setReg(in.Dst.Reg, truncate(-v.Regs[in.Dst.Reg], int(in.Width)))
+	case isa.OpCmp:
+		d := truncate(v.Regs[in.Dst.Reg], int(in.Width))
+		s := truncate(v.operandValue(in.Src), int(in.Width))
+		v.setFlags(d-s, int(in.Width))
+		v.CF = d < s
+	case isa.OpTest:
+		d := truncate(v.Regs[in.Dst.Reg], int(in.Width))
+		s := truncate(v.operandValue(in.Src), int(in.Width))
+		v.setFlags(d&s, int(in.Width))
+		v.CF = false
+	case isa.OpJmp:
+		next = in.Target
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
+		isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
+		if v.condition(in.Op) {
+			next = in.Target
+		}
+	case isa.OpPush:
+		v.Regs[isa.SP] -= 8
+		err = v.Mem.Store(v.Regs[isa.SP], 8, v.operandValue(in.Src))
+		if err != nil {
+			v.Regs[isa.SP] += 8 // undo for clean fault retry
+		}
+	case isa.OpPop:
+		var val uint64
+		val, err = v.Mem.Load(v.Regs[isa.SP], 8)
+		if err == nil {
+			v.setReg(in.Dst.Reg, val)
+			v.Regs[isa.SP] += 8
+		}
+	case isa.OpCall:
+		v.Regs[isa.SP] -= 8
+		err = v.Mem.Store(v.Regs[isa.SP], 8, uint64(v.PC+1))
+		if err != nil {
+			v.Regs[isa.SP] += 8
+		} else {
+			next = in.Target
+		}
+	case isa.OpRet:
+		var val uint64
+		val, err = v.Mem.Load(v.Regs[isa.SP], 8)
+		if err == nil {
+			v.Regs[isa.SP] += 8
+			next = int(val)
+		}
+	case isa.OpSyscall:
+		err = v.syscall()
+	default:
+		return fmt.Errorf("vm: unimplemented opcode %v at pc %d", in.Op, v.PC)
+	}
+	if err != nil {
+		var f *Fault
+		if errors.As(err, &f) {
+			return f // PC untouched: resumable
+		}
+		return fmt.Errorf("vm: pc %d (%s): %w", v.PC, in, err)
+	}
+	v.PC = next
+	v.Steps++
+	return nil
+}
+
+func (v *VM) alu(in *isa.Instr) error {
+	w := int(in.Width)
+	src := truncate(v.operandValue(in.Src), w)
+
+	if in.Dst.Kind == isa.KindMem {
+		// Read-modify-write form (add [ftab + r*4], 1).
+		addr := v.EffectiveAddr(in.Dst.Mem)
+		old, err := v.Mem.Load(addr, w)
+		if err != nil {
+			return err
+		}
+		res := truncate(aluCompute(in.Op, old, src, w), w)
+		if err := v.Mem.Store(addr, w, res); err != nil {
+			return err
+		}
+		if v.Hooks.OnLoad != nil {
+			v.Hooks.OnLoad(v, in, addr, w, old)
+		}
+		if v.Hooks.OnStore != nil {
+			v.Hooks.OnStore(v, in, addr, w, res)
+		}
+		v.setFlags(res, w)
+		return nil
+	}
+
+	d := truncate(v.Regs[in.Dst.Reg], w)
+	if (in.Op == isa.OpDiv || in.Op == isa.OpMod) && src == 0 {
+		return fmt.Errorf("division by zero")
+	}
+	res := truncate(aluCompute(in.Op, d, src, w), w)
+	v.setReg(in.Dst.Reg, res)
+	v.setFlags(res, w)
+	if in.Op == isa.OpSub {
+		v.CF = d < src
+	}
+	return nil
+}
+
+func aluCompute(op isa.Op, d, s uint64, w int) uint64 {
+	bits := uint(w * 8)
+	switch op {
+	case isa.OpAdd:
+		return d + s
+	case isa.OpSub:
+		return d - s
+	case isa.OpMul:
+		return d * s
+	case isa.OpDiv:
+		return d / s
+	case isa.OpMod:
+		return d % s
+	case isa.OpAnd:
+		return d & s
+	case isa.OpOr:
+		return d | s
+	case isa.OpXor:
+		return d ^ s
+	case isa.OpShl:
+		if s >= uint64(bits) {
+			return 0
+		}
+		return d << s
+	case isa.OpShr:
+		if s >= uint64(bits) {
+			return 0
+		}
+		return d >> s
+	case isa.OpSar:
+		sh := s
+		if sh >= uint64(bits) {
+			sh = uint64(bits) - 1
+		}
+		signed := int64(d<<(64-bits)) >> (64 - bits) // sign-extend from width
+		return uint64(signed>>sh) & mask(w)
+	case isa.OpRol:
+		sh := s % uint64(bits)
+		return (d<<sh | d>>(uint64(bits)-sh))
+	default:
+		panic(fmt.Sprintf("vm: aluCompute called with %v", op))
+	}
+}
+
+func (v *VM) condition(op isa.Op) bool {
+	switch op {
+	case isa.OpJe:
+		return v.ZF
+	case isa.OpJne:
+		return !v.ZF
+	case isa.OpJl:
+		return v.SF
+	case isa.OpJle:
+		return v.SF || v.ZF
+	case isa.OpJg:
+		return !v.SF && !v.ZF
+	case isa.OpJge:
+		return !v.SF
+	case isa.OpJb:
+		return v.CF
+	case isa.OpJbe:
+		return v.CF || v.ZF
+	case isa.OpJa:
+		return !v.CF && !v.ZF
+	case isa.OpJae:
+		return !v.CF
+	default:
+		panic(fmt.Sprintf("vm: condition called with %v", op))
+	}
+}
+
+func (v *VM) syscall() error {
+	switch v.Regs[isa.R0] {
+	case SysRead:
+		buf, n := v.Regs[isa.R2], int(v.Regs[isa.R3])
+		avail := len(v.input) - v.inputPos
+		if n > avail {
+			n = avail
+		}
+		first := v.inputPos + 1
+		for i := 0; i < n; i++ {
+			if err := v.Mem.Store(buf+uint64(i), 1, uint64(v.input[v.inputPos+i])); err != nil {
+				return err
+			}
+		}
+		v.inputPos += n
+		v.Regs[isa.R0] = uint64(n)
+		if n > 0 && v.Hooks.OnSyscallRead != nil {
+			v.Hooks.OnSyscallRead(v, buf, n, first)
+		}
+	case SysWrite:
+		buf, n := v.Regs[isa.R2], int(v.Regs[isa.R3])
+		for i := 0; i < n; i++ {
+			b, err := v.Mem.Load(buf+uint64(i), 1)
+			if err != nil {
+				return err
+			}
+			v.output = append(v.output, byte(b))
+		}
+		v.Regs[isa.R0] = uint64(n)
+	case SysExit:
+		v.ExitCode = v.Regs[isa.R1]
+		v.Halted = true
+	default:
+		return fmt.Errorf("unknown syscall %d", v.Regs[isa.R0])
+	}
+	return nil
+}
+
+// EffectiveAddr computes the address of a memory operand from current
+// register state.
+func (v *VM) EffectiveAddr(m isa.MemRef) uint64 {
+	addr := uint64(m.Disp)
+	if m.HasBase {
+		addr += v.Regs[m.Base]
+	}
+	if m.HasIndex {
+		addr += v.Regs[m.Index] * uint64(m.Scale)
+	}
+	return addr
+}
+
+func (v *VM) operandValue(o isa.Operand) uint64 {
+	switch o.Kind {
+	case isa.KindReg:
+		return v.Regs[o.Reg]
+	case isa.KindImm:
+		return uint64(o.Imm)
+	default:
+		panic("vm: operandValue on memory operand")
+	}
+}
+
+func (v *VM) setReg(r isa.Reg, val uint64) { v.Regs[r] = val }
+
+func (v *VM) setFlags(res uint64, w int) {
+	res = truncate(res, w)
+	v.ZF = res == 0
+	v.SF = res&(1<<uint(w*8-1)) != 0
+}
+
+func truncate(v uint64, w int) uint64 { return v & mask(w) }
+
+func mask(w int) uint64 {
+	if w >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w*8)) - 1
+}

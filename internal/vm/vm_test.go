@@ -1,0 +1,340 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+func runSrc(t *testing.T, src string, input []byte) *VM {
+	t.Helper()
+	prog, err := isa.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	v, err := NewFlat(prog)
+	if err != nil {
+		t.Fatalf("NewFlat: %v", err)
+	}
+	v.SetInput(input)
+	if err := v.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	v := runSrc(t, `
+main:
+  mov r1, 10
+  add r1, 32     ; 42
+  mov r2, r1
+  sub r2, 2      ; 40
+  mul r2, 3      ; 120
+  mov r3, r2
+  div r3, 7      ; 17
+  mov r4, r2
+  mod r4, 7      ; 1
+  halt
+`, nil)
+	for _, tc := range []struct {
+		reg  isa.Reg
+		want uint64
+	}{{isa.R1, 42}, {isa.R2, 120}, {isa.R3, 17}, {isa.R4, 1}} {
+		if v.Regs[tc.reg] != tc.want {
+			t.Errorf("r%d = %d, want %d", tc.reg, v.Regs[tc.reg], tc.want)
+		}
+	}
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	v := runSrc(t, `
+main:
+  mov r1, 0xf0f0
+  and r1, 0xff00   ; 0xf000
+  mov r2, 0x0f
+  or r2, 0xf0      ; 0xff
+  mov r3, 0xaa
+  xor r3, 0xff     ; 0x55
+  mov r4, 1
+  shl r4, 12       ; 0x1000
+  mov r5, 0x1000
+  shr r5, 4        ; 0x100
+  mov r6, 0x80
+  sar.1 r6, 3      ; 0xf0 (sign-extended at byte width)
+  mov r7, 0x81
+  rol.1 r7, 1      ; 0x03
+  halt
+`, nil)
+	for _, tc := range []struct {
+		reg  isa.Reg
+		want uint64
+	}{
+		{isa.R1, 0xf000}, {isa.R2, 0xff}, {isa.R3, 0x55},
+		{isa.R4, 0x1000}, {isa.R5, 0x100}, {isa.R6, 0xf0}, {isa.R7, 0x03},
+	} {
+		if v.Regs[tc.reg] != tc.want {
+			t.Errorf("r%d = %#x, want %#x", tc.reg, v.Regs[tc.reg], tc.want)
+		}
+	}
+}
+
+func TestNarrowWidthZeroExtend(t *testing.T) {
+	v := runSrc(t, `
+main:
+  mov r1, 0x1234
+  mov.1 r2, r1    ; 0x34
+  mov r3, 0xffff
+  add.1 r3, 1     ; 0x00 (wraps at byte width, zero-extended)
+  halt
+`, nil)
+	if v.Regs[isa.R2] != 0x34 {
+		t.Errorf("r2 = %#x, want 0x34", v.Regs[isa.R2])
+	}
+	if v.Regs[isa.R3] != 0 {
+		t.Errorf("r3 = %#x, want 0", v.Regs[isa.R3])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	v := runSrc(t, `
+.data buf 64
+main:
+  mov r1, 0x11223344aabbccdd
+  st.8 [buf], r1
+  ld.4 r2, [buf]        ; 0xaabbccdd
+  ld.2 r3, [buf + 2]    ; 0xaabb
+  ld.1 r4, [buf + 7]    ; 0x11
+  mov r5, 3
+  st.1 [buf + r5*2 + 1], 0x99   ; buf[7] = 0x99
+  ld.1 r6, [buf + 7]
+  halt
+`, nil)
+	for _, tc := range []struct {
+		reg  isa.Reg
+		want uint64
+	}{{isa.R2, 0xaabbccdd}, {isa.R3, 0xaabb}, {isa.R4, 0x11}, {isa.R6, 0x99}} {
+		if v.Regs[tc.reg] != tc.want {
+			t.Errorf("r%d = %#x, want %#x", tc.reg, v.Regs[tc.reg], tc.want)
+		}
+	}
+}
+
+func TestMemoryDestALU(t *testing.T) {
+	v := runSrc(t, `
+.data ctr 16
+main:
+  st.4 [ctr], 5
+  add.4 [ctr], 3
+  add.4 [ctr], 1
+  ld.4 r1, [ctr]
+  halt
+`, nil)
+	if v.Regs[isa.R1] != 9 {
+		t.Errorf("ctr = %d, want 9", v.Regs[isa.R1])
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	// Compute max(7, 12) unsigned and signed min(-1, 3) at byte width.
+	v := runSrc(t, `
+main:
+  mov r1, 7
+  mov r2, 12
+  mov r3, r1
+  cmp r1, r2
+  ja done1
+  mov r3, r2
+done1:
+  mov r4, 0xff      ; -1 as a byte
+  mov r5, 3
+  mov r6, r5
+  cmp.1 r4, r5
+  jge done2
+  mov r6, r4
+done2:
+  halt
+`, nil)
+	if v.Regs[isa.R3] != 12 {
+		t.Errorf("unsigned max = %d, want 12", v.Regs[isa.R3])
+	}
+	if v.Regs[isa.R6] != 0xff {
+		t.Errorf("signed min = %#x, want 0xff", v.Regs[isa.R6])
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	v := runSrc(t, `
+main:
+  mov r1, 0    ; i
+  mov r2, 0    ; sum
+loop:
+  add r2, r1
+  add r1, 1
+  cmp r1, 101
+  jne loop
+  halt
+`, nil)
+	if v.Regs[isa.R2] != 5050 {
+		t.Errorf("sum = %d, want 5050", v.Regs[isa.R2])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	v := runSrc(t, `
+.entry main
+double:
+  add r1, r1
+  ret
+main:
+  mov r1, 21
+  call double
+  push r1
+  mov r1, 0
+  pop r2
+  halt
+`, nil)
+	if v.Regs[isa.R2] != 42 {
+		t.Errorf("r2 = %d, want 42", v.Regs[isa.R2])
+	}
+}
+
+func TestSyscallReadWrite(t *testing.T) {
+	v := runSrc(t, `
+.data buf 32
+main:
+  mov r0, 0      ; read
+  mov r1, 0
+  mov r2, 0
+  lea r2, [buf]
+  mov r3, 5
+  syscall
+  mov r4, r0     ; bytes read
+  mov r0, 1      ; write them back
+  lea r2, [buf]
+  mov r3, r4
+  syscall
+  mov r0, 2
+  mov r1, 7
+  syscall        ; exit(7)
+`, []byte("hello world"))
+	if v.Regs[isa.R4] != 5 {
+		t.Errorf("read returned %d, want 5", v.Regs[isa.R4])
+	}
+	if string(v.Output()) != "hello" {
+		t.Errorf("output = %q, want hello", v.Output())
+	}
+	if v.ExitCode != 7 {
+		t.Errorf("exit code = %d, want 7", v.ExitCode)
+	}
+	if !v.Halted {
+		t.Error("machine should be halted")
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	v := runSrc(t, `
+.data buf 8
+main:
+  mov r0, 0
+  lea r2, [buf]
+  mov r3, 8
+  syscall
+  mov r4, r0
+  mov r0, 0
+  lea r2, [buf]
+  mov r3, 8
+  syscall
+  mov r5, r0
+  halt
+`, []byte("abc"))
+	if v.Regs[isa.R4] != 3 {
+		t.Errorf("first read = %d, want 3", v.Regs[isa.R4])
+	}
+	if v.Regs[isa.R5] != 0 {
+		t.Errorf("second read = %d, want 0 (EOF)", v.Regs[isa.R5])
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	prog := isa.MustAssemble("hooks", `
+.data buf 16
+main:
+  mov r0, 0
+  lea r2, [buf]
+  mov r3, 4
+  syscall
+  ld.1 r1, [buf]
+  st.1 [buf + 8], r1
+  halt
+`)
+	v, err := NewFlat(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetInput([]byte("WXYZ"))
+	var instrs, loads, stores, reads int
+	var firstTag int
+	v.Hooks = Hooks{
+		BeforeInstr: func(*VM, *isa.Instr) { instrs++ },
+		OnLoad:      func(_ *VM, _ *isa.Instr, _ uint64, _ int, val uint64) { loads++; _ = val },
+		OnStore:     func(*VM, *isa.Instr, uint64, int, uint64) { stores++ },
+		OnSyscallRead: func(_ *VM, _ uint64, n, first int) {
+			reads += n
+			firstTag = first
+		},
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if instrs != 7 {
+		t.Errorf("BeforeInstr fired %d times, want 7", instrs)
+	}
+	if loads != 1 || stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 1/1", loads, stores)
+	}
+	if reads != 4 || firstTag != 1 {
+		t.Errorf("reads=%d firstTag=%d, want 4/1", reads, firstTag)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	prog := isa.MustAssemble("spin", "main:\n jmp main\n")
+	v, err := NewFlat(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.MaxSteps = 1000
+	err = v.Run()
+	if !errors.Is(err, ErrRunaway) {
+		t.Errorf("err = %v, want ErrRunaway", err)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	prog := isa.MustAssemble("dz", "main:\n mov r1, 1\n mov r2, 0\n div r1, r2\n halt\n")
+	v, _ := NewFlat(prog)
+	if err := v.Run(); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	prog := isa.MustAssemble("oor", "main:\n ld.1 r1, [r2]\n halt\n")
+	v, _ := NewFlat(prog) // r2 = 0, below DataBase
+	if err := v.Run(); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestStepOnHalted(t *testing.T) {
+	prog := isa.MustAssemble("h", "main:\n halt\n")
+	v, _ := NewFlat(prog)
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("err = %v, want ErrHalted", err)
+	}
+}

@@ -1,0 +1,212 @@
+package zipchannel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/cache"
+)
+
+func randomInput(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// The headline result (§V-E): full-strength attack on random data leaks
+// over 99% of the bits.
+func TestAttackRandomDataOver99Percent(t *testing.T) {
+	input := randomInput(2048, 42)
+	res, err := Attack(input, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %s", res)
+	if res.BitAcc < 0.99 {
+		t.Errorf("bit accuracy = %.4f, want >= 0.99 (paper: >99%%)", res.BitAcc)
+	}
+	if res.Iterations != len(input) {
+		t.Errorf("iterations = %d, want %d", res.Iterations, len(input))
+	}
+}
+
+func TestAttackTextInput(t *testing.T) {
+	input := []byte("Call me Ishmael. Some years ago - never mind how long precisely - " +
+		"having little or no money in my purse, and nothing particular to interest me " +
+		"on shore, I thought I would sail about a little and see the watery part of the world.")
+	res, err := Attack(input, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByteAcc < 0.95 {
+		t.Errorf("byte accuracy = %.4f, want >= 0.95\nrecovered: %q", res.ByteAcc, res.Recovered)
+	}
+}
+
+// Without noise at all, even the no-CAT/no-frame-selection attack is
+// exact; with noise, the mitigations must close most of the gap.
+func TestAttackNoiselessExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseCAT = false
+	cfg.UseFrameSelection = false
+	cfg.KernelNoiseLines = 0
+	cfg.OtherNoiseRate = 0
+	input := randomInput(1024, 7)
+	res, err := Attack(input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitAcc < 0.999 {
+		t.Errorf("noiseless bit accuracy = %.4f, want ~1.0", res.BitAcc)
+	}
+	if res.UnknownObs != 0 {
+		t.Errorf("noiseless run had %d unknown observations", res.UnknownObs)
+	}
+}
+
+// Ablation (E7a): the full attack must beat the version without CAT and
+// without frame selection under the same noise.
+func TestAblationTechniquesImproveAccuracy(t *testing.T) {
+	input := randomInput(1024, 99)
+
+	full := DefaultConfig()
+	full.Seed = 5
+
+	bare := full
+	bare.UseCAT = false
+	bare.UseFrameSelection = false
+
+	resFull, err := Attack(input, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBare, err := Attack(input, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full: %s", resFull)
+	t.Logf("bare: %s", resBare)
+	if resFull.BitAcc < resBare.BitAcc {
+		t.Errorf("full attack (%.4f) should not lose to bare attack (%.4f)",
+			resFull.BitAcc, resBare.BitAcc)
+	}
+	if resFull.BitAcc < 0.99 {
+		t.Errorf("full attack bit accuracy = %.4f, want >= 0.99", resFull.BitAcc)
+	}
+}
+
+func TestAttackAlignedFtab(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FtabPad = 64 // cache-line aligned: no off-by-one ambiguity at all
+	input := randomInput(512, 3)
+	res, err := Attack(input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitAcc < 0.99 {
+		t.Errorf("aligned-ftab accuracy = %.4f, want >= 0.99", res.BitAcc)
+	}
+}
+
+func TestAttackEmptyInput(t *testing.T) {
+	res, err := Attack(nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovered) != 0 || res.Iterations != 0 {
+		t.Errorf("empty input should produce an empty result: %+v", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := &Result{Recovered: make([]byte, 10), ByteAcc: 0.5, BitAcc: 0.9}
+	if res.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+// The controlled-channel-only baseline (page faults, no cache probing)
+// recovers substantially less than the full attack: the gap §V-C's
+// techniques close.
+func TestPageOnlyBaselineWeaker(t *testing.T) {
+	input := randomInput(1024, 21)
+	pg, err := PageOnlyAttack(input, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Attack(input, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("page-only: %s", pg)
+	t.Logf("full:      %s", full)
+	if pg.BitAcc < 0.55 {
+		t.Errorf("page channel alone should still beat guessing: %.3f", pg.BitAcc)
+	}
+	if pg.BitAcc > 0.97 {
+		t.Errorf("page channel alone should not reach the full attack: %.3f", pg.BitAcc)
+	}
+	if full.BitAcc-pg.BitAcc < 0.05 {
+		t.Errorf("cache channel should add information: full %.3f vs page-only %.3f",
+			full.BitAcc, pg.BitAcc)
+	}
+}
+
+// The §VIII oblivious victim defeats even a noiseless attacker.
+func TestObliviousVictimDefeatsAttack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Oblivious = true
+	cfg.KernelNoiseLines = 0
+	cfg.OtherNoiseRate = 0
+	input := randomInput(96, 33)
+	res, err := Attack(input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitAcc > 0.8 {
+		t.Errorf("oblivious victim leaked %.1f%% of bits", 100*res.BitAcc)
+	}
+	if res.UnknownObs != res.Iterations {
+		t.Errorf("every iteration should be ambiguous: %d/%d", res.UnknownObs, res.Iterations)
+	}
+}
+
+// Exhausting the frame pool must degrade gracefully, not fail.
+func TestFramePoolExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frames = 150 // barely more than the enclave's own pages
+	input := randomInput(512, 44)
+	res, err := Attack(input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != len(input) {
+		t.Errorf("attack should complete despite pool pressure: %d/%d", res.Iterations, len(input))
+	}
+	// Accuracy may drop (noisy sets can no longer be dodged) but the
+	// excluded-set fallback keeps most of the signal.
+	if res.BitAcc < 0.5 {
+		t.Errorf("accuracy collapsed under pool pressure: %.3f", res.BitAcc)
+	}
+}
+
+// The attack must hold up across LLC replacement policies: with CAT
+// reducing the monitored region to one way, the policy choice cannot
+// matter, and even without CAT the attack keeps a clear edge.
+func TestAttackAcrossReplacementPolicies(t *testing.T) {
+	input := randomInput(512, 77)
+	for _, pol := range []cache.Policy{cache.LRU, cache.TreePLRU, cache.RandomRepl} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Cache.Replacement = pol
+			res, err := Attack(input, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BitAcc < 0.99 {
+				t.Errorf("policy %v: bit accuracy %.3f < 0.99 (CAT should neutralize policy)", pol, res.BitAcc)
+			}
+		})
+	}
+}

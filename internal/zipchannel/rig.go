@@ -1,0 +1,180 @@
+package zipchannel
+
+import (
+	"fmt"
+
+	"github.com/zipchannel/zipchannel/internal/attacker"
+	"github.com/zipchannel/zipchannel/internal/cache"
+	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/sgx"
+)
+
+// rig is the shared attack harness: the cache with CAT partitioning, the
+// enclave wired to it, the noise sources, the Prime+Probe attacker, and
+// the frame-selection page vetting. All three end-to-end attacks (bzip2,
+// zlib, ncompress) run on it.
+type rig struct {
+	cfg         Config
+	c           *cache.Cache
+	enc         *sgx.Enclave
+	pp          *attacker.PrimeProbe
+	monitorWays int
+	injectNoise func()
+	pages       map[uint64]*pageState
+	res         *Result
+	// dryTransition replays one permission-flip's worth of system noise
+	// for frame vetting.
+	dryTransition func()
+}
+
+// newRig builds the harness around a victim program.
+func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
+	c := cache.New(cfg.Cache)
+	ways := c.Config().Ways
+	monitorWays := ways
+	if cfg.UseCAT {
+		// Reduce the attack core to a single way (§V-C1) and fence the
+		// rest of the system into the remaining ways.
+		c.SetCoSMask(cosAttack, 0b1)
+		c.SetCoSMask(cosOther, (uint64(1)<<uint(ways))-2)
+		for _, a := range []int{actorVictim, actorAttacker, actorKernel} {
+			c.AssignActor(a, cosAttack)
+		}
+		c.AssignActor(actorOther, cosOther)
+		monitorWays = 1
+	}
+
+	alloc := sgx.NewFrameAllocator(0x1000, cfg.Frames)
+	enc, err := sgx.NewEnclave(prog, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("zipchannel: %w", err)
+	}
+	enc.VM.SetInput(input)
+	enc.SetObserver(func(paddr uint64, _ int, _ bool) {
+		c.Access(actorVictim, paddr)
+	})
+
+	kernel := cache.NewFixedNoise(actorKernel, cfg.KernelNoiseLines, 1<<40, 1<<40+1<<26, cfg.Seed+1)
+	other := cache.NewNoise(actorOther, cfg.OtherNoiseRate, 1<<41, 1<<41+1<<28, cfg.Seed+2)
+	injectNoise := func() {
+		kernel.Tick(c)
+		other.Tick(c)
+	}
+	enc.OnFault = injectNoise
+
+	pp := attacker.NewPrimeProbe(c, actorAttacker, 1<<42, 1<<26)
+	pp.Calibrate(128)
+
+	return &rig{
+		cfg:         cfg,
+		c:           c,
+		enc:         enc,
+		pp:          pp,
+		monitorWays: monitorWays,
+		injectNoise: injectNoise,
+		pages:       map[uint64]*pageState{},
+		res:         &Result{},
+	}, nil
+}
+
+// vetPage builds (and, with frame selection, searches for) the monitored
+// eviction sets of one victim table page (§V-C2).
+func (r *rig) vetPage(pageVA uint64) (*pageState, error) {
+	ps := &pageState{exclude: map[int]bool{}}
+	remaps := 0
+	for {
+		frame, ok := r.enc.FrameOf(pageVA)
+		if !ok {
+			return nil, fmt.Errorf("zipchannel: unmapped victim page %#x", pageVA)
+		}
+		ps.frame = frame
+		ps.sets = ps.sets[:0]
+		ps.evict = ps.evict[:0]
+		for k := 0; k < sgx.PageSize/r.c.Config().LineSize; k++ {
+			paddr := frame*sgx.PageSize + uint64(k*r.c.Config().LineSize)
+			gs := r.c.GlobalSet(paddr)
+			ps.sets = append(ps.sets, gs)
+			ev, err := r.pp.EvictionSet(gs, r.monitorWays)
+			if err != nil {
+				return nil, err
+			}
+			ps.evict = append(ps.evict, ev)
+		}
+		if !r.cfg.UseFrameSelection {
+			return ps, nil
+		}
+		// Dry-run: prime, replay the transition noise, probe (§V-C2).
+		for _, ev := range ps.evict {
+			r.pp.Prime(ev)
+		}
+		if r.dryTransition != nil {
+			r.dryTransition()
+		}
+		r.injectNoise() // a fault delivery's worth of kernel traffic
+		noisy := map[int]bool{}
+		for k, ev := range ps.evict {
+			if n, _ := r.pp.Probe(ev); n > 0 {
+				noisy[ps.sets[k]] = true
+			}
+		}
+		if len(noisy) == 0 {
+			return ps, nil
+		}
+		if remaps >= r.cfg.MaxRemapsPerPage || r.enc.FramesRemaining() == 0 {
+			// Give up searching: log the noisy sets as known false
+			// positives (the paper's timeout path).
+			ps.exclude = noisy
+			return ps, nil
+		}
+		if _, err := r.enc.RemapPage(pageVA); err != nil {
+			ps.exclude = noisy
+			return ps, nil
+		}
+		remaps++
+		r.res.Remaps++
+	}
+}
+
+// pageFor returns (vetting on first use) the state for a victim page.
+func (r *rig) pageFor(pageVA uint64) (*pageState, error) {
+	if ps, ok := r.pages[pageVA]; ok {
+		return ps, nil
+	}
+	ps, err := r.vetPage(pageVA)
+	if err != nil {
+		return nil, err
+	}
+	r.pages[pageVA] = ps
+	r.res.VettedPages++
+	return ps, nil
+}
+
+// prime fills the monitored sets of a vetted page.
+func (r *rig) prime(ps *pageState) {
+	for k, ev := range ps.evict {
+		if !ps.exclude[ps.sets[k]] {
+			r.pp.Prime(ev)
+		}
+	}
+}
+
+// probeLine measures the page's sets and returns the index (0-63) of the
+// single hot line, or -1 when zero or multiple sets fired (an unknown
+// observation).
+func (r *rig) probeLine(ps *pageState) int {
+	hot := -1
+	count := 0
+	for k, ev := range ps.evict {
+		if ps.exclude[ps.sets[k]] {
+			continue
+		}
+		if n, _ := r.pp.Probe(ev); n > 0 {
+			hot = k
+			count++
+		}
+	}
+	if count != 1 {
+		return -1
+	}
+	return hot
+}
