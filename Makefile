@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench smoke golden clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency contract of the telemetry layer.
+race:
+	$(GO) test -race ./internal/obs/...
+
+# Full benchmark sweep: every paper table/figure plus substrate
+# micro-benchmarks (see bench_test.go).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Quick cross-layer check: SGX attack telemetry end to end.
+smoke:
+	$(GO) test -run TestExperimentsSmoke ./internal/experiments/
+
+# Regenerate golden files (obs snapshot, experiments example manifest).
+golden:
+	$(GO) test ./internal/obs/ -run TestSnapshotGolden -update
+	$(GO) run ./cmd/experiments -run sgx -quick -json 2>/dev/null > cmd/experiments/testdata/sgx-quick.json
+
+clean:
+	$(GO) clean ./...

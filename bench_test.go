@@ -29,7 +29,7 @@ func benchExperiment(b *testing.B, name string, metricKeys ...string) {
 	}
 	var last map[string]float64
 	for i := 0; i < b.N; i++ {
-		res, err := r.Run(true)
+		res, err := r.Run(&experiments.Ctx{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

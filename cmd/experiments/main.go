@@ -5,16 +5,26 @@
 //
 //	experiments -run all            # everything, full size
 //	experiments -run fig7 -quick    # one experiment, reduced size
+//	experiments -run sgx -json      # machine-readable manifest on stdout
 //	experiments -list
+//
+// In -json mode, stdout carries one manifest object for a single
+// experiment or an array of manifests for -run all; human-readable
+// status goes to stderr. The manifest embeds the full telemetry
+// snapshot (cache hits/misses, stepper transitions, recovery accuracy
+// — see internal/obs), which is deterministic under the fixed
+// per-experiment seeds; only duration_ms varies between runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/experiments"
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 func main() {
@@ -26,10 +36,13 @@ func main() {
 
 func run() error {
 	var (
-		name  = flag.String("run", "all", "experiment name or 'all'")
-		quick = flag.Bool("quick", false, "reduced input sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		name     = flag.String("run", "all", "experiment name or 'all'")
+		quick    = flag.Bool("quick", false, "reduced input sizes")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonMode = flag.Bool("json", false, "emit machine-readable manifests on stdout")
 	)
+	var cli obs.CLI
+	cli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -40,30 +53,68 @@ func run() error {
 	}
 
 	var runners []experiments.Runner
-	if *name == "all" {
-		runners = experiments.All()
-	} else {
+	single := *name != "all"
+	if single {
 		r, ok := experiments.Lookup(*name)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -list)", *name)
 		}
 		runners = []experiments.Runner{r}
+	} else {
+		runners = experiments.All()
 	}
 
+	// -metrics/-trace/-progress attach one shared registry across the
+	// whole run; each experiment additionally gets its own private
+	// registry inside Execute so manifests stay per-experiment.
+	reg, err := cli.Start()
+	if err != nil {
+		return err
+	}
+	defer cli.Finish()
+
+	var manifests []*experiments.Manifest
 	failed := 0
 	for _, r := range runners {
 		start := time.Now()
-		res, err := r.Run(*quick)
+		res, m, err := experiments.Execute(r, *quick, nil)
 		if err != nil {
-			fmt.Printf("=== %s: FAILED: %v\n\n", r.Name, err)
+			fmt.Fprintf(os.Stderr, "=== %s: FAILED: %v\n\n", r.Name, err)
 			failed++
 			continue
 		}
+		mergeMetrics(reg, r.Name, res.Metrics)
+		if *jsonMode {
+			manifests = append(manifests, m)
+			fmt.Fprintf(os.Stderr, "%s ok in %s\n", r.Name, time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		fmt.Print(res)
-		fmt.Printf("(%s in %s)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s in %s)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if single && len(manifests) == 1 {
+			if err := enc.Encode(manifests[0]); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(manifests); err != nil {
+			return err
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
-	return nil
+	return cli.Finish()
+}
+
+// mergeMetrics mirrors an experiment's headline metrics into the shared
+// -metrics registry as gauges, namespaced by experiment.
+func mergeMetrics(reg *obs.Registry, name string, metrics map[string]float64) {
+	for k, v := range metrics {
+		reg.Gauge(name + "." + k).Set(v)
+	}
+	reg.Counter("experiments.completed").Inc()
 }

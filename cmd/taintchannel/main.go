@@ -7,6 +7,7 @@
 //	taintchannel -victim zlib -text "attack at dawn"
 //	taintchannel -victim bzip2 -random 64
 //	taintchannel -file gadget.zasm -input secret.bin -track 3
+//	taintchannel -victim bzip2 -random 64 -metrics m.json -trace t.ndjson
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"github.com/zipchannel/zipchannel/internal/core"
 	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/taint"
 	"github.com/zipchannel/zipchannel/internal/victims"
 	"github.com/zipchannel/zipchannel/internal/vm"
@@ -45,6 +47,8 @@ func run() error {
 		samples    = flag.Int("samples", 2, "concrete samples kept per gadget")
 		disasm     = flag.Bool("disasm", false, "print the victim's disassembly first")
 	)
+	var cli obs.CLI
+	cli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	prog, err := loadVictim(*victimName, *file)
@@ -64,12 +68,20 @@ func run() error {
 		return err
 	}
 	machine.SetInput(input)
+	reg, err := cli.Start()
+	if err != nil {
+		return err
+	}
+	defer cli.Finish()
+	reg.SetSimClock(func() uint64 { return machine.Steps })
+	machine.AttachObs(reg)
 	cfg := core.Config{CarryAware: *carry, MaxSamplesPerGadget: *samples}
 	if *track > 0 {
 		cfg.TrackTags = map[taint.Tag]bool{taint.Tag(*track): true}
 	}
 	analyzer := core.New(cfg)
 	analyzer.Attach(machine)
+	fmt.Fprintf(os.Stderr, "analyzing %s on %d input bytes...\n", prog.Name, len(input))
 	if err := machine.Run(); err != nil {
 		return fmt.Errorf("victim execution: %w", err)
 	}
@@ -81,7 +93,7 @@ func run() error {
 			fmt.Printf("  step %6d  pc %4d  %-28s %s\n", ev.Step, ev.PC, ev.Instr, ev.Note)
 		}
 	}
-	return nil
+	return cli.Finish()
 }
 
 func victimNames() []string {

@@ -12,6 +12,11 @@
 //	zipchannel-sgx -size 64 -oblivious         # the §VIII mitigation
 //	zipchannel-sgx -victim lzw -size 2048      # the ncompress gadget (E13)
 //	zipchannel-sgx -victim zlib -text "lowercasesecret" -charset
+//	zipchannel-sgx -size 2048 -metrics m.json -trace t.ndjson -progress
+//
+// Telemetry: -metrics writes the final counter/gauge/histogram snapshot
+// (canonical JSON, byte-identical under a fixed seed), -trace streams
+// NDJSON events, -progress prints a live status line to stderr.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 	"unicode"
 
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/zipchannel"
 )
 
@@ -45,6 +51,8 @@ func run() error {
 		victim    = flag.String("victim", "bzip2", "gadget to attack: bzip2, zlib, or lzw")
 		charset   = flag.Bool("charset", false, "zlib only: assume lowercase-ASCII input (§IV-B)")
 	)
+	var cli obs.CLI
+	cli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	var input []byte
@@ -69,12 +77,16 @@ func run() error {
 	cfg.OtherNoiseRate = *noise
 	cfg.Seed = *seed
 
-	fmt.Printf("attacking %d secret bytes inside the enclave via the %s gadget (CAT=%v, frame-selection=%v, oblivious=%v)...\n",
+	reg, err := cli.Start()
+	if err != nil {
+		return err
+	}
+	defer cli.Finish()
+	cfg.Obs = reg
+
+	fmt.Fprintf(os.Stderr, "attacking %d secret bytes inside the enclave via the %s gadget (CAT=%v, frame-selection=%v, oblivious=%v)...\n",
 		len(input), *victim, cfg.UseCAT, cfg.UseFrameSelection, cfg.Oblivious)
-	var (
-		res *zipchannel.Result
-		err error
-	)
+	var res *zipchannel.Result
 	switch *victim {
 	case "bzip2":
 		res, err = zipchannel.Attack(input, cfg)
@@ -90,11 +102,13 @@ func run() error {
 	}
 	fmt.Println(res)
 	fmt.Printf("cache: %d hits, %d misses, %d evictions, %d flushes\n",
-		res.CacheStats.Hits, res.CacheStats.Misses, res.CacheStats.Evictions, res.CacheStats.Flushes)
+		res.CacheHits, res.CacheMisses, res.CacheEvictions, res.CacheFlushes)
+	fmt.Printf("recovery: %d/%d bytes pinned directly, %d corrected by redundancy\n",
+		res.KnownBytes-res.CorrectedBytes, len(input), res.CorrectedBytes)
 
 	n := min(*preview, len(res.Recovered))
 	fmt.Printf("\nrecovered data (first %d bytes):\n%s\n", n, printable(res.Recovered[:n]))
-	return nil
+	return cli.Finish()
 }
 
 func printable(b []byte) string {

@@ -7,6 +7,7 @@
 //
 //	zipfingerprint -experiment fig7 -traces 40
 //	zipfingerprint -experiment fig8
+//	zipfingerprint -experiment fig7 -metrics m.json -progress
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"github.com/zipchannel/zipchannel/internal/corpus"
 	"github.com/zipchannel/zipchannel/internal/fingerprint"
 	"github.com/zipchannel/zipchannel/internal/nn"
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func run() error {
 		epochs = flag.Int("epochs", 30, "training epochs")
 		seed   = flag.Int64("seed", 7, "seed for corpus, traces, and training")
 	)
+	var cli obs.CLI
+	cli.Bind(flag.CommandLine)
 	flag.Parse()
 
 	var files []corpus.File
@@ -46,27 +50,38 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q (fig7 or fig8)", *exp)
 	}
 
-	fmt.Printf("recording %d Flush+Reload traces for each of %d files...\n", *traces, len(files))
+	reg, err := cli.Start()
+	if err != nil {
+		return err
+	}
+	defer cli.Finish()
+
+	fmt.Fprintf(os.Stderr, "recording %d Flush+Reload traces for each of %d files...\n", *traces, len(files))
 	ds, err := fingerprint.BuildDataset(files, fingerprint.DatasetConfig{
 		TracesPerFile: *traces,
 		NoiseRate:     *noise,
 		Seed:          *seed,
+		Obs:           reg,
 	})
 	if err != nil {
 		return err
 	}
 	train, _, test := nn.Split(ds, 0.8, 0.1, *seed+1)
-	fmt.Printf("training on %d traces, testing on %d...\n", len(train), len(test))
+	fmt.Fprintf(os.Stderr, "training on %d traces, testing on %d...\n", len(train), len(test))
 
 	m, err := nn.New(*seed+2, 2*fingerprint.PoolWidth, 64, len(files))
 	if err != nil {
 		return err
 	}
+	epochCtr := reg.Counter("nn.epochs")
+	lossGauge := reg.Gauge("nn.loss")
 	if _, err := m.Train(train, nn.TrainConfig{
 		Epochs: *epochs, LR: 0.02, LRDecay: 0.95,
 		Verbose: func(epoch int, loss float64) {
+			epochCtr.Inc()
+			lossGauge.Set(loss)
 			if epoch%10 == 9 {
-				fmt.Printf("  epoch %2d: loss %.4f\n", epoch+1, loss)
+				fmt.Fprintf(os.Stderr, "  epoch %2d: loss %.4f\n", epoch+1, loss)
 			}
 		},
 	}); err != nil {
@@ -81,10 +96,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg.Gauge("nn.test_acc").Set(acc)
 	fmt.Printf("\nconfusion matrix (rows = actual file, columns = prediction):\n")
 	printConfusion(files, cm)
 	fmt.Printf("\ntest accuracy: %.2f (chance: %.3f)\n", acc, 1/float64(len(files)))
-	return nil
+	return cli.Finish()
 }
 
 func printConfusion(files []corpus.File, cm [][]float64) {

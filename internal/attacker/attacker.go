@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"github.com/zipchannel/zipchannel/internal/cache"
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 // ErrNoEvictionSet reports that the attacker's buffer has too few lines
@@ -28,6 +29,26 @@ type PrimeProbe struct {
 	threshold int
 	// setLines caches, per global set, the attacker lines mapping to it.
 	setLines map[int][]uint64
+
+	// Instruments are nil until AttachObs; obs methods no-op on nil.
+	primes       *obs.Counter
+	probes       *obs.Counter
+	probedLines  *obs.Counter
+	evictionsObs *obs.Counter
+	evsetFail    *obs.Counter
+	probeLat     *obs.Histogram
+}
+
+// AttachObs registers the attacker's telemetry on reg: pp.primes and
+// pp.probes (rounds), pp.probed_lines, pp.evictions_observed (lines over
+// threshold), pp.evset_failures, and the pp.probe_latency histogram.
+func (p *PrimeProbe) AttachObs(reg *obs.Registry) {
+	p.primes = reg.Counter("pp.primes")
+	p.probes = reg.Counter("pp.probes")
+	p.probedLines = reg.Counter("pp.probed_lines")
+	p.evictionsObs = reg.Counter("pp.evictions_observed")
+	p.evsetFail = reg.Counter("pp.evset_failures")
+	p.probeLat = reg.Histogram("pp.probe_latency")
 }
 
 // NewPrimeProbe creates the attacker with a contiguous physical buffer of
@@ -81,6 +102,7 @@ func (p *PrimeProbe) Threshold() int { return p.threshold }
 func (p *PrimeProbe) EvictionSet(globalSet, ways int) ([]uint64, error) {
 	lines := p.setLines[globalSet]
 	if len(lines) < ways {
+		p.evsetFail.Inc()
 		return nil, fmt.Errorf("%w: set %d has %d/%d candidate lines",
 			ErrNoEvictionSet, globalSet, len(lines), ways)
 	}
@@ -89,6 +111,7 @@ func (p *PrimeProbe) EvictionSet(globalSet, ways int) ([]uint64, error) {
 
 // Prime loads the eviction set into the cache (attack step 1).
 func (p *PrimeProbe) Prime(ev []uint64) {
+	p.primes.Inc()
 	for _, a := range ev {
 		p.c.Access(p.actor, a)
 	}
@@ -106,13 +129,17 @@ func (p *PrimeProbe) Probe(ev []uint64) (evicted int, lats []int) {
 	if p.threshold == 0 {
 		p.Calibrate(0)
 	}
+	p.probes.Inc()
 	lats = make([]int, len(ev))
 	for i, a := range ev {
 		lats[i] = p.c.Probe(p.actor, a)
+		p.probedLines.Inc()
+		p.probeLat.Observe(int64(lats[i]))
 		if lats[i] > p.threshold {
 			evicted++
 		}
 	}
+	p.evictionsObs.Add(uint64(evicted))
 	return evicted, lats
 }
 
@@ -145,6 +172,18 @@ type FlushReload struct {
 	c         *cache.Cache
 	actor     int
 	threshold int
+
+	flushes *obs.Counter
+	reloads *obs.Counter
+	hitsSeen *obs.Counter
+}
+
+// AttachObs registers Flush+Reload telemetry on reg: fr.flushes,
+// fr.reloads, and fr.hits (reloads that saw the victim's access).
+func (f *FlushReload) AttachObs(reg *obs.Registry) {
+	f.flushes = reg.Counter("fr.flushes")
+	f.reloads = reg.Counter("fr.reloads")
+	f.hitsSeen = reg.Counter("fr.hits")
 }
 
 // NewFlushReload creates the attacker.
@@ -177,6 +216,7 @@ func (f *FlushReload) Threshold() int { return f.threshold }
 func (f *FlushReload) Flush(addrs ...uint64) {
 	for _, a := range addrs {
 		f.c.Flush(a)
+		f.flushes.Inc()
 	}
 }
 
@@ -189,7 +229,12 @@ func (f *FlushReload) Reload(addr uint64) bool {
 	}
 	lat := f.c.Probe(f.actor, addr)
 	f.c.Flush(addr)
-	return lat < f.threshold
+	f.reloads.Inc()
+	if lat < f.threshold {
+		f.hitsSeen.Inc()
+		return true
+	}
+	return false
 }
 
 // Sample reloads every monitored address once, returning per-address hit

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"strconv"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 // Policy selects the replacement policy.
@@ -53,6 +56,14 @@ type Config struct {
 	OutlierLatency int
 
 	Seed int64
+
+	// Obs receives the cache's counters (hits, misses, evictions,
+	// flushes, plus per-CoS splits) under MetricsPrefix. When nil the
+	// cache keeps a private registry so the accessors still work.
+	Obs *obs.Registry `json:"-"`
+	// MetricsPrefix names this cache level in metric keys (default
+	// "cache"; the hierarchy uses "cache.l1" / "cache.llc").
+	MetricsPrefix string `json:",omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -109,9 +120,9 @@ type Result struct {
 	Victim  int    // owner of the evicted line, -1 if none
 }
 
-// Stats aggregates access counts.
-type Stats struct {
-	Hits, Misses, Evictions, Flushes uint64
+// cosCounters is the per-class-of-service hit/miss split.
+type cosCounters struct {
+	hits, misses *obs.Counter
 }
 
 // Cache is the simulated LLC. Not safe for concurrent use: the attack
@@ -123,7 +134,14 @@ type Cache struct {
 	actor  map[int]int    // actor -> class of service
 	clock  uint64
 	rng    *rand.Rand
-	stats  Stats
+
+	reg       *obs.Registry
+	prefix    string
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	flushes   *obs.Counter
+	cosStats  map[int]cosCounters
 
 	setBits   int
 	lineBits  int
@@ -138,11 +156,26 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache: sets (%d), slices (%d), and line size (%d) must be powers of two",
 			cfg.Sets, cfg.Slices, cfg.LineSize))
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry() // private: accessors work unattached
+	}
+	prefix := cfg.MetricsPrefix
+	if prefix == "" {
+		prefix = "cache"
+	}
 	c := &Cache{
 		cfg:       cfg,
 		cos:       map[int]uint64{DefaultCoS: waymask(cfg.Ways)},
 		actor:     map[int]int{},
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		reg:       reg,
+		prefix:    prefix,
+		hits:      reg.Counter(prefix + ".hits"),
+		misses:    reg.Counter(prefix + ".misses"),
+		evictions: reg.Counter(prefix + ".evictions"),
+		flushes:   reg.Counter(prefix + ".flushes"),
+		cosStats:  map[int]cosCounters{},
 		setBits:   bits.TrailingZeros(uint(cfg.Sets)),
 		lineBits:  bits.TrailingZeros(uint(cfg.LineSize)),
 		sliceBits: bits.TrailingZeros(uint(cfg.Slices)),
@@ -163,8 +196,44 @@ func waymask(n int) uint64 { return (uint64(1) << uint(n)) - 1 }
 // Config returns the (defaulted) configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns cumulative counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Hits returns the cumulative hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Value() }
+
+// Misses returns the cumulative miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Value() }
+
+// Evictions returns the cumulative eviction count.
+func (c *Cache) Evictions() uint64 { return c.evictions.Value() }
+
+// Flushes returns the cumulative flush count.
+func (c *Cache) Flushes() uint64 { return c.flushes.Value() }
+
+// Accesses returns hits+misses.
+func (c *Cache) Accesses() uint64 { return c.Hits() + c.Misses() }
+
+// cosOf resolves an actor's class of service.
+func (c *Cache) cosOf(actor int) int {
+	cos, ok := c.actor[actor]
+	if !ok {
+		cos = DefaultCoS
+	}
+	return cos
+}
+
+// cosCountersFor lazily resolves the per-CoS hit/miss counters
+// (<prefix>.cos<N>.hits / .misses).
+func (c *Cache) cosCountersFor(cos int) cosCounters {
+	cc, ok := c.cosStats[cos]
+	if !ok {
+		base := c.prefix + ".cos" + strconv.Itoa(cos)
+		cc = cosCounters{
+			hits:   c.reg.Counter(base + ".hits"),
+			misses: c.reg.Counter(base + ".misses"),
+		}
+		c.cosStats[cos] = cc
+	}
+	return cc
+}
 
 // SetCoSMask defines a class of service as a bitmask over ways; this is
 // the simulated `pqos` CAT configuration the attack uses to shrink the
@@ -178,11 +247,7 @@ func (c *Cache) SetCoSMask(cos int, mask uint64) {
 func (c *Cache) AssignActor(actor, cos int) { c.actor[actor] = cos }
 
 func (c *Cache) maskFor(actor int) uint64 {
-	cos, ok := c.actor[actor]
-	if !ok {
-		cos = DefaultCoS
-	}
-	m, ok := c.cos[cos]
+	m, ok := c.cos[c.cosOf(actor)]
 	if !ok || m == 0 {
 		m = waymask(c.cfg.Ways)
 	}
@@ -240,6 +305,7 @@ func (c *Cache) Access(actor int, paddr uint64) Result {
 	s := &c.slices[sl][st]
 	res := Result{Set: sl*c.cfg.Sets + st, Slice: sl, Evicted: ^uint64(0), Victim: -1}
 
+	cc := c.cosCountersFor(c.cosOf(actor))
 	for i := range s.ways {
 		w := &s.ways[i]
 		if w.valid && w.line == line {
@@ -247,13 +313,15 @@ func (c *Cache) Access(actor int, paddr uint64) Result {
 			c.touchPLRU(s, i)
 			res.Hit = true
 			res.Latency = c.latency(c.cfg.HitLatency)
-			c.stats.Hits++
+			c.hits.Inc()
+			cc.hits.Inc()
 			return res
 		}
 	}
 
 	// Miss: allocate within the actor's CAT mask.
-	c.stats.Misses++
+	c.misses.Inc()
+	cc.misses.Inc()
 	res.Latency = c.latency(c.cfg.MissLatency)
 	mask := c.maskFor(actor)
 	victim := c.pickVictim(s, mask)
@@ -261,7 +329,7 @@ func (c *Cache) Access(actor int, paddr uint64) Result {
 	if w.valid {
 		res.Evicted = w.line
 		res.Victim = w.owner
-		c.stats.Evictions++
+		c.evictions.Inc()
 	}
 	*w = way{valid: true, line: line, owner: actor, lru: c.clock}
 	c.touchPLRU(s, victim)
@@ -283,7 +351,7 @@ func (c *Cache) Flush(paddr uint64) {
 	for i := range s.ways {
 		if s.ways[i].valid && s.ways[i].line == line {
 			s.ways[i] = way{}
-			c.stats.Flushes++
+			c.flushes.Inc()
 			return
 		}
 	}
@@ -300,6 +368,38 @@ func (c *Cache) Contains(paddr uint64) bool {
 		}
 	}
 	return false
+}
+
+// Heatmap returns the current set occupancy: valid-line counts indexed
+// [slice][set]. Exported so tools can render which sets an attack run
+// actually touched.
+func (c *Cache) Heatmap() [][]int {
+	hm := make([][]int, len(c.slices))
+	for sl, sets := range c.slices {
+		hm[sl] = make([]int, len(sets))
+		for st := range sets {
+			n := 0
+			for _, w := range sets[st].ways {
+				if w.valid {
+					n++
+				}
+			}
+			hm[sl][st] = n
+		}
+	}
+	return hm
+}
+
+// EmitHeatmap writes the occupancy heatmap as one structured trace event
+// ("cache.heatmap") on the cache's registry, if a trace sink is attached.
+func (c *Cache) EmitHeatmap() {
+	c.reg.Emit(c.prefix+".heatmap", map[string]any{
+		"prefix":    c.prefix,
+		"slices":    c.cfg.Slices,
+		"sets":      c.cfg.Sets,
+		"ways":      c.cfg.Ways,
+		"occupancy": c.Heatmap(),
+	})
 }
 
 // OccupancyOf returns how many valid lines actor owns in the set of paddr.

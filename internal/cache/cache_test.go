@@ -82,8 +82,8 @@ func TestFlushRemovesLine(t *testing.T) {
 	if c.Access(1, 0x2000).Hit {
 		t.Error("access after flush should miss")
 	}
-	if c.Stats().Flushes != 1 {
-		t.Errorf("flush count = %d", c.Stats().Flushes)
+	if c.Flushes() != 1 {
+		t.Errorf("flush count = %d", c.Flushes())
 	}
 }
 
@@ -215,7 +215,7 @@ func TestNoiseTick(t *testing.T) {
 	if total < 2000 || total > 3000 {
 		t.Errorf("noise total %d, want ~2500", total)
 	}
-	if c.Stats().Misses == 0 {
+	if c.Misses() == 0 {
 		t.Error("noise should cause misses")
 	}
 	var nilNoise *Noise

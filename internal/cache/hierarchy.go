@@ -40,9 +40,19 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	if l1.MissLatency == 0 {
 		l1.MissLatency = 40 // an L1 miss costs roughly an LLC hit
 	}
+	if l1.Obs == nil {
+		l1.Obs = cfg.LLC.Obs // one registry wires both levels
+	}
+	if l1.MetricsPrefix == "" {
+		l1.MetricsPrefix = "cache.l1"
+	}
+	llc := cfg.LLC
+	if llc.MetricsPrefix == "" {
+		llc.MetricsPrefix = "cache.llc"
+	}
 	return &Hierarchy{
 		l1s:       map[int]*Cache{},
-		llc:       New(cfg.LLC),
+		llc:       New(llc),
 		inclusive: cfg.Inclusive,
 		l1cfg:     l1,
 	}

@@ -18,15 +18,14 @@ func newHier(inclusive bool) *Hierarchy {
 func TestHierarchyL1HitHidesFromLLC(t *testing.T) {
 	h := newHier(true)
 	h.Access(hVictim, 0x1000)
-	before := h.LLC().Stats()
+	beforeHits, beforeMisses := h.LLC().Hits(), h.LLC().Misses()
 	for i := 0; i < 10; i++ {
 		r := h.Access(hVictim, 0x1000)
 		if !r.Hit {
 			t.Fatal("repeat access should hit L1")
 		}
 	}
-	after := h.LLC().Stats()
-	if after.Hits != before.Hits || after.Misses != before.Misses {
+	if h.LLC().Hits() != beforeHits || h.LLC().Misses() != beforeMisses {
 		t.Error("L1 hits must not generate LLC traffic")
 	}
 }

@@ -12,16 +12,19 @@ import (
 // ncompress leak through the cache exactly like bzip2, and the
 // generalized two-array stepper turns those survey results into
 // end-to-end extractions with the same §V machinery.
-func AllGadgetsSGX(quick bool) (*Result, error) {
+func AllGadgetsSGX(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 2048
 	if quick {
 		n = 512
 	}
 	res := newResult("E13", "the §V attack generalized to all three surveyed gadgets")
+	res.Seed = 8
 	res.addf("%-22s %-10s %-10s %s", "victim gadget", "bits ok", "bytes ok", "notes")
 
 	cfg := zipchannel.DefaultConfig()
 	cfg.Seed = 8
+	cfg.Obs = ctx.Obs
 
 	// bzip2: the paper's own end-to-end target, for reference.
 	random := randomInput(n, 61)

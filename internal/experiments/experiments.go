@@ -10,16 +10,34 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
+
+// Ctx is the execution context handed to every runner: the size variant
+// and the observability registry collecting the run's telemetry. Obs may
+// be nil (runners must pass it through, never dereference it).
+type Ctx struct {
+	// Quick selects a reduced-size variant suitable for tests/benches.
+	Quick bool
+	// Obs collects metrics across the experiment's simulations.
+	Obs *obs.Registry
+}
 
 // Result is one regenerated experiment: human-readable lines plus the
 // numeric outcomes benches and tests assert on.
 type Result struct {
-	ID    string
-	Title string
-	Lines []string
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Lines []string `json:"lines"`
 	// Metrics holds the headline numbers (accuracy fractions, counts).
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics"`
+	// Seed is the experiment's root RNG seed (0 when seeding is fixed
+	// per-variant inside the runner).
+	Seed int64 `json:"seed"`
+	// Config records the principal simulation configuration, when the
+	// runner has a single meaningful one.
+	Config any `json:"config,omitempty"`
 }
 
 func newResult(id, title string) *Result {
@@ -56,8 +74,7 @@ func (r *Result) String() string {
 // Runner is one registered experiment.
 type Runner struct {
 	Name string
-	// Quick runs a reduced-size variant suitable for tests/benches.
-	Run func(quick bool) (*Result, error)
+	Run  func(ctx *Ctx) (*Result, error)
 }
 
 // All returns the experiment registry in paper order.

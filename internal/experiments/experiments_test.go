@@ -12,7 +12,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.Name, func(t *testing.T) {
-			res, err := r.Run(true)
+			res, err := r.Run(&Ctx{Quick: true})
 			if err != nil {
 				t.Fatalf("%s: %v", r.Name, err)
 			}

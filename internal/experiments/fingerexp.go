@@ -7,12 +7,14 @@ import (
 	"github.com/zipchannel/zipchannel/internal/corpus"
 	"github.com/zipchannel/zipchannel/internal/fingerprint"
 	"github.com/zipchannel/zipchannel/internal/nn"
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 // Fig6 regenerates the sorting control-flow census behind Fig 6: for
 // every corpus file, which path each block takes (mainSort, abandon to
 // fallbackSort, or direct fallbackSort for the short tail).
-func Fig6(quick bool) (*Result, error) {
+func Fig6(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	files := corpus.BrotliLike(1)
 	if quick {
 		files = files[:6]
@@ -49,12 +51,13 @@ func (c *flowCounter) FallbackSortEnter()  { c.fallbacks++ }
 
 // runFingerprint generates traces for the files, trains the classifier,
 // and returns (labels, confusion matrix, test accuracy).
-func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed int64) ([]string, [][]float64, float64, error) {
+func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed int64, reg *obs.Registry) ([]string, [][]float64, float64, error) {
 	ds, err := fingerprint.BuildDataset(files, fingerprint.DatasetConfig{
 		TracesPerFile:    tracesPerFile,
 		NoiseRate:        0.05,
 		PeriodJitterFrac: jitter,
 		Seed:             seed,
+		Obs:              reg,
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -66,7 +69,14 @@ func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	if _, err := m.Train(train, nn.TrainConfig{Epochs: 30, LR: 0.02, LRDecay: 0.95}); err != nil {
+	epochs := reg.Counter("nn.epochs")
+	loss := reg.Gauge("nn.loss")
+	trainCfg := nn.TrainConfig{Epochs: 30, LR: 0.02, LRDecay: 0.95,
+		Verbose: func(epoch int, l float64) {
+			epochs.Inc()
+			loss.Set(l)
+		}}
+	if _, err := m.Train(train, trainCfg); err != nil {
 		return nil, nil, 0, err
 	}
 	cm, err := m.ConfusionMatrix(test)
@@ -77,6 +87,7 @@ func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	reg.Gauge("nn.test_acc").Set(acc)
 	labels := make([]string, len(files))
 	for i, f := range files {
 		labels[i] = f.Name
@@ -87,18 +98,20 @@ func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed
 // Fig7 regenerates the 21-file fingerprinting confusion matrix: most
 // files classify well; tiny files that go straight to fallbackSort
 // confuse each other (the paper's file "x" at 20%).
-func Fig7(quick bool) (*Result, error) {
+func Fig7(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	files := corpus.BrotliLike(1)
 	traces := 40
 	if quick {
 		files = files[:8]
 		traces = 12
 	}
-	labels, cm, acc, err := runFingerprint(files, traces, 0.05, 7)
+	labels, cm, acc, err := runFingerprint(files, traces, 0.05, 7, ctx.Obs)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult("E8/Fig7", fmt.Sprintf("fingerprinting %d corpus files (confusion matrix, rows=actual)", len(files)))
+	res.Seed = 7
 	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
 	res.Metrics["testAcc"] = acc
 	res.Metrics["diagMean"] = diagonalMean(cm)
@@ -113,7 +126,8 @@ func Fig7(quick bool) (*Result, error) {
 // Fig8 regenerates the repetitiveness experiment: 5 same-size lipsum
 // files drawing from i paragraphs each; the most repetitive file is
 // nearly always identified, its neighbours are confused with each other.
-func Fig8(quick bool) (*Result, error) {
+func Fig8(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	size := 20000
 	traces := 50
 	if quick {
@@ -122,11 +136,12 @@ func Fig8(quick bool) (*Result, error) {
 	files := corpus.RepetitivenessSeries(11, size)
 	// Per-trace timing jitter models the run-to-run variation that makes
 	// the paper's similar lipsum files confusable (Fig 8 off-diagonals).
-	labels, cm, acc, err := runFingerprint(files, traces, 0.25, 13)
+	labels, cm, acc, err := runFingerprint(files, traces, 0.25, 13, ctx.Obs)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult("E9/Fig8", "fingerprinting 5 lipsum files of increasing diversity")
+	res.Seed = 13
 	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
 	res.Metrics["testAcc"] = acc
 	res.Metrics["file1Diag"] = cm[0][0]

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// Manifest is the machine-readable record of one experiment run: what
+// ran, with which configuration and seed, the headline metrics, and the
+// full telemetry snapshot. cmd/experiments -json emits these.
+type Manifest struct {
+	Name    string             `json:"name"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Quick   bool               `json:"quick"`
+	Seed    int64              `json:"seed"`
+	Config  any                `json:"config,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+	Lines   []string           `json:"lines"`
+	// Snapshot is the canonical metric state after the run (counters,
+	// gauges, histograms — see internal/obs). Deterministic under a
+	// fixed seed.
+	Snapshot *obs.Snapshot `json:"snapshot"`
+	// DurationMS is wall-clock and therefore NOT deterministic; it is
+	// kept out of Snapshot so that remains byte-stable.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// MarshalIndent renders the manifest as indented JSON with a trailing
+// newline.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Execute runs one experiment under a fresh (or caller-provided)
+// registry and returns the result together with its manifest. A nil reg
+// creates a private registry, so the manifest always carries a snapshot.
+func Execute(r Runner, quick bool, reg *obs.Registry) (*Result, *Manifest, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	start := time.Now()
+	res, err := r.Run(&Ctx{Quick: quick, Obs: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &Manifest{
+		Name:       r.Name,
+		ID:         res.ID,
+		Title:      res.Title,
+		Quick:      quick,
+		Seed:       res.Seed,
+		Config:     res.Config,
+		Metrics:    res.Metrics,
+		Lines:      res.Lines,
+		Snapshot:   reg.Snapshot(),
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	return res, m, nil
+}

@@ -21,23 +21,32 @@ func randomInput(n int, seed int64) []byte {
 // page channel + Prime+Probe + CAT + frame selection) at >99% bit
 // accuracy. The paper leaks 10 KB in under 30 s of wall time on real
 // hardware; the simulated attack's size is scaled for the quick variant.
-func SGXHeadline(quick bool) (*Result, error) {
+func SGXHeadline(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 10240
 	if quick {
 		n = 1024
 	}
 	input := randomInput(n, 42)
-	r, err := zipchannel.Attack(input, zipchannel.DefaultConfig())
+	cfg := zipchannel.DefaultConfig()
+	cfg.Obs = ctx.Obs
+	r, err := zipchannel.Attack(input, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult("E7/§V-E", "SGX attack on randomly generated data (paper: >99% of bits, <30 s)")
+	res.Seed = 42
+	res.Config = cfg
 	res.addf("input: %d random bytes (no redundancy, the hardest case)", n)
 	res.addf("%s", r)
 	res.Metrics["bitAcc"] = r.BitAcc
 	res.Metrics["byteAcc"] = r.ByteAcc
 	res.Metrics["unknownObs"] = float64(r.UnknownObs)
 	res.Metrics["remaps"] = float64(r.Remaps)
+	res.Metrics["knownBytes"] = float64(r.KnownBytes)
+	res.Metrics["correctedBytes"] = float64(r.CorrectedBytes)
+	res.Metrics["cacheHits"] = float64(r.CacheHits)
+	res.Metrics["cacheMisses"] = float64(r.CacheMisses)
 	res.Metrics["seconds"] = r.Elapsed.Seconds()
 	if r.BitAcc < 0.99 {
 		return nil, fmt.Errorf("sgx: bit accuracy %.4f below the paper's 0.99", r.BitAcc)
@@ -47,13 +56,15 @@ func SGXHeadline(quick bool) (*Result, error) {
 
 // SGXAblations regenerates E7a: the same attack with CAT and/or frame
 // selection disabled, quantifying each §V-C technique's contribution.
-func SGXAblations(quick bool) (*Result, error) {
+func SGXAblations(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 4096
 	if quick {
 		n = 768
 	}
 	input := randomInput(n, 99)
 	res := newResult("E7a", "ablations: Intel CAT (§V-C1) and frame selection (§V-C2)")
+	res.Seed = 99
 	res.addf("%-32s %-10s %-10s %s", "configuration", "bits ok", "bytes ok", "unknown obs")
 	variants := []struct {
 		name     string
@@ -98,7 +109,8 @@ func SGXAblations(quick bool) (*Result, error) {
 // Mitigation regenerates E11 (§VIII): against the oblivious-histogram
 // victim (every ftab cache line written per input byte), the same attack
 // collapses to near-chance accuracy, at a measured victim overhead.
-func Mitigation(quick bool) (*Result, error) {
+func Mitigation(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 192
 	if quick {
 		n = 64
@@ -106,6 +118,7 @@ func Mitigation(quick bool) (*Result, error) {
 	input := randomInput(n, 17)
 	base := zipchannel.DefaultConfig()
 	base.Seed = 3
+	base.Obs = ctx.Obs
 
 	vuln, err := zipchannel.Attack(input, base)
 	if err != nil {
@@ -119,10 +132,11 @@ func Mitigation(quick bool) (*Result, error) {
 	}
 
 	res := newResult("E11/§VIII", "mitigation: oblivious histogram update vs the full attack")
+	res.Seed = 17
+	res.Config = base
 	res.addf("vulnerable victim:  %s", vuln)
 	res.addf("oblivious victim:   %s", mit)
-	overhead := float64(mit.CacheStats.Hits+mit.CacheStats.Misses) /
-		float64(vuln.CacheStats.Hits+vuln.CacheStats.Misses+1)
+	overhead := float64(mit.CacheAccesses()) / float64(vuln.CacheAccesses()+1)
 	res.addf("victim memory-traffic overhead: %.0fx", overhead)
 
 	// TaintChannel's verdict on the two victims: the §VIII variant's

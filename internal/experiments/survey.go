@@ -51,7 +51,8 @@ func (t *bwtTrace) FtabInc(j uint16) { t.js = append(t.js, j) }
 // granularity, run the §IV recovery computation, and report the leaked
 // fraction — alongside TaintChannel's gadget census on the assembly
 // miniatures.
-func Survey(quick bool) (*Result, error) {
+func Survey(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 4096
 	if quick {
 		n = 512

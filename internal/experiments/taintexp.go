@@ -30,7 +30,8 @@ func runTaintChannel(prog *isa.Program, input []byte, cfg core.Config) (*core.Re
 // Fig2 regenerates the paper's Fig 2: TaintChannel's report for the zlib
 // INSERT_STRING gadget, showing three consecutive input bytes tainting
 // the dereferenced address at bit ranges 1-8 / 6-13 / 11-15.
-func Fig2(quick bool) (*Result, error) {
+func Fig2(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 6000
 	if quick {
 		n = 256
@@ -59,7 +60,8 @@ func Fig2(quick bool) (*Result, error) {
 // Fig3 regenerates Fig 3: the propagation history of one input byte
 // through the ncompress gadget (read -> shl 9 -> xor ent -> scaled
 // dereference), plus the resulting taint matrix.
-func Fig3(quick bool) (*Result, error) {
+func Fig3(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	input := []byte{0x20, 0x20, 0x41, 0x42, 0x43}
 	_ = quick
 	trackedTag := taint.Tag(2) // the byte that Fig 3 follows
@@ -86,7 +88,8 @@ func Fig3(quick bool) (*Result, error) {
 
 // Fig4 regenerates Fig 4: two consecutive ftab increments showing the
 // same input byte first in the high half, then the low half of the index.
-func Fig4(quick bool) (*Result, error) {
+func Fig4(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	input := []byte("ILLINOIS")
 	_ = quick
 	rep, _, err := runTaintChannel(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), input,
@@ -106,7 +109,8 @@ func Fig4(quick bool) (*Result, error) {
 
 // AESValidation regenerates the §III-B check that TaintChannel
 // rediscovers the Osvik et al. AES T-table gadget.
-func AESValidation(quick bool) (*Result, error) {
+func AESValidation(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	_ = quick
 	pt := make([]byte, 16)
 	rand.New(rand.NewSource(7)).Read(pt)
@@ -129,7 +133,8 @@ func AESValidation(quick bool) (*Result, error) {
 // MemcpyValidation regenerates the §III-B memcpy finding: a control-flow
 // gadget on the copy size, with reduced traces diverging between a
 // multiple-of-word and a ragged size.
-func MemcpyValidation(quick bool) (*Result, error) {
+func MemcpyValidation(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	_ = quick
 	mk := func(n byte) []byte {
 		in := make([]byte, int(n)+1)

@@ -14,7 +14,8 @@ import (
 // same gadget sites on the compression victims, but only TaintChannel
 // yields the input-to-address relation (the bit matrices of Figs 2-4),
 // and it needs a single execution where the baseline needs many.
-func ToolComparison(quick bool) (*Result, error) {
+func ToolComparison(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
 	n := 1024
 	runs := 8
 	if quick {

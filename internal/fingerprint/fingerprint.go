@@ -11,12 +11,14 @@ package fingerprint
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/zipchannel/zipchannel/internal/attacker"
 	"github.com/zipchannel/zipchannel/internal/cache"
 	"github.com/zipchannel/zipchannel/internal/compress/bwt"
 	"github.com/zipchannel/zipchannel/internal/corpus"
 	"github.com/zipchannel/zipchannel/internal/nn"
+	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 // Func identifies which sorting function is executing.
@@ -151,6 +153,10 @@ type SampleConfig struct {
 	// sample interval (false-hit source); 0 disables.
 	NoiseRate float64
 	Seed      int64
+
+	// Obs receives the sampling telemetry (fp.samples, fr.* and cache.*
+	// counters); nil disables.
+	Obs *obs.Registry `json:"-"`
 }
 
 // Trace is one recorded 2xN Flush+Reload observation: row 0 monitors
@@ -171,9 +177,11 @@ func (tl *Timeline) Sample(cfg SampleConfig) *Trace {
 	if cfg.Period == 0 {
 		cfg.Period = 1 + tl.Total/uint64(cfg.Samples)
 	}
-	c := cache.New(cache.Config{Seed: cfg.Seed})
+	c := cache.New(cache.Config{Seed: cfg.Seed, Obs: cfg.Obs})
 	fr := attacker.NewFlushReload(c, 2)
+	fr.AttachObs(cfg.Obs)
 	fr.Calibrate(0x600000, 64)
+	samples := cfg.Obs.Counter("fp.samples")
 	noise := cache.NewNoise(3, cfg.NoiseRate, mainSortLine-1<<14, fallbackSortLine+1<<14, cfg.Seed+7)
 
 	tr := &Trace{
@@ -199,6 +207,7 @@ func (tl *Timeline) Sample(cfg SampleConfig) *Trace {
 		noise.Tick(c)
 		tr.Main[s] = fr.Reload(mainSortLine)
 		tr.Fallback[s] = fr.Reload(fallbackSortLine)
+		samples.Inc()
 		prev = now
 	}
 	return tr
@@ -254,6 +263,11 @@ type DatasetConfig struct {
 	// (frequency scaling, co-runners) that real traces exhibit.
 	PeriodJitterFrac float64
 	Seed             int64
+
+	// Obs receives dataset-generation telemetry: fp.timelines and
+	// fp.traces counters, plus the wall-derived fp.traces_per_sec gauge
+	// (the one deliberately non-deterministic metric).
+	Obs *obs.Registry `json:"-"`
 }
 
 // BuildDataset generates labelled Flush+Reload traces for the corpus:
@@ -264,6 +278,9 @@ func BuildDataset(files []corpus.File, cfg DatasetConfig) ([]nn.Sample, error) {
 	if cfg.TracesPerFile == 0 {
 		cfg.TracesPerFile = 40
 	}
+	genStart := time.Now()
+	timelineCtr := cfg.Obs.Counter("fp.timelines")
+	traceCtr := cfg.Obs.Counter("fp.traces")
 	timelines := make([]*Timeline, len(files))
 	var maxTotal uint64
 	for i, f := range files {
@@ -272,6 +289,7 @@ func BuildDataset(files []corpus.File, cfg DatasetConfig) ([]nn.Sample, error) {
 			return nil, fmt.Errorf("fingerprint: %s: %w", f.Name, err)
 		}
 		timelines[i] = tl
+		timelineCtr.Inc()
 		if tl.Total > maxTotal {
 			maxTotal = tl.Total
 		}
@@ -296,9 +314,14 @@ func BuildDataset(files []corpus.File, cfg DatasetConfig) ([]nn.Sample, error) {
 				PhaseJitter: uint64(seed%31) * p / 31,
 				NoiseRate:   cfg.NoiseRate,
 				Seed:        seed,
+				Obs:         cfg.Obs,
 			})
 			out = append(out, nn.Sample{X: Features(tr), Label: i})
+			traceCtr.Inc()
 		}
+	}
+	if sec := time.Since(genStart).Seconds(); sec > 0 {
+		cfg.Obs.Gauge("fp.traces_per_sec").Set(float64(len(out)) / sec)
 	}
 	return out, nil
 }

@@ -91,6 +91,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes, for building per-opcode
+// lookup tables (e.g. dispatch counters) outside this package.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	OpNop: "nop", OpMov: "mov", OpLd: "ld", OpSt: "st", OpLea: "lea",
 	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",

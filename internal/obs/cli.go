@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CLI bundles the telemetry flags shared by the cmd/ binaries:
+//
+//	-metrics file.json    write the final snapshot (sorted, canonical JSON)
+//	-trace file.ndjson    stream trace events as NDJSON
+//	-progress             periodic one-line status on stderr
+//
+// Usage: Bind before flag.Parse, Start after it, defer Finish.
+type CLI struct {
+	MetricsPath string
+	TracePath   string
+	Progress    bool
+
+	reg       *Registry
+	traceFile *os.File
+	sink      *TraceSink
+	stopProg  func()
+}
+
+// Bind registers the three flags on fs.
+func (c *CLI) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write the final metrics snapshot to this JSON file")
+	fs.StringVar(&c.TracePath, "trace", "", "stream trace events to this NDJSON file")
+	fs.BoolVar(&c.Progress, "progress", false, "print a periodic progress line to stderr")
+}
+
+// Start builds the registry, attaching the trace sink and progress
+// printer the flags ask for. Call once, after flag.Parse.
+func (c *CLI) Start() (*Registry, error) {
+	c.reg = NewRegistry()
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		c.traceFile = f
+		c.sink = NewTraceSink(f)
+		c.reg.SetTraceSink(c.sink)
+	}
+	if c.Progress {
+		c.stopProg = c.reg.StartProgress(os.Stderr, 500*time.Millisecond, DefaultProgressLine)
+	}
+	return c.reg, nil
+}
+
+// Finish stops the progress printer, writes the metrics snapshot, and
+// closes the trace file. Safe to call if Start never ran or failed.
+func (c *CLI) Finish() error {
+	if c.stopProg != nil {
+		c.stopProg()
+		c.stopProg = nil
+	}
+	var first error
+	if c.reg != nil && c.MetricsPath != "" {
+		if err := c.reg.WriteSnapshot(c.MetricsPath); err != nil {
+			first = err
+		}
+	}
+	if c.sink != nil {
+		if err := c.sink.Err(); err != nil && first == nil {
+			first = fmt.Errorf("obs: trace write: %w", err)
+		}
+	}
+	if c.traceFile != nil {
+		if err := c.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.traceFile = nil
+	}
+	return first
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers non-positive values (bucket 0) plus one bucket per
+// power of two: bucket i (1..64) holds values v with 2^(i-1) <= v < 2^i.
+const numBuckets = 65
+
+// Histogram accumulates int64 observations into fixed log-spaced
+// (power-of-two) buckets, so snapshots are deterministic under a fixed
+// seed regardless of observation order. The zero value is ready to use;
+// all methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// NewHistogram creates a standalone histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1..64
+}
+
+// BucketLow returns the inclusive lower bound of bucket i (the key used
+// in snapshots): 0 for the non-positive bucket, else 2^(i-1).
+func BucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return uint64(1) << uint(i-1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}

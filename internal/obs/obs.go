@@ -1,0 +1,272 @@
+// Package obs is the repository's unified attack-telemetry layer: a
+// zero-dependency, concurrency-safe registry of counters, gauges, and
+// log-bucketed histograms, plus span timers with a simulation-clock /
+// wall-clock dual, an NDJSON structured-event trace sink, and a periodic
+// progress reporter.
+//
+// The design constraints come from the attacks themselves (see ISSUE 1):
+//
+//   - No globals. A *Registry is created by whoever owns a run (a CLI, an
+//     experiment, a test) and passed down explicitly; modules hang their
+//     instruments off it at construction/attach time.
+//   - Deterministic snapshots. Under a fixed seed, two runs of the same
+//     attack must produce byte-identical Snapshot JSON, so everything a
+//     Snapshot contains derives from simulation state only: counters,
+//     gauges, and histograms over simulated quantities. Wall-clock data
+//     (span durations, traces/sec) is kept out of snapshots — it is
+//     available via WallTotals and the trace sink instead.
+//   - Nil-safety everywhere. A nil *Registry hands out nil instruments,
+//     and every instrument method is a no-op on a nil receiver, so
+//     instrumented hot paths need no conditionals.
+//   - Cheap hot paths. Instruments are resolved once (by name, under the
+//     registry mutex) and then updated with single atomic operations.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a namespace of metrics and the run's trace sink. All
+// methods are safe for concurrent use; instruments with the same name are
+// shared (two modules asking for "cache.hits" get the same counter).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	wall     map[string]*Counter // cumulative wall ns per span, not snapshotted
+	simClock func() uint64
+	sink     *TraceSink
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		wall:     map[string]*Counter{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Returns nil —
+// a valid no-op instrument — when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil registry gives
+// a no-op instrument.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil
+// registry gives a no-op instrument.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetSimClock installs the simulation clock spans and trace events stamp
+// their "sim" field with (e.g. the victim VM's retired-instruction
+// count, or the cache's access clock). The function must be cheap and is
+// called outside the registry lock.
+func (r *Registry) SetSimClock(fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.simClock = fn
+	r.mu.Unlock()
+}
+
+// SimNow reads the installed simulation clock (0 when none is set).
+func (r *Registry) SimNow() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	fn := r.simClock
+	r.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// SetTraceSink routes structured events (Emit, span ends) to s; nil
+// detaches.
+func (r *Registry) SetTraceSink(s *TraceSink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+func (r *Registry) traceSink() *TraceSink {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s := r.sink
+	r.mu.Unlock()
+	return s
+}
+
+// Emit writes one structured event to the trace sink, stamped with the
+// sim clock. A nil registry or absent sink drops the event.
+func (r *Registry) Emit(event string, fields map[string]any) {
+	s := r.traceSink()
+	if s == nil {
+		return
+	}
+	s.Emit(event, r.SimNow(), fields)
+}
+
+// wallCounter returns the hidden wall-time accumulator for a span name.
+func (r *Registry) wallCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.wall[name]
+	if !ok {
+		c = NewCounter()
+		r.wall[name] = c
+	}
+	return c
+}
+
+// WallTotals returns cumulative wall-clock nanoseconds per span name.
+// Wall time is deliberately excluded from Snapshot (it would break
+// byte-identical snapshots under a fixed seed); this accessor serves
+// progress lines and human diagnostics.
+func (r *Registry) WallTotals() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.wall))
+	for k, c := range r.wall {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// CounterNames returns the sorted names of all registered counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter creates a standalone counter (not attached to a registry).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. The zero value is ready to use; methods
+// are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

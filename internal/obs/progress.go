@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StartProgress launches a goroutine that writes one status line to w
+// every interval until the returned stop function is called (which also
+// writes a final line). render builds the line from a fresh snapshot;
+// when nil, DefaultProgressLine is used. Safe on a nil registry (returns
+// a no-op stop).
+//
+// This backs the CLIs' -progress flag: counters are atomic, so the
+// reporter can read a consistent-enough view mid-attack without pausing
+// the simulation.
+func (r *Registry) StartProgress(w io.Writer, interval time.Duration, render func(*Snapshot) string) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if render == nil {
+		render = DefaultProgressLine
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, render(r.Snapshot()))
+			case <-done:
+				fmt.Fprintln(w, render(r.Snapshot()))
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
+	}
+}
+
+// DefaultProgressLine summarizes the largest counters as "name=value"
+// pairs on one line (top 6 by value, names sorted within the line).
+func DefaultProgressLine(s *Snapshot) string {
+	type kv struct {
+		k string
+		v uint64
+	}
+	all := make([]kv, 0, len(s.Counters))
+	for k, v := range s.Counters {
+		if v > 0 {
+			all = append(all, kv{k, v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > 6 {
+		all = all[:6]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	var b strings.Builder
+	b.WriteString("progress:")
+	if len(all) == 0 {
+		b.WriteString(" (no counters yet)")
+	}
+	for _, e := range all {
+		fmt.Fprintf(&b, " %s=%d", e.k, e.v)
+	}
+	return b.String()
+}

@@ -24,6 +24,21 @@ type BzipResult struct {
 	// Known[i] is true when the candidate set for byte i collapsed to a
 	// single value; false bytes were guessed from the remaining interval.
 	Known []bool
+	// Corrected counts bytes that the direct observation left ambiguous
+	// but the cross-iteration redundancy (§V-D's error correction)
+	// collapsed to a single value.
+	Corrected int
+}
+
+// KnownCount returns how many bytes were recovered with certainty.
+func (r *BzipResult) KnownCount() int {
+	n := 0
+	for _, k := range r.Known {
+		if k {
+			n++
+		}
+	}
+	return n
 }
 
 // Accuracy compares against the ground truth and returns the fraction of
@@ -120,6 +135,13 @@ func RecoverBzip(trace BzipTrace, n, lineSize int) (*BzipResult, error) {
 		}
 	}
 
+	// Remember which bytes the direct observation alone pinned down, so
+	// the result can report how many the redundancy passes corrected.
+	directKnown := make([]bool, n)
+	for i := 0; i < n; i++ {
+		directKnown[i] = count(&cand[i]) == 1
+	}
+
 	// Arc-consistency sweeps around the ring: j_i = b[i]<<8 | b[i+1].
 	for pass := 0; pass < 4; pass++ {
 		changed := false
@@ -177,6 +199,9 @@ func RecoverBzip(trace BzipTrace, n, lineSize int) (*BzipResult, error) {
 		switch {
 		case c == 1:
 			res.Known[i] = true
+			if !directKnown[i] {
+				res.Corrected++
+			}
 			for v := 0; v < 256; v++ {
 				if has(&cand[i], v) {
 					res.Block[i] = byte(v)

@@ -76,6 +76,8 @@ type Enclave struct {
 	frames *FrameAllocator
 	// pageFrame records the current frame of each mapped virtual page.
 	pageFrame map[uint64]uint64
+
+	obs enclaveObs
 }
 
 // NewEnclave loads prog into a fresh paged address space, mapping every
@@ -113,6 +115,7 @@ func (e *Enclave) Protect(symbol string, perm vm.Perm) error {
 	if !ok {
 		return fmt.Errorf("sgx: no symbol %q in %q", symbol, e.Prog.Name)
 	}
+	e.obs.mprotects.Inc()
 	return e.Mem.ProtectRange(sym.Addr, sym.Size, perm)
 }
 
@@ -129,7 +132,10 @@ func (e *Enclave) Resume() (*MaskedFault, error) {
 		if e.OnFault != nil {
 			e.OnFault()
 		}
-		return &MaskedFault{PageBase: f.Addr &^ (PageSize - 1), Write: f.Write}, nil
+		e.obs.faults.Inc()
+		pageBase := f.Addr &^ (PageSize - 1)
+		e.obs.faultPage.Observe(int64(pageBase/PageSize) - int64(e.Prog.DataBase/PageSize))
+		return &MaskedFault{PageBase: pageBase, Write: f.Write}, nil
 	}
 	return nil, err
 }
@@ -165,6 +171,7 @@ func (e *Enclave) RemapPage(vaddr uint64) (uint64, error) {
 		e.frames.Free(old)
 	}
 	e.pageFrame[vpn] = newFrame
+	e.obs.remaps.Inc()
 	return newFrame, nil
 }
 

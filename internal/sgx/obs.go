@@ -1,0 +1,59 @@
+package sgx
+
+import "github.com/zipchannel/zipchannel/internal/obs"
+
+// enclaveObs holds the enclave's pre-resolved instruments (nil until
+// AttachObs; obs methods no-op on nil).
+type enclaveObs struct {
+	faults    *obs.Counter
+	mprotects *obs.Counter
+	remaps    *obs.Counter
+	faultPage *obs.Histogram
+}
+
+// AttachObs registers enclave telemetry on reg: sgx.faults (deliveries),
+// sgx.mprotect (permission flips), sgx.remaps (frame moves), and the
+// sgx.fault_page histogram of faulting page indexes relative to the data
+// base.
+func (e *Enclave) AttachObs(reg *obs.Registry) {
+	e.obs.faults = reg.Counter("sgx.faults")
+	e.obs.mprotects = reg.Counter("sgx.mprotect")
+	e.obs.remaps = reg.Counter("sgx.remaps")
+	e.obs.faultPage = reg.Histogram("sgx.fault_page")
+}
+
+// stepperObs is shared by both controlled-channel steppers; the metric
+// prefix distinguishes them (sgx.step vs sgx.step2).
+type stepperObs struct {
+	starts      *obs.Counter
+	transitions *obs.Counter
+	iterations  *obs.Counter
+	s0s1        *obs.Counter
+	s1s2        *obs.Counter
+	s2s4        *obs.Counter
+}
+
+func attachStepperObs(reg *obs.Registry, prefix string) stepperObs {
+	return stepperObs{
+		starts:      reg.Counter(prefix + ".starts"),
+		transitions: reg.Counter(prefix + ".transitions"),
+		iterations:  reg.Counter(prefix + ".iterations"),
+		s0s1:        reg.Counter(prefix + ".s0_s1"),
+		s1s2:        reg.Counter(prefix + ".s1_s2"),
+		s2s4:        reg.Counter(prefix + ".s2_s4"),
+	}
+}
+
+// AttachObs registers the Fig 5 state machine's telemetry on reg under
+// sgx.step: starts, per-edge transition counts (s0_s1, s1_s2, s2_s4),
+// completed iterations, and raw permission-flip transitions.
+func (s *Stepper) AttachObs(reg *obs.Registry) {
+	s.obs = attachStepperObs(reg, "sgx.step")
+}
+
+// AttachObs registers the two-array stepper's telemetry on reg under
+// sgx.step2 (the s*_s* edge counters stay zero; its protocol has a single
+// resume pair per iteration).
+func (s *Stepper2) AttachObs(reg *obs.Registry) {
+	s.obs = attachStepperObs(reg, "sgx.step2")
+}

@@ -26,6 +26,7 @@ type Stepper struct {
 	OnTransition func()
 
 	started bool
+	obs     stepperObs
 }
 
 // NewStepper builds a stepper for the three gadget arrays.
@@ -34,6 +35,7 @@ func NewStepper(e *Enclave, quadrant, block, ftab string) *Stepper {
 }
 
 func (s *Stepper) transition() {
+	s.obs.transitions.Inc()
 	if s.OnTransition != nil {
 		s.OnTransition()
 	}
@@ -58,6 +60,7 @@ func (s *Stepper) Start() (bool, error) {
 		return false, fmt.Errorf("%w: expected quadrant write fault, got read fault at %#x", ErrProtocol, f.PageBase)
 	}
 	s.started = true
+	s.obs.starts.Inc()
 	return true, nil
 }
 
@@ -94,6 +97,7 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 	if f == nil || f.Write {
 		return false, fmt.Errorf("%w: expected block read fault, got %+v", ErrProtocol, f)
 	}
+	s.obs.s0s1.Inc()
 
 	// S1 -> S2.
 	if err := s.e.Protect(s.block, vm.PermRW); err != nil {
@@ -110,6 +114,7 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 	if f == nil || !f.Write {
 		return false, fmt.Errorf("%w: expected ftab write fault, got %+v", ErrProtocol, f)
 	}
+	s.obs.s1s2.Inc()
 	ftabPage := f.PageBase
 
 	if prime != nil {
@@ -132,9 +137,11 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 		return false, err
 	}
 
+	s.obs.s2s4.Inc()
 	if probe != nil {
 		probe()
 	}
+	s.obs.iterations.Inc()
 
 	if f == nil {
 		return true, nil // enclave halted: that was the last iteration

@@ -24,6 +24,7 @@ type Stepper2 struct {
 	OnTransition func()
 
 	started bool
+	obs     stepperObs
 }
 
 // NewStepper2 builds the two-array stepper. If tableWriteOnly is true the
@@ -35,6 +36,7 @@ func NewStepper2(e *Enclave, readSym, tableSym string, tableWriteOnly bool) *Ste
 }
 
 func (s *Stepper2) transition() {
+	s.obs.transitions.Inc()
 	if s.OnTransition != nil {
 		s.OnTransition()
 	}
@@ -63,6 +65,7 @@ func (s *Stepper2) Start() (firstPage uint64, ok bool, err error) {
 		return 0, false, nil
 	}
 	s.started = true
+	s.obs.starts.Inc()
 	return f.PageBase, true, nil
 }
 
@@ -103,6 +106,7 @@ func (s *Stepper2) Step(prime func(), probe func()) (nextPage uint64, done bool,
 	if probe != nil {
 		probe()
 	}
+	s.obs.iterations.Inc()
 
 	if f == nil {
 		return 0, true, nil // halted: that table access was the last

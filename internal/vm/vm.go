@@ -59,6 +59,8 @@ type VM struct {
 	input    []byte
 	inputPos int
 	output   []byte
+
+	obs vmObs
 }
 
 // DefaultMaxSteps bounds Run against non-terminating programs.
@@ -220,12 +222,15 @@ func (v *VM) Step() error {
 	if err != nil {
 		var f *Fault
 		if errors.As(err, &f) {
+			v.obs.faults.Inc()
 			return f // PC untouched: resumable
 		}
 		return fmt.Errorf("vm: pc %d (%s): %w", v.PC, in, err)
 	}
 	v.PC = next
 	v.Steps++
+	v.obs.instructions.Inc()
+	v.obs.ops[in.Op].Inc()
 	return nil
 }
 
@@ -354,6 +359,7 @@ func (v *VM) syscall() error {
 		}
 		v.inputPos += n
 		v.Regs[isa.R0] = uint64(n)
+		v.obs.sysRead.Inc()
 		if n > 0 && v.Hooks.OnSyscallRead != nil {
 			v.Hooks.OnSyscallRead(v, buf, n, first)
 		}
@@ -367,9 +373,11 @@ func (v *VM) syscall() error {
 			v.output = append(v.output, byte(b))
 		}
 		v.Regs[isa.R0] = uint64(n)
+		v.obs.sysWrite.Inc()
 	case SysExit:
 		v.ExitCode = v.Regs[isa.R1]
 		v.Halted = true
+		v.obs.sysExit.Inc()
 	default:
 		return fmt.Errorf("unknown syscall %d", v.Regs[isa.R0])
 	}

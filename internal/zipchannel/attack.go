@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/cache"
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/recovery"
 	"github.com/zipchannel/zipchannel/internal/sgx"
 	"github.com/zipchannel/zipchannel/internal/victims"
@@ -72,6 +73,13 @@ type Config struct {
 	Frames uint64
 
 	Seed int64
+
+	// Obs receives the full attack telemetry (cache, VM, enclave,
+	// stepper, Prime+Probe, and attack.* counters). The registry's sim
+	// clock is wired to the victim VM's retired-instruction count. When
+	// nil the attack keeps a private registry, so Result counters still
+	// fill in.
+	Obs *obs.Registry `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -109,9 +117,21 @@ type Result struct {
 	UnknownObs  int // iterations with zero or ambiguous hot sets
 	Remaps      int // frame-selection remappings performed
 	VettedPages int
-	Elapsed     time.Duration
-	CacheStats  cache.Stats
+	// KnownBytes and CorrectedBytes report recovery confidence: bytes
+	// pinned to one candidate, and the subset only the cross-iteration
+	// redundancy (§V-D) resolved. Filled by the bzip2 attacks.
+	KnownBytes     int
+	CorrectedBytes int
+	Elapsed        time.Duration
+
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheFlushes   uint64
 }
+
+// CacheAccesses returns hits+misses.
+func (r *Result) CacheAccesses() uint64 { return r.CacheHits + r.CacheMisses }
 
 func (r *Result) String() string {
 	return fmt.Sprintf("recovered %d bytes: %.2f%% bytes, %.3f%% bits correct (%d/%d iterations unknown, %d remaps, %s)",
@@ -143,6 +163,7 @@ func Attack(input []byte, cfg Config) (*Result, error) {
 	}
 
 	st := sgx.NewStepper(r.enc, "quadrant", "block", "ftab")
+	st.AttachObs(r.reg)
 	st.OnTransition = r.injectNoise
 	r.dryTransition = st.DryTransition
 
@@ -176,9 +197,9 @@ func Attack(input []byte, cfg Config) (*Result, error) {
 					trace = append(trace, int64(lineVA)-int64(ftab.Addr))
 				} else {
 					trace = append(trace, recovery.UnknownObservation)
-					r.res.UnknownObs++
+					r.unknownObs.Inc()
 				}
-				r.res.Iterations++
+				r.iterations.Inc()
 			},
 		)
 		if stepErr != nil {
@@ -199,7 +220,9 @@ func Attack(input []byte, cfg Config) (*Result, error) {
 	res := r.res
 	res.Recovered = rec.Block
 	res.ByteAcc, res.BitAcc = rec.Accuracy(input)
+	res.KnownBytes = rec.KnownCount()
+	res.CorrectedBytes = rec.Corrected
 	res.Elapsed = time.Since(start)
-	res.CacheStats = r.c.Stats()
+	r.finish(res)
 	return res, nil
 }

@@ -40,9 +40,9 @@ func runStepper2(r *rig, st *sgx.Stepper2, tableVA uint64) ([]int64, error) {
 					lineVA := curPage + uint64(line*r.c.Config().LineSize)
 					lineOff = int64(lineVA) - int64(tableVA)
 				} else {
-					r.res.UnknownObs++
+					r.unknownObs.Inc()
 				}
-				r.res.Iterations++
+				r.iterations.Inc()
 			},
 		)
 		if err != nil {
@@ -73,6 +73,7 @@ func ZlibAttack(input []byte, charsetHigh3 byte, haveCharset bool, cfg Config) (
 		return nil, err
 	}
 	st := sgx.NewStepper2(r.enc, "window", "head", true /* head is store-only */)
+	st.AttachObs(r.reg)
 	st.OnTransition = r.injectNoise
 	r.dryTransition = st.DryTransition
 
@@ -114,7 +115,7 @@ func ZlibAttack(input []byte, charsetHigh3 byte, haveCharset bool, cfg Config) (
 	}
 	res.BitAcc = recovery.ZlibLeakFraction(rec, input)
 	res.Elapsed = time.Since(start)
-	res.CacheStats = r.c.Stats()
+	r.finish(res)
 	return res, nil
 }
 
@@ -162,6 +163,7 @@ func LZWAttack(input []byte, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	st := sgx.NewStepper2(r.enc, "inputbuf", "htab", false /* probes are loads */)
+	st.AttachObs(r.reg)
 	st.OnTransition = r.injectNoise
 	r.dryTransition = st.DryTransition
 
@@ -216,6 +218,6 @@ func LZWAttack(input []byte, cfg Config) (*Result, error) {
 		res.BitAcc = float64(okBits) / float64(len(input)*8)
 	}
 	res.Elapsed = time.Since(start)
-	res.CacheStats = r.c.Stats()
+	r.finish(res)
 	return res, nil
 }

@@ -27,8 +27,13 @@ func PageOnlyAttack(input []byte, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("zipchannel: %w", err)
 	}
 	enc.VM.SetInput(input)
+	cfg.Obs.SetSimClock(func() uint64 { return enc.VM.Steps })
+	enc.AttachObs(cfg.Obs)
+	enc.VM.AttachObs(cfg.Obs)
+	iterations := cfg.Obs.Counter("attack.iterations")
 
 	st := sgx.NewStepper(enc, "quadrant", "block", "ftab")
+	st.AttachObs(cfg.Obs)
 	ok, err := st.Start()
 	if err != nil {
 		return nil, fmt.Errorf("zipchannel: start: %w", err)
@@ -42,6 +47,7 @@ func PageOnlyAttack(input []byte, cfg Config) (*Result, error) {
 		done, err := st.Step(func(page uint64) { pageVA = page }, func() {
 			trace = append(trace, int64(pageVA)-int64(ftab.Addr))
 			res.Iterations++
+			iterations.Inc()
 		})
 		if err != nil {
 			return nil, fmt.Errorf("zipchannel: step: %w", err)
@@ -57,6 +63,10 @@ func PageOnlyAttack(input []byte, cfg Config) (*Result, error) {
 	}
 	res.Recovered = rec.Block
 	res.ByteAcc, res.BitAcc = rec.Accuracy(input)
+	res.KnownBytes = rec.KnownCount()
+	res.CorrectedBytes = rec.Corrected
 	res.Elapsed = time.Since(start)
+	cfg.Obs.Gauge("attack.byte_acc").Set(res.ByteAcc)
+	cfg.Obs.Gauge("attack.bit_acc").Set(res.BitAcc)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/zipchannel/zipchannel/internal/attacker"
 	"github.com/zipchannel/zipchannel/internal/cache"
 	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/sgx"
 )
 
@@ -25,10 +26,28 @@ type rig struct {
 	// dryTransition replays one permission-flip's worth of system noise
 	// for frame vetting.
 	dryTransition func()
+
+	// reg is the attack's registry (cfg.Obs or a private one); the
+	// attack.* counters below are the single storage for the run's
+	// bookkeeping — Result copies them out in finish.
+	reg            *obs.Registry
+	span           obs.Span
+	iterations     *obs.Counter
+	unknownObs     *obs.Counter
+	remaps         *obs.Counter
+	vettedPages    *obs.Counter
+	framesAccepted *obs.Counter
+	framesRejected *obs.Counter
+	vetTimeouts    *obs.Counter
 }
 
 // newRig builds the harness around a victim program.
 func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry() // private: Result counters still fill
+	}
+	cfg.Cache.Obs = reg
 	c := cache.New(cfg.Cache)
 	ways := c.Config().Ways
 	monitorWays := ways
@@ -53,6 +72,12 @@ func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
 	enc.SetObserver(func(paddr uint64, _ int, _ bool) {
 		c.Access(actorVictim, paddr)
 	})
+	// The victim's retired-instruction count is the run's sim clock:
+	// spans and trace events are stamped with it, so fixed-seed runs
+	// produce identical timelines.
+	reg.SetSimClock(func() uint64 { return enc.VM.Steps })
+	enc.AttachObs(reg)
+	enc.VM.AttachObs(reg)
 
 	kernel := cache.NewFixedNoise(actorKernel, cfg.KernelNoiseLines, 1<<40, 1<<40+1<<26, cfg.Seed+1)
 	other := cache.NewNoise(actorOther, cfg.OtherNoiseRate, 1<<41, 1<<41+1<<28, cfg.Seed+2)
@@ -63,18 +88,54 @@ func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
 	enc.OnFault = injectNoise
 
 	pp := attacker.NewPrimeProbe(c, actorAttacker, 1<<42, 1<<26)
+	pp.AttachObs(reg)
 	pp.Calibrate(128)
 
 	return &rig{
-		cfg:         cfg,
-		c:           c,
-		enc:         enc,
-		pp:          pp,
-		monitorWays: monitorWays,
-		injectNoise: injectNoise,
-		pages:       map[uint64]*pageState{},
-		res:         &Result{},
+		cfg:            cfg,
+		c:              c,
+		enc:            enc,
+		pp:             pp,
+		monitorWays:    monitorWays,
+		injectNoise:    injectNoise,
+		pages:          map[uint64]*pageState{},
+		res:            &Result{},
+		reg:            reg,
+		span:           reg.StartSpan("attack.run"),
+		iterations:     reg.Counter("attack.iterations"),
+		unknownObs:     reg.Counter("attack.unknown_obs"),
+		remaps:         reg.Counter("attack.remaps"),
+		vettedPages:    reg.Counter("attack.vetted_pages"),
+		framesAccepted: reg.Counter("attack.frames_accepted"),
+		framesRejected: reg.Counter("attack.frames_rejected"),
+		vetTimeouts:    reg.Counter("attack.vet_timeouts"),
 	}, nil
+}
+
+// finish copies the run's counters into res, publishes the recovery
+// confidence as gauges, and closes the attack.run span. Call once, after
+// recovery scored the result.
+func (r *rig) finish(res *Result) {
+	res.Iterations = int(r.iterations.Value())
+	res.UnknownObs = int(r.unknownObs.Value())
+	res.Remaps = int(r.remaps.Value())
+	res.VettedPages = int(r.vettedPages.Value())
+	res.CacheHits = r.c.Hits()
+	res.CacheMisses = r.c.Misses()
+	res.CacheEvictions = r.c.Evictions()
+	res.CacheFlushes = r.c.Flushes()
+	r.reg.Counter("attack.known_bytes").Add(uint64(res.KnownBytes))
+	r.reg.Counter("attack.corrected_bytes").Add(uint64(res.CorrectedBytes))
+	r.reg.Gauge("attack.byte_acc").Set(res.ByteAcc)
+	r.reg.Gauge("attack.bit_acc").Set(res.BitAcc)
+	r.reg.Emit("attack.result", map[string]any{
+		"iterations":  res.Iterations,
+		"unknown_obs": res.UnknownObs,
+		"byte_acc":    res.ByteAcc,
+		"bit_acc":     res.BitAcc,
+	})
+	r.c.EmitHeatmap()
+	r.span.End()
 }
 
 // vetPage builds (and, with frame selection, searches for) the monitored
@@ -118,20 +179,25 @@ func (r *rig) vetPage(pageVA uint64) (*pageState, error) {
 			}
 		}
 		if len(noisy) == 0 {
+			r.framesAccepted.Inc()
 			return ps, nil
 		}
+		r.framesRejected.Inc()
 		if remaps >= r.cfg.MaxRemapsPerPage || r.enc.FramesRemaining() == 0 {
 			// Give up searching: log the noisy sets as known false
 			// positives (the paper's timeout path).
+			r.vetTimeouts.Inc()
 			ps.exclude = noisy
 			return ps, nil
 		}
 		if _, err := r.enc.RemapPage(pageVA); err != nil {
+			r.vetTimeouts.Inc()
 			ps.exclude = noisy
 			return ps, nil
 		}
 		remaps++
-		r.res.Remaps++
+		r.remaps.Inc()
+		r.reg.Emit("attack.remap", map[string]any{"page": pageVA, "noisy_sets": len(noisy)})
 	}
 }
 
@@ -145,7 +211,7 @@ func (r *rig) pageFor(pageVA uint64) (*pageState, error) {
 		return nil, err
 	}
 	r.pages[pageVA] = ps
-	r.res.VettedPages++
+	r.vettedPages.Inc()
 	return ps, nil
 }
 
