@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke golden clean
+.PHONY: all build vet test race bench smoke golden clean test-fuzz test-parallel
 
 all: build vet test
 
@@ -13,9 +13,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency contract of the telemetry layer.
+# The concurrency contracts: the telemetry layer, the worker pool, and
+# the experiment scheduler (fake-runner + cheap real-runner tests).
 race:
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/par/...
+	$(GO) test -race -run 'TestRunAll' ./internal/experiments/
+
+# Short round-trip fuzz pass over every from-scratch compressor (the
+# checked-in corpora under testdata/fuzz/ always run as part of `test`;
+# this additionally explores for FUZZTIME per target).
+FUZZTIME ?= 10s
+test-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/lz77/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/lzw/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/bwt/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/huffcoding/
+
+# The scheduler's determinism contract: the full quick suite must be
+# byte-identical at parallelism 1 and 8 (manifests and merged snapshot).
+test-parallel:
+	$(GO) test -count=1 -run 'TestSchedulerDeterministic|TestRunAll' ./internal/experiments/
 
 # Full benchmark sweep: every paper table/figure plus substrate
 # micro-benchmarks (see bench_test.go).

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -219,3 +220,27 @@ func BenchmarkToolComparison(b *testing.B) {
 func BenchmarkAllGadgetsSGX(b *testing.B) {
 	benchExperiment(b, "sgx-all-gadgets", "bzipBitAcc", "lzwByteAcc", "zlibCharsetBitAcc")
 }
+
+// benchRunAll runs the full quick suite through the parallel scheduler
+// at a fixed worker count, so `go test -bench 'BenchmarkRunAllQuick'`
+// compares sequential against parallel wall time directly. On a
+// single-CPU host the two are expected to tie (the suite is CPU-bound);
+// the spread between them is the scheduler's win on multicore.
+func benchRunAll(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(context.Background(), experiments.RunOptions{
+			Quick:       true,
+			Parallelism: parallelism,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllQuickParallel1 is the sequential baseline.
+func BenchmarkRunAllQuickParallel1(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllQuickParallel4 fans experiments and their inner trials
+// across 4 workers.
+func BenchmarkRunAllQuickParallel4(b *testing.B) { benchRunAll(b, 4) }

@@ -13,10 +13,18 @@
 // status goes to stderr. The manifest embeds the full telemetry
 // snapshot (cache hits/misses, stepper transitions, recovery accuracy
 // — see internal/obs), which is deterministic under the fixed
-// per-experiment seeds; only duration_ms varies between runs.
+// per-experiment seeds. Wall-clock durations go to stderr only, so
+// stdout is byte-identical between runs and across -parallel levels.
+//
+// -parallel N fans independent experiments (and each experiment's
+// internal trials) across N workers; the scheduler's seed-splitting
+// keeps every output byte-identical at any level. -seed S
+// re-parameterizes every experiment's RNG deterministically from one
+// root; 0 (the default) keeps the paper-pinned seeds.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +48,8 @@ func run() error {
 		quick    = flag.Bool("quick", false, "reduced input sizes")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonMode = flag.Bool("json", false, "emit machine-readable manifests on stdout")
+		parallel = flag.Int("parallel", 0, "worker count for experiments and their inner trials (<=0: GOMAXPROCS); output is identical at any level")
+		rootSeed = flag.Int64("seed", 0, "root seed re-parameterizing every experiment deterministically (0: the paper-pinned seeds)")
 	)
 	var cli obs.CLI
 	cli.Bind(flag.CommandLine)
@@ -65,8 +75,9 @@ func run() error {
 	}
 
 	// -metrics/-trace/-progress attach one shared registry across the
-	// whole run; each experiment additionally gets its own private
-	// registry inside Execute so manifests stay per-experiment.
+	// whole run; each experiment runs against its own private registry so
+	// manifests stay per-experiment, and the scheduler merges the private
+	// registries into the shared one in registry order.
 	reg, err := cli.Start()
 	if err != nil {
 		return err
@@ -74,24 +85,29 @@ func run() error {
 	defer cli.Finish()
 
 	var manifests []*experiments.Manifest
-	failed := 0
-	for _, r := range runners {
-		start := time.Now()
-		res, m, err := experiments.Execute(r, *quick, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "=== %s: FAILED: %v\n\n", r.Name, err)
-			failed++
-			continue
-		}
-		mergeMetrics(reg, r.Name, res.Metrics)
-		if *jsonMode {
-			manifests = append(manifests, m)
-			fmt.Fprintf(os.Stderr, "%s ok in %s\n", r.Name, time.Since(start).Round(time.Millisecond))
-			continue
-		}
-		fmt.Print(res)
-		fmt.Fprintf(os.Stderr, "(%s in %s)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
-	}
+	_, runErr := experiments.RunAll(context.Background(), experiments.RunOptions{
+		Runners:     runners,
+		Quick:       *quick,
+		Parallelism: *parallel,
+		RootSeed:    *rootSeed,
+		Obs:         reg,
+		// OnResult arrives in registry order whatever the parallelism, so
+		// the streamed output never interleaves or reorders.
+		OnResult: func(o *experiments.Outcome) {
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "=== %s: FAILED: %v\n\n", o.Runner.Name, o.Err)
+				return
+			}
+			mergeMetrics(reg, o.Runner.Name, o.Result.Metrics)
+			if *jsonMode {
+				manifests = append(manifests, o.Manifest)
+				fmt.Fprintf(os.Stderr, "%s ok in %s\n", o.Runner.Name, o.Duration.Round(time.Millisecond))
+				return
+			}
+			fmt.Print(o.Result)
+			fmt.Fprintf(os.Stderr, "(%s in %s)\n\n", o.Runner.Name, o.Duration.Round(time.Millisecond))
+		},
+	})
 
 	if *jsonMode {
 		enc := json.NewEncoder(os.Stdout)
@@ -104,8 +120,8 @@ func run() error {
 			return err
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d experiment(s) failed", failed)
+	if runErr != nil {
+		return runErr
 	}
 	return cli.Finish()
 }

@@ -12,7 +12,13 @@
 //	zipchannel-sgx -size 64 -oblivious         # the §VIII mitigation
 //	zipchannel-sgx -victim lzw -size 2048      # the ncompress gadget (E13)
 //	zipchannel-sgx -victim zlib -text "lowercasesecret" -charset
+//	zipchannel-sgx -size 2048 -repeat 8 -parallel 4    # repetition sweep
 //	zipchannel-sgx -size 2048 -metrics m.json -trace t.ndjson -progress
+//
+// -repeat N runs N independent attack repetitions, each deterministically
+// seeded by splitting -seed per trial, and reports per-trial plus
+// aggregate accuracy; -parallel fans the repetitions across workers
+// without changing any output byte.
 //
 // Telemetry: -metrics writes the final counter/gauge/histogram snapshot
 // (canonical JSON, byte-identical under a fixed seed), -trace streams
@@ -24,9 +30,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 	"unicode"
 
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
 	"github.com/zipchannel/zipchannel/internal/zipchannel"
 )
 
@@ -50,64 +58,126 @@ func run() error {
 		preview   = flag.Int("preview", 256, "bytes of recovered data to print")
 		victim    = flag.String("victim", "bzip2", "gadget to attack: bzip2, zlib, or lzw")
 		charset   = flag.Bool("charset", false, "zlib only: assume lowercase-ASCII input (§IV-B)")
+		repeat    = flag.Int("repeat", 1, "independent attack repetitions, deterministically seeded from -seed")
+		parallel  = flag.Int("parallel", 0, "worker count for repetitions (<=0: GOMAXPROCS); output is identical at any level")
 	)
 	var cli obs.CLI
 	cli.Bind(flag.CommandLine)
 	flag.Parse()
 
-	var input []byte
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be >= 1")
+	}
+
+	// A chosen secret (text or file) is shared across repetitions; random
+	// secrets are regenerated per trial from the trial's split seed.
+	var fixed []byte
 	switch {
 	case *text != "":
-		input = []byte(*text)
+		fixed = []byte(*text)
 	case *inputFile != "":
 		b, err := os.ReadFile(*inputFile)
 		if err != nil {
 			return err
 		}
-		input = b
-	default:
-		input = make([]byte, *size)
-		rand.New(rand.NewSource(*seed)).Read(input)
+		fixed = b
+	}
+	secretLen := *size
+	if fixed != nil {
+		secretLen = len(fixed)
 	}
 
-	cfg := zipchannel.DefaultConfig()
-	cfg.UseCAT = !*noCAT
-	cfg.UseFrameSelection = !*noFS
-	cfg.Oblivious = *oblivious
-	cfg.OtherNoiseRate = *noise
-	cfg.Seed = *seed
+	base := zipchannel.DefaultConfig()
+	base.UseCAT = !*noCAT
+	base.UseFrameSelection = !*noFS
+	base.Oblivious = *oblivious
+	base.OtherNoiseRate = *noise
 
 	reg, err := cli.Start()
 	if err != nil {
 		return err
 	}
 	defer cli.Finish()
-	cfg.Obs = reg
 
-	fmt.Fprintf(os.Stderr, "attacking %d secret bytes inside the enclave via the %s gadget (CAT=%v, frame-selection=%v, oblivious=%v)...\n",
-		len(input), *victim, cfg.UseCAT, cfg.UseFrameSelection, cfg.Oblivious)
-	var res *zipchannel.Result
-	switch *victim {
-	case "bzip2":
-		res, err = zipchannel.Attack(input, cfg)
-	case "zlib":
-		res, err = zipchannel.ZlibAttack(input, 0x60, *charset, cfg)
-	case "lzw":
-		res, err = zipchannel.LZWAttack(input, cfg)
-	default:
-		return fmt.Errorf("unknown victim %q (bzip2, zlib, lzw)", *victim)
+	fmt.Fprintf(os.Stderr, "attacking %d secret bytes inside the enclave via the %s gadget (CAT=%v, frame-selection=%v, oblivious=%v, repetitions=%d)...\n",
+		secretLen, *victim, base.UseCAT, base.UseFrameSelection, base.Oblivious, *repeat)
+
+	// Each repetition runs against a private registry with its own split
+	// seed; registries merge into the shared one in trial order, so the
+	// -metrics snapshot is identical at any -parallel level.
+	type trial struct {
+		input []byte
+		res   *zipchannel.Result
+		reg   *obs.Registry
 	}
+	trials := make([]trial, *repeat)
+	start := time.Now()
+	err = par.ForEach(*parallel, *repeat, func(i int) error {
+		cfg := base
+		cfg.Seed = *seed
+		if *repeat > 1 {
+			cfg.Seed = par.SplitSeed(*seed, fmt.Sprintf("trial/%d", i))
+		}
+		input := fixed
+		if input == nil {
+			input = make([]byte, *size)
+			rand.New(rand.NewSource(cfg.Seed)).Read(input)
+		}
+		treg := obs.NewRegistry()
+		cfg.Obs = treg
+		var res *zipchannel.Result
+		var err error
+		switch *victim {
+		case "bzip2":
+			res, err = zipchannel.Attack(input, cfg)
+		case "zlib":
+			res, err = zipchannel.ZlibAttack(input, 0x60, *charset, cfg)
+		case "lzw":
+			res, err = zipchannel.LZWAttack(input, cfg)
+		default:
+			return fmt.Errorf("unknown victim %q (bzip2, zlib, lzw)", *victim)
+		}
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+		trials[i] = trial{input: input, res: res, reg: treg}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(res)
-	fmt.Printf("cache: %d hits, %d misses, %d evictions, %d flushes\n",
-		res.CacheHits, res.CacheMisses, res.CacheEvictions, res.CacheFlushes)
-	fmt.Printf("recovery: %d/%d bytes pinned directly, %d corrected by redundancy\n",
-		res.KnownBytes-res.CorrectedBytes, len(input), res.CorrectedBytes)
+	for i := range trials {
+		reg.Merge(trials[i].reg)
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
 
-	n := min(*preview, len(res.Recovered))
-	fmt.Printf("\nrecovered data (first %d bytes):\n%s\n", n, printable(res.Recovered[:n]))
+	if *repeat == 1 {
+		res := trials[0].res
+		fmt.Println(res)
+		fmt.Printf("cache: %d hits, %d misses, %d evictions, %d flushes\n",
+			res.CacheHits, res.CacheMisses, res.CacheEvictions, res.CacheFlushes)
+		fmt.Printf("recovery: %d/%d bytes pinned directly, %d corrected by redundancy\n",
+			res.KnownBytes-res.CorrectedBytes, secretLen, res.CorrectedBytes)
+
+		n := min(*preview, len(res.Recovered))
+		fmt.Printf("\nrecovered data (first %d bytes):\n%s\n", n, printable(res.Recovered[:n]))
+		return cli.Finish()
+	}
+
+	var bitSum, byteSum, bitMin float64
+	bitMin = 1
+	for i := range trials {
+		res := trials[i].res
+		fmt.Printf("trial %2d: %s\n", i, res)
+		bitSum += res.BitAcc
+		byteSum += res.ByteAcc
+		if res.BitAcc < bitMin {
+			bitMin = res.BitAcc
+		}
+	}
+	n := float64(*repeat)
+	fmt.Printf("\naggregate over %d trials: mean bit acc %.2f%%, mean byte acc %.2f%%, worst bit acc %.2f%%\n",
+		*repeat, 100*bitSum/n, 100*byteSum/n, 100*bitMin)
 	return cli.Finish()
 }
 

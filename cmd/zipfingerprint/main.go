@@ -30,11 +30,12 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("experiment", "fig7", "fig7 (21-file corpus) or fig8 (repetitiveness series)")
-		traces = flag.Int("traces", 40, "traces recorded per file")
-		noise  = flag.Float64("noise", 0.05, "unrelated shared-library accesses per sample")
-		epochs = flag.Int("epochs", 30, "training epochs")
-		seed   = flag.Int64("seed", 7, "seed for corpus, traces, and training")
+		exp      = flag.String("experiment", "fig7", "fig7 (21-file corpus) or fig8 (repetitiveness series)")
+		traces   = flag.Int("traces", 40, "traces recorded per file")
+		noise    = flag.Float64("noise", 0.05, "unrelated shared-library accesses per sample")
+		epochs   = flag.Int("epochs", 30, "training epochs")
+		seed     = flag.Int64("seed", 7, "seed for corpus, traces, and training")
+		parallel = flag.Int("parallel", 0, "worker count for trace simulation (<=0: GOMAXPROCS); output is identical at any level")
 	)
 	var cli obs.CLI
 	cli.Bind(flag.CommandLine)
@@ -61,6 +62,7 @@ func run() error {
 		TracesPerFile: *traces,
 		NoiseRate:     *noise,
 		Seed:          *seed,
+		Parallelism:   *parallel,
 		Obs:           reg,
 	})
 	if err != nil {

@@ -1,0 +1,36 @@
+package bwt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts Decompress(Compress(x)) == x for arbitrary
+// inputs, at the default block size and at a small one that forces
+// multi-block streams (and with it the fallbackSort path for short
+// tails).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("banana banana banana"))
+	f.Add(bytes.Repeat([]byte{0xaa}, 600))
+	f.Add([]byte("abracadabra abracadabra abracadabra"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			data = data[:64<<10]
+		}
+		for _, blockSize := range []int{0, 256} {
+			comp, err := Compress(data, Options{BlockSize: blockSize})
+			if err != nil {
+				t.Fatalf("Compress(block=%d, %d bytes): %v", blockSize, len(data), err)
+			}
+			got, err := Decompress(comp)
+			if err != nil {
+				t.Fatalf("Decompress(block=%d, %d bytes): %v", blockSize, len(data), err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip mismatch (block=%d): %d bytes in, %d out", blockSize, len(data), len(got))
+			}
+		}
+	})
+}

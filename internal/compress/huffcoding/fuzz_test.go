@@ -1,0 +1,73 @@
+package huffcoding
+
+import (
+	"testing"
+)
+
+// FuzzRoundTrip treats the input as a symbol stream: build a
+// length-limited canonical code from its byte frequencies, encode every
+// symbol, and decode the bit stream back. Exercises BuildLengths'
+// frequency-halving length limiter, the canonical code assignment, and
+// the LSB-first bit I/O together.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("a"))
+	f.Add([]byte("aaaaaaaab"))
+	f.Add([]byte("abcdefghijklmnopqrstuvwxyz"))
+	f.Add([]byte{0x00, 0xff, 0x00, 0xff, 0x10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip("no symbols")
+		}
+		if len(data) > 64<<10 {
+			data = data[:64<<10]
+		}
+		freq := make([]int64, 256)
+		for _, b := range data {
+			freq[b]++
+		}
+		// maxLen 0 selects MaxCodeLen; 8 forces the halving limiter into
+		// its tightest feasible corner for a 256-symbol alphabet.
+		for _, maxLen := range []int{0, 8} {
+			lengths, err := BuildLengths(freq, maxLen)
+			if err != nil {
+				t.Fatalf("BuildLengths(maxLen=%d): %v", maxLen, err)
+			}
+			limit := maxLen
+			if limit == 0 {
+				limit = MaxCodeLen
+			}
+			for sym, l := range lengths {
+				if int(l) > limit {
+					t.Fatalf("symbol %d got length %d > limit %d", sym, l, limit)
+				}
+				if freq[sym] > 0 && l == 0 {
+					t.Fatalf("symbol %d has frequency %d but no code", sym, freq[sym])
+				}
+			}
+			enc, err := NewEncoder(lengths)
+			if err != nil {
+				t.Fatalf("NewEncoder(maxLen=%d): %v", maxLen, err)
+			}
+			var w BitWriter
+			for _, b := range data {
+				if err := enc.Encode(&w, int(b)); err != nil {
+					t.Fatalf("Encode(%d): %v", b, err)
+				}
+			}
+			dec, err := NewDecoder(lengths)
+			if err != nil {
+				t.Fatalf("NewDecoder(maxLen=%d): %v", maxLen, err)
+			}
+			r := NewBitReader(w.Bytes())
+			for i, b := range data {
+				sym, err := dec.Decode(r)
+				if err != nil {
+					t.Fatalf("Decode symbol %d: %v", i, err)
+				}
+				if sym != int(b) {
+					t.Fatalf("symbol %d: decoded %d, want %d", i, sym, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts Decompress(Compress(x)) == x for arbitrary
+// inputs, in both greedy and lazy matching modes. The leak tracer is
+// observe-only, so a round-trip failure here is a codec bug, not a
+// side-channel artifact.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			data = data[:64<<10]
+		}
+		for _, lazy := range []bool{false, true} {
+			comp, err := Compress(data, Options{Lazy: lazy})
+			if err != nil {
+				t.Fatalf("Compress(lazy=%v, %d bytes): %v", lazy, len(data), err)
+			}
+			got, err := Decompress(comp)
+			if err != nil {
+				t.Fatalf("Decompress(lazy=%v, %d bytes): %v", lazy, len(data), err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip mismatch (lazy=%v): %d bytes in, %d out", lazy, len(data), len(got))
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package lzw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts Decompress(Compress(x)) == x for arbitrary
+// inputs, across dictionary resets and code-width growth.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("TOBEORNOTTOBEORTOBEORNOT"))
+	f.Add(bytes.Repeat([]byte("ab"), 200))
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x00, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			data = data[:64<<10]
+		}
+		comp, err := Compress(data, nil)
+		if err != nil {
+			t.Fatalf("Compress(%d bytes): %v", len(data), err)
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("Decompress(%d bytes): %v", len(data), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(got))
+		}
+	})
+}

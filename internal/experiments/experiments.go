@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
 )
 
 // Ctx is the execution context handed to every runner: the size variant
@@ -22,6 +23,28 @@ type Ctx struct {
 	Quick bool
 	// Obs collects metrics across the experiment's simulations.
 	Obs *obs.Registry
+	// Parallelism is the worker budget for the runner's internal trial
+	// fan-out (SGX attack repetitions and ablation variants, fingerprint
+	// corpus entries, survey gadget sweeps). <= 1 runs trials
+	// sequentially; results are byte-identical at any level.
+	Parallelism int
+	// Seed is the task seed the scheduler split from its root seed
+	// (par.SplitSeed(rootSeed, runner name)). Zero — the default — keeps
+	// every runner on its paper-pinned seeds, reproducing the published
+	// figures; a nonzero value re-parameterizes the task's RNG streams
+	// deterministically (see Ctx.taskSeed).
+	Seed int64
+}
+
+// taskSeed selects an RNG stream for one purpose inside a runner: the
+// paper-pinned constant when no task seed was assigned, else a
+// purpose-specific stream split from the task seed. Two purposes never
+// share a stream, so trial scheduling cannot perturb results.
+func (c *Ctx) taskSeed(pinned int64, purpose string) int64 {
+	if c.Seed == 0 {
+		return pinned
+	}
+	return par.SplitSeed(c.Seed, purpose)
 }
 
 // Result is one regenerated experiment: human-readable lines plus the

@@ -8,11 +8,15 @@ import (
 	"github.com/zipchannel/zipchannel/internal/fingerprint"
 	"github.com/zipchannel/zipchannel/internal/nn"
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
 )
 
 // Fig6 regenerates the sorting control-flow census behind Fig 6: for
 // every corpus file, which path each block takes (mainSort, abandon to
-// fallbackSort, or direct fallbackSort for the short tail).
+// fallbackSort, or direct fallbackSort for the short tail). Each file's
+// compression is independent, so files fan out across ctx.Parallelism
+// workers; each writes only its own counter slot, and rows/totals are
+// assembled in corpus order afterwards.
 func Fig6(ctx *Ctx) (*Result, error) {
 	quick := ctx.Quick
 	files := corpus.BrotliLike(1)
@@ -21,12 +25,19 @@ func Fig6(ctx *Ctx) (*Result, error) {
 	}
 	res := newResult("E10/Fig6", "bzip2 sorting control flow per input block")
 	res.addf("%-20s %8s %8s %8s %8s", "file", "blocks", "mainSort", "abandon", "fallback")
-	var totalAbandons, totalFallbacks int
-	for _, f := range files {
-		var c flowCounter
-		if _, err := bwt.Compress(f.Data, bwt.Options{Tracer: &c}); err != nil {
-			return nil, fmt.Errorf("fig6: %s: %w", f.Name, err)
+	counters := make([]flowCounter, len(files))
+	err := par.ForEach(ctx.Parallelism, len(files), func(i int) error {
+		if _, err := bwt.Compress(files[i].Data, bwt.Options{Tracer: &counters[i]}); err != nil {
+			return fmt.Errorf("fig6: %s: %w", files[i].Name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalAbandons, totalFallbacks int
+	for i, f := range files {
+		c := &counters[i]
 		res.addf("%-20s %8d %8d %8d %8d", f.Name, c.blocks, c.mains, c.abandons, c.fallbacks)
 		totalAbandons += c.abandons
 		totalFallbacks += c.fallbacks
@@ -49,14 +60,16 @@ func (c *flowCounter) MainSortEnter()      { c.mains++ }
 func (c *flowCounter) MainSortAbandon(int) { c.abandons++ }
 func (c *flowCounter) FallbackSortEnter()  { c.fallbacks++ }
 
-// runFingerprint generates traces for the files, trains the classifier,
-// and returns (labels, confusion matrix, test accuracy).
-func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed int64, reg *obs.Registry) ([]string, [][]float64, float64, error) {
+// runFingerprint generates traces for the files (fanning trace
+// simulation across parallelism workers), trains the classifier, and
+// returns (labels, confusion matrix, test accuracy).
+func runFingerprint(files []corpus.File, tracesPerFile int, jitter float64, seed int64, parallelism int, reg *obs.Registry) ([]string, [][]float64, float64, error) {
 	ds, err := fingerprint.BuildDataset(files, fingerprint.DatasetConfig{
 		TracesPerFile:    tracesPerFile,
 		NoiseRate:        0.05,
 		PeriodJitterFrac: jitter,
 		Seed:             seed,
+		Parallelism:      parallelism,
 		Obs:              reg,
 	})
 	if err != nil {
@@ -106,12 +119,13 @@ func Fig7(ctx *Ctx) (*Result, error) {
 		files = files[:8]
 		traces = 12
 	}
-	labels, cm, acc, err := runFingerprint(files, traces, 0.05, 7, ctx.Obs)
+	seed := ctx.taskSeed(7, "dataset")
+	labels, cm, acc, err := runFingerprint(files, traces, 0.05, seed, ctx.Parallelism, ctx.Obs)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult("E8/Fig7", fmt.Sprintf("fingerprinting %d corpus files (confusion matrix, rows=actual)", len(files)))
-	res.Seed = 7
+	res.Seed = seed
 	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
 	res.Metrics["testAcc"] = acc
 	res.Metrics["diagMean"] = diagonalMean(cm)
@@ -136,12 +150,13 @@ func Fig8(ctx *Ctx) (*Result, error) {
 	files := corpus.RepetitivenessSeries(11, size)
 	// Per-trace timing jitter models the run-to-run variation that makes
 	// the paper's similar lipsum files confusable (Fig 8 off-diagonals).
-	labels, cm, acc, err := runFingerprint(files, traces, 0.25, 13, ctx.Obs)
+	seed := ctx.taskSeed(13, "dataset")
+	labels, cm, acc, err := runFingerprint(files, traces, 0.25, seed, ctx.Parallelism, ctx.Obs)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult("E9/Fig8", "fingerprinting 5 lipsum files of increasing diversity")
-	res.Seed = 13
+	res.Seed = seed
 	res.Lines = append(res.Lines, renderConfusion(labels, cm)...)
 	res.Metrics["testAcc"] = acc
 	res.Metrics["file1Diag"] = cm[0][0]

@@ -23,9 +23,10 @@ type Manifest struct {
 	// gauges, histograms — see internal/obs). Deterministic under a
 	// fixed seed.
 	Snapshot *obs.Snapshot `json:"snapshot"`
-	// DurationMS is wall-clock and therefore NOT deterministic; it is
-	// kept out of Snapshot so that remains byte-stable.
-	DurationMS float64 `json:"duration_ms"`
+	// Duration is the run's wall clock. It is deliberately excluded from
+	// the JSON document so that -json output is byte-identical under a
+	// fixed seed, at any -parallel level; the CLIs report it on stderr.
+	Duration time.Duration `json:"-"`
 }
 
 // MarshalIndent renders the manifest as indented JSON with a trailing
@@ -42,25 +43,33 @@ func (m *Manifest) MarshalIndent() ([]byte, error) {
 // registry and returns the result together with its manifest. A nil reg
 // creates a private registry, so the manifest always carries a snapshot.
 func Execute(r Runner, quick bool, reg *obs.Registry) (*Result, *Manifest, error) {
-	if reg == nil {
-		reg = obs.NewRegistry()
+	return ExecuteCtx(r, &Ctx{Quick: quick, Obs: reg})
+}
+
+// ExecuteCtx runs one experiment under a fully specified context (the
+// scheduler's entry point: it carries the task seed and the trial
+// parallelism budget). A nil c.Obs gets a private registry, so the
+// manifest always carries a snapshot.
+func ExecuteCtx(r Runner, c *Ctx) (*Result, *Manifest, error) {
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
 	}
 	start := time.Now()
-	res, err := r.Run(&Ctx{Quick: quick, Obs: reg})
+	res, err := r.Run(c)
 	if err != nil {
 		return nil, nil, err
 	}
 	m := &Manifest{
-		Name:       r.Name,
-		ID:         res.ID,
-		Title:      res.Title,
-		Quick:      quick,
-		Seed:       res.Seed,
-		Config:     res.Config,
-		Metrics:    res.Metrics,
-		Lines:      res.Lines,
-		Snapshot:   reg.Snapshot(),
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Name:     r.Name,
+		ID:       res.ID,
+		Title:    res.Title,
+		Quick:    c.Quick,
+		Seed:     res.Seed,
+		Config:   res.Config,
+		Metrics:  res.Metrics,
+		Lines:    res.Lines,
+		Snapshot: c.Obs.Snapshot(),
+		Duration: time.Since(start),
 	}
 	return res, m, nil
 }

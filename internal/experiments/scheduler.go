@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
+)
+
+// RunOptions configures a scheduled run of the experiment suite.
+type RunOptions struct {
+	// Runners is the task list; nil means All(), in paper order.
+	Runners []Runner
+	// Quick selects the reduced-size variants.
+	Quick bool
+	// Parallelism bounds the worker pool (and each runner's internal
+	// trial fan-out); <= 0 means GOMAXPROCS. Results, manifests, and the
+	// merged registry are byte-identical at any value.
+	Parallelism int
+	// RootSeed re-parameterizes every task's RNG deterministically: task
+	// i runs with par.SplitSeed(RootSeed, runner name). Zero — the
+	// default — keeps the paper-pinned per-runner seeds.
+	RootSeed int64
+	// Obs, when non-nil, receives every task's telemetry: per-task
+	// registries are merged into it in registry order (obs.Registry.Merge
+	// semantics), so its final snapshot matches a sequential shared-
+	// registry run byte for byte.
+	Obs *obs.Registry
+	// OnResult streams outcomes in stable registry order — task i is
+	// delivered only after tasks 0..i-1, whatever order they finished in
+	// — so parallel runs never interleave or reorder output. Called from
+	// worker goroutines, but never concurrently.
+	OnResult func(*Outcome)
+}
+
+// Outcome is one scheduled task's result: exactly one of Err, or
+// (Result, Manifest), is set. Duration is the task's wall clock (not
+// deterministic; everything else is).
+type Outcome struct {
+	Runner   Runner
+	Result   *Result
+	Manifest *Manifest
+	Err      error
+	Duration time.Duration
+
+	reg *obs.Registry // the task's private registry, for merging
+}
+
+// RunAll executes the tasks across a worker pool with deterministic
+// seed-splitting: every task gets a private registry and its own RNG
+// root, so no shared mutable state couples tasks, and outputs are
+// byte-identical at any parallelism level. Outcomes come back in
+// registry order. The returned error is non-nil when the context was
+// cancelled or at least one task failed; partial results are still
+// returned.
+func RunAll(ctx context.Context, opts RunOptions) ([]*Outcome, error) {
+	runners := opts.Runners
+	if runners == nil {
+		runners = All()
+	}
+	parallelism := par.Parallelism(opts.Parallelism)
+
+	outcomes := make([]*Outcome, len(runners))
+	var mu sync.Mutex
+	next := 0
+	flush := func() { // with mu held: deliver+merge every ready prefix task
+		for next < len(outcomes) && outcomes[next] != nil {
+			o := outcomes[next]
+			if o.Err == nil {
+				opts.Obs.Merge(o.reg)
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(o)
+			}
+			next++
+		}
+	}
+
+	par.ForEach(parallelism, len(runners), func(i int) error {
+		r := runners[i]
+		o := &Outcome{Runner: r}
+		if err := ctx.Err(); err != nil {
+			o.Err = err
+		} else {
+			start := time.Now()
+			ec := &Ctx{
+				Quick:       opts.Quick,
+				Obs:         obs.NewRegistry(),
+				Parallelism: parallelism,
+			}
+			if opts.RootSeed != 0 {
+				ec.Seed = par.SplitSeed(opts.RootSeed, r.Name)
+			}
+			o.reg = ec.Obs
+			o.Result, o.Manifest, o.Err = ExecuteCtx(r, ec)
+			o.Duration = time.Since(start)
+		}
+		mu.Lock()
+		outcomes[i] = o
+		flush()
+		mu.Unlock()
+		return nil
+	})
+
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	failed := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return outcomes, fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return outcomes, nil
+}

@@ -6,6 +6,8 @@ import (
 
 	"github.com/zipchannel/zipchannel/internal/core"
 	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
 	"github.com/zipchannel/zipchannel/internal/victims"
 	"github.com/zipchannel/zipchannel/internal/zipchannel"
 )
@@ -27,7 +29,8 @@ func SGXHeadline(ctx *Ctx) (*Result, error) {
 	if quick {
 		n = 1024
 	}
-	input := randomInput(n, 42)
+	seed := ctx.taskSeed(42, "input")
+	input := randomInput(n, seed)
 	cfg := zipchannel.DefaultConfig()
 	cfg.Obs = ctx.Obs
 	r, err := zipchannel.Attack(input, cfg)
@@ -35,7 +38,7 @@ func SGXHeadline(ctx *Ctx) (*Result, error) {
 		return nil, err
 	}
 	res := newResult("E7/§V-E", "SGX attack on randomly generated data (paper: >99% of bits, <30 s)")
-	res.Seed = 42
+	res.Seed = seed
 	res.Config = cfg
 	res.addf("input: %d random bytes (no redundancy, the hardest case)", n)
 	res.addf("%s", r)
@@ -47,7 +50,7 @@ func SGXHeadline(ctx *Ctx) (*Result, error) {
 	res.Metrics["correctedBytes"] = float64(r.CorrectedBytes)
 	res.Metrics["cacheHits"] = float64(r.CacheHits)
 	res.Metrics["cacheMisses"] = float64(r.CacheMisses)
-	res.Metrics["seconds"] = r.Elapsed.Seconds()
+	res.Metrics["simSteps"] = float64(r.SimSteps)
 	if r.BitAcc < 0.99 {
 		return nil, fmt.Errorf("sgx: bit accuracy %.4f below the paper's 0.99", r.BitAcc)
 	}
@@ -56,15 +59,19 @@ func SGXHeadline(ctx *Ctx) (*Result, error) {
 
 // SGXAblations regenerates E7a: the same attack with CAT and/or frame
 // selection disabled, quantifying each §V-C technique's contribution.
+// The five configurations are independent repetitions of the attack, so
+// they fan out across ctx.Parallelism workers; each writes only its own
+// row, and rows are assembled in table order afterwards.
 func SGXAblations(ctx *Ctx) (*Result, error) {
 	quick := ctx.Quick
 	n := 4096
 	if quick {
 		n = 768
 	}
-	input := randomInput(n, 99)
+	inputSeed := ctx.taskSeed(99, "input")
+	input := randomInput(n, inputSeed)
 	res := newResult("E7a", "ablations: Intel CAT (§V-C1) and frame selection (§V-C2)")
-	res.Seed = 99
+	res.Seed = inputSeed
 	res.addf("%-32s %-10s %-10s %s", "configuration", "bits ok", "bytes ok", "unknown obs")
 	variants := []struct {
 		name     string
@@ -76,26 +83,51 @@ func SGXAblations(ctx *Ctx) (*Result, error) {
 		{"no CAT", false, true, "noCAT"},
 		{"neither", false, false, "bare"},
 	}
-	for _, v := range variants {
+	cfgSeed := ctx.taskSeed(5, "cfg")
+	type row struct {
+		line     string
+		metricID string
+		bitAcc   float64
+	}
+	rows := make([]row, len(variants)+1)
+	err := par.ForEach(ctx.Parallelism, len(rows), func(i int) error {
+		if i == len(variants) {
+			// The prior-work baseline: the controlled channel alone (Xu et
+			// al.), page-granularity observations with no cache probing.
+			pg, err := zipchannel.PageOnlyAttack(input, zipchannel.DefaultConfig())
+			if err != nil {
+				return fmt.Errorf("page-only baseline: %w", err)
+			}
+			rows[i] = row{
+				line:     fmt.Sprintf("%-32s %8.3f%% %8.2f%% %8s", "page faults only (Xu et al.)", 100*pg.BitAcc, 100*pg.ByteAcc, "-"),
+				metricID: "pageOnly",
+				bitAcc:   pg.BitAcc,
+			}
+			return nil
+		}
+		v := variants[i]
 		cfg := zipchannel.DefaultConfig()
 		cfg.UseCAT = v.cat
 		cfg.UseFrameSelection = v.fs
-		cfg.Seed = 5
+		cfg.Seed = cfgSeed
 		r, err := zipchannel.Attack(input, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+			return fmt.Errorf("ablation %q: %w", v.name, err)
 		}
-		res.addf("%-32s %8.3f%% %8.2f%% %8d/%d", v.name, 100*r.BitAcc, 100*r.ByteAcc, r.UnknownObs, r.Iterations)
-		res.Metrics[v.metricID+"BitAcc"] = r.BitAcc
-	}
-	// The prior-work baseline: the controlled channel alone (Xu et al.),
-	// page-granularity observations with no cache probing at all.
-	pg, err := zipchannel.PageOnlyAttack(input, zipchannel.DefaultConfig())
+		rows[i] = row{
+			line:     fmt.Sprintf("%-32s %8.3f%% %8.2f%% %8d/%d", v.name, 100*r.BitAcc, 100*r.ByteAcc, r.UnknownObs, r.Iterations),
+			metricID: v.metricID,
+			bitAcc:   r.BitAcc,
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("page-only baseline: %w", err)
+		return nil, err
 	}
-	res.addf("%-32s %8.3f%% %8.2f%% %8s", "page faults only (Xu et al.)", 100*pg.BitAcc, 100*pg.ByteAcc, "-")
-	res.Metrics["pageOnlyBitAcc"] = pg.BitAcc
+	for _, rw := range rows {
+		res.Lines = append(res.Lines, rw.line)
+		res.Metrics[rw.metricID+"BitAcc"] = rw.bitAcc
+	}
 
 	if res.Metrics["fullBitAcc"] < res.Metrics["bareBitAcc"] {
 		return nil, fmt.Errorf("ablation: full attack lost to bare attack")
@@ -115,40 +147,64 @@ func Mitigation(ctx *Ctx) (*Result, error) {
 	if quick {
 		n = 64
 	}
-	input := randomInput(n, 17)
+	inputSeed := ctx.taskSeed(17, "input")
+	input := randomInput(n, inputSeed)
 	base := zipchannel.DefaultConfig()
-	base.Seed = 3
-	base.Obs = ctx.Obs
+	base.Seed = ctx.taskSeed(3, "cfg")
 
-	vuln, err := zipchannel.Attack(input, base)
+	// The two attacks and the two TaintChannel censuses are independent
+	// trials. Each attack runs against a private registry; the registries
+	// are merged into ctx.Obs in trial order afterwards, reproducing the
+	// sequential shared-registry telemetry byte for byte.
+	var (
+		vuln, mit       *zipchannel.Result
+		visVuln, visMit int
+		regs            [2]*obs.Registry
+	)
+	err := par.ForEach(ctx.Parallelism, 4, func(i int) error {
+		switch i {
+		case 0:
+			cfg := base
+			regs[0] = obs.NewRegistry()
+			cfg.Obs = regs[0]
+			r, err := zipchannel.Attack(input, cfg)
+			vuln = r
+			return err
+		case 1:
+			cfg := base
+			cfg.Oblivious = true
+			regs[1] = obs.NewRegistry()
+			cfg.Obs = regs[1]
+			r, err := zipchannel.Attack(input, cfg)
+			mit = r
+			return err
+		case 2:
+			// TaintChannel's verdict on the two victims: the §VIII
+			// variant's residual address dependence sits below cache-line
+			// granularity.
+			v, err := cacheVisibleGadgets(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), input)
+			visVuln = v
+			return err
+		default:
+			v, err := cacheVisibleGadgets(victims.BzipFtabOblivious(victims.BzipFtabOptions{FtabPad: 20}), input)
+			visMit = v
+			return err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	hard := base
-	hard.Oblivious = true
-	mit, err := zipchannel.Attack(input, hard)
-	if err != nil {
-		return nil, err
+	for _, reg := range regs {
+		ctx.Obs.Merge(reg)
 	}
 
 	res := newResult("E11/§VIII", "mitigation: oblivious histogram update vs the full attack")
-	res.Seed = 17
+	res.Seed = inputSeed
 	res.Config = base
 	res.addf("vulnerable victim:  %s", vuln)
 	res.addf("oblivious victim:   %s", mit)
 	overhead := float64(mit.CacheAccesses()) / float64(vuln.CacheAccesses()+1)
 	res.addf("victim memory-traffic overhead: %.0fx", overhead)
-
-	// TaintChannel's verdict on the two victims: the §VIII variant's
-	// residual address dependence sits below cache-line granularity.
-	visVuln, err := cacheVisibleGadgets(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), input)
-	if err != nil {
-		return nil, err
-	}
-	visMit, err := cacheVisibleGadgets(victims.BzipFtabOblivious(victims.BzipFtabOptions{FtabPad: 20}), input)
-	if err != nil {
-		return nil, err
-	}
 	res.addf("TaintChannel cache-visible gadgets: vulnerable=%d, oblivious=%d", visVuln, visMit)
 	res.Metrics["visVuln"] = float64(visVuln)
 	res.Metrics["visMit"] = float64(visMit)

@@ -10,6 +10,7 @@ import (
 	"github.com/zipchannel/zipchannel/internal/compress/lzw"
 	"github.com/zipchannel/zipchannel/internal/core"
 	"github.com/zipchannel/zipchannel/internal/isa"
+	"github.com/zipchannel/zipchannel/internal/par"
 	"github.com/zipchannel/zipchannel/internal/recovery"
 	"github.com/zipchannel/zipchannel/internal/victims"
 )
@@ -50,7 +51,8 @@ func (t *bwtTrace) FtabInc(j uint16) { t.js = append(t.js, j) }
 // its gadget instrumented, reduce the gadget stream to cache-line
 // granularity, run the §IV recovery computation, and report the leaked
 // fraction — alongside TaintChannel's gadget census on the assembly
-// miniatures.
+// miniatures. The three family sweeps are independent, so they fan out
+// across ctx.Parallelism workers; each writes only its own table row.
 func Survey(ctx *Ctx) (*Result, error) {
 	quick := ctx.Quick
 	n := 4096
@@ -58,9 +60,10 @@ func Survey(ctx *Ctx) (*Result, error) {
 		n = 512
 	}
 	res := newResult("E4/Survey", "leakage of the three major compression algorithms (§IV)")
+	res.Seed = ctx.taskSeed(4, "input")
 	res.addf("%-10s %-28s %-16s %s", "algorithm", "gadget (TaintChannel)", "channel", "recovered")
 
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(res.Seed))
 	random := make([]byte, n)
 	rng.Read(random)
 	lower := make([]byte, n)
@@ -68,79 +71,93 @@ func Survey(ctx *Ctx) (*Result, error) {
 		lower[i] = byte('a' + rng.Intn(26))
 	}
 
-	// --- LZ77 / zlib (§IV-B) ---
-	zlibGadget, err := gadgetCensus(victims.ZlibInsertString(), lower)
-	if err != nil {
-		return nil, err
-	}
-	var zt lz77Trace
-	zt.seen = map[int]bool{}
-	if _, err := lz77.Compress(lower, lz77.Options{Tracer: &zt}); err != nil {
-		return nil, err
-	}
-	recZ := recovery.RecoverZlib(zt.obs, len(lower), 0x60, true)
-	zlibFull := recovery.ZlibLeakFraction(recZ, lower)
-	var zt2 lz77Trace
-	zt2.seen = map[int]bool{}
-	if _, err := lz77.Compress(random, lz77.Options{Tracer: &zt2}); err != nil {
-		return nil, err
-	}
-	recZraw := recovery.RecoverZlib(zt2.obs, len(random), 0, false)
-	zlibRaw := recovery.ZlibLeakFraction(recZraw, random)
-	res.addf("%-10s %-28s %-16s raw %.1f%% of bits; %.1f%% for lowercase charset",
-		"LZ77/zlib", zlibGadget, "head[ins_h]", 100*zlibRaw, 100*zlibFull)
-	res.Metrics["zlibRawBits"] = zlibRaw
-	res.Metrics["zlibCharsetBits"] = zlibFull
+	lines := make([]string, 3)
+	var zlibRaw, zlibFull, lzwBytes, bzBits float64
+	err := par.ForEach(ctx.Parallelism, 3, func(i int) error {
+		switch i {
+		case 0:
+			// --- LZ77 / zlib (§IV-B) ---
+			zlibGadget, err := gadgetCensus(victims.ZlibInsertString(), lower)
+			if err != nil {
+				return err
+			}
+			var zt lz77Trace
+			zt.seen = map[int]bool{}
+			if _, err := lz77.Compress(lower, lz77.Options{Tracer: &zt}); err != nil {
+				return err
+			}
+			recZ := recovery.RecoverZlib(zt.obs, len(lower), 0x60, true)
+			zlibFull = recovery.ZlibLeakFraction(recZ, lower)
+			var zt2 lz77Trace
+			zt2.seen = map[int]bool{}
+			if _, err := lz77.Compress(random, lz77.Options{Tracer: &zt2}); err != nil {
+				return err
+			}
+			recZraw := recovery.RecoverZlib(zt2.obs, len(random), 0, false)
+			zlibRaw = recovery.ZlibLeakFraction(recZraw, random)
+			lines[0] = fmt.Sprintf("%-10s %-28s %-16s raw %.1f%% of bits; %.1f%% for lowercase charset",
+				"LZ77/zlib", zlibGadget, "head[ins_h]", 100*zlibRaw, 100*zlibFull)
 
-	// --- LZ78 / ncompress (§IV-C) ---
-	lzwGadget, err := gadgetCensus(victims.LZWHashProbe(), lower)
-	if err != nil {
-		return nil, err
-	}
-	var lt lzwTrace
-	if _, err := lzw.Compress(random, &lt); err != nil {
-		return nil, err
-	}
-	cands, err := recovery.RecoverLZW(lt.obs, 3, func(first byte) recovery.EntReplayer {
-		return lzw.NewReplayer(first)
+		case 1:
+			// --- LZ78 / ncompress (§IV-C) ---
+			lzwGadget, err := gadgetCensus(victims.LZWHashProbe(), lower)
+			if err != nil {
+				return err
+			}
+			var lt lzwTrace
+			if _, err := lzw.Compress(random, &lt); err != nil {
+				return err
+			}
+			cands, err := recovery.RecoverLZW(lt.obs, 3, func(first byte) recovery.EntReplayer {
+				return lzw.NewReplayer(first)
+			})
+			if err != nil {
+				return err
+			}
+			best, err := recovery.BestLZW(cands)
+			if err != nil {
+				return err
+			}
+			lzwBytes = fractionEqual(best.Plaintext, random)
+			lines[1] = fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bytes (random data, 8-candidate first byte)",
+				"LZ78/lzw", lzwGadget, "htab[hp]", 100*lzwBytes)
+
+		default:
+			// --- BWT / bzip2 (§IV-D) ---
+			bzGadget, err := gadgetCensus(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), lower)
+			if err != nil {
+				return err
+			}
+			var bt bwtTrace
+			if _, err := bwt.Compress(random, bwt.Options{Tracer: &bt, BlockSize: len(random)}); err != nil {
+				return err
+			}
+			// Reduce to cache-line observations over a misaligned ftab.
+			const phase = 20
+			block := bt.js // iteration order, already i = n-1 .. 0
+			trace := make(recovery.BzipTrace, len(block))
+			base := uint64(0x40000 + phase)
+			for k, j := range block {
+				trace[k] = int64((base+4*uint64(j))&^63) - int64(base)
+			}
+			rleBlock := rle1OfRandom(random)
+			recB, err := recovery.RecoverBzip(trace, len(rleBlock), 64)
+			if err != nil {
+				return err
+			}
+			_, bzBits = recB.Accuracy(rleBlock)
+			lines[2] = fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bits (random data, misaligned ftab)",
+				"BWT/bzip2", bzGadget, "ftab[j]++", 100*bzBits)
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	best, err := recovery.BestLZW(cands)
-	if err != nil {
-		return nil, err
-	}
-	lzwBytes := fractionEqual(best.Plaintext, random)
-	res.addf("%-10s %-28s %-16s %.1f%% of bytes (random data, 8-candidate first byte)",
-		"LZ78/lzw", lzwGadget, "htab[hp]", 100*lzwBytes)
+	res.Lines = append(res.Lines, lines...)
+	res.Metrics["zlibRawBits"] = zlibRaw
+	res.Metrics["zlibCharsetBits"] = zlibFull
 	res.Metrics["lzwBytes"] = lzwBytes
-
-	// --- BWT / bzip2 (§IV-D) ---
-	bzGadget, err := gadgetCensus(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), lower)
-	if err != nil {
-		return nil, err
-	}
-	var bt bwtTrace
-	if _, err := bwt.Compress(random, bwt.Options{Tracer: &bt, BlockSize: len(random)}); err != nil {
-		return nil, err
-	}
-	// Reduce to cache-line observations over a misaligned ftab.
-	const phase = 20
-	block := bt.js // iteration order, already i = n-1 .. 0
-	trace := make(recovery.BzipTrace, len(block))
-	base := uint64(0x40000 + phase)
-	for k, j := range block {
-		trace[k] = int64((base+4*uint64(j))&^63) - int64(base)
-	}
-	rleBlock := rle1OfRandom(random)
-	recB, err := recovery.RecoverBzip(trace, len(rleBlock), 64)
-	if err != nil {
-		return nil, err
-	}
-	_, bzBits := recB.Accuracy(rleBlock)
-	res.addf("%-10s %-28s %-16s %.1f%% of bits (random data, misaligned ftab)",
-		"BWT/bzip2", bzGadget, "ftab[j]++", 100*bzBits)
 	res.Metrics["bzipBits"] = bzBits
 
 	if zlibRaw < 0.20 || lzwBytes < 0.99 || bzBits < 0.99 {

@@ -11,7 +11,6 @@ package fingerprint
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"github.com/zipchannel/zipchannel/internal/attacker"
 	"github.com/zipchannel/zipchannel/internal/cache"
@@ -19,6 +18,7 @@ import (
 	"github.com/zipchannel/zipchannel/internal/corpus"
 	"github.com/zipchannel/zipchannel/internal/nn"
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
 )
 
 // Func identifies which sorting function is executing.
@@ -264,9 +264,15 @@ type DatasetConfig struct {
 	PeriodJitterFrac float64
 	Seed             int64
 
-	// Obs receives dataset-generation telemetry: fp.timelines and
-	// fp.traces counters, plus the wall-derived fp.traces_per_sec gauge
-	// (the one deliberately non-deterministic metric).
+	// Parallelism fans independent traces (and per-file timelines) across
+	// this many goroutines; <= 1 is sequential. Every trace derives its
+	// RNG from its (file, repetition) slot, so the dataset is
+	// byte-identical at any parallelism level.
+	Parallelism int
+
+	// Obs receives dataset-generation telemetry: the fp.timelines and
+	// fp.traces counters, plus an fp.build_dataset span whose wall time
+	// lands in WallTotals (never in snapshots).
 	Obs *obs.Registry `json:"-"`
 }
 
@@ -274,54 +280,76 @@ type DatasetConfig struct {
 // label i = files[i]. The sample period is fixed across the corpus
 // (calibrated so the longest compression fits the trace), as a real
 // attacker's fixed sampling rate would be.
+//
+// With cfg.Parallelism > 1, timelines and traces are generated across a
+// worker pool. Each trace owns its slot in the output and carries its
+// own seed; the per-trace period jitter is drawn sequentially up front
+// from the dataset RNG. The resulting dataset is therefore
+// byte-identical to a sequential run.
 func BuildDataset(files []corpus.File, cfg DatasetConfig) ([]nn.Sample, error) {
 	if cfg.TracesPerFile == 0 {
 		cfg.TracesPerFile = 40
 	}
-	genStart := time.Now()
+	span := cfg.Obs.StartSpan("fp.build_dataset")
+	defer span.End()
 	timelineCtr := cfg.Obs.Counter("fp.timelines")
 	traceCtr := cfg.Obs.Counter("fp.traces")
 	timelines := make([]*Timeline, len(files))
-	var maxTotal uint64
-	for i, f := range files {
-		tl, err := BuildTimeline(f.Data, bwt.Options{BlockSize: cfg.BlockSize, WorkFactor: cfg.WorkFactor})
+	err := par.ForEach(cfg.Parallelism, len(files), func(i int) error {
+		tl, err := BuildTimeline(files[i].Data, bwt.Options{BlockSize: cfg.BlockSize, WorkFactor: cfg.WorkFactor})
 		if err != nil {
-			return nil, fmt.Errorf("fingerprint: %s: %w", f.Name, err)
+			return fmt.Errorf("fingerprint: %s: %w", files[i].Name, err)
 		}
 		timelines[i] = tl
 		timelineCtr.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maxTotal uint64
+	for _, tl := range timelines {
 		if tl.Total > maxTotal {
 			maxTotal = tl.Total
 		}
 	}
 	period := 1 + maxTotal/uint64(NumSamples-500)
 
+	// Per-trace periods come from one sequential pass over the dataset
+	// RNG, so the jitter stream does not depend on trace scheduling.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var out []nn.Sample
-	for i, tl := range timelines {
-		for r := 0; r < cfg.TracesPerFile; r++ {
-			seed := cfg.Seed + int64(i*100003+r*7919)
-			p := period
-			if cfg.PeriodJitterFrac > 0 {
-				scale := 1 + cfg.PeriodJitterFrac*(2*rng.Float64()-1)
-				p = uint64(float64(period) * scale)
-				if p == 0 {
-					p = 1
-				}
+	total := len(files) * cfg.TracesPerFile
+	periods := make([]uint64, total)
+	for k := range periods {
+		p := period
+		if cfg.PeriodJitterFrac > 0 {
+			scale := 1 + cfg.PeriodJitterFrac*(2*rng.Float64()-1)
+			p = uint64(float64(period) * scale)
+			if p == 0 {
+				p = 1
 			}
-			tr := tl.Sample(SampleConfig{
-				Period:      p,
-				PhaseJitter: uint64(seed%31) * p / 31,
-				NoiseRate:   cfg.NoiseRate,
-				Seed:        seed,
-				Obs:         cfg.Obs,
-			})
-			out = append(out, nn.Sample{X: Features(tr), Label: i})
-			traceCtr.Inc()
 		}
+		periods[k] = p
 	}
-	if sec := time.Since(genStart).Seconds(); sec > 0 {
-		cfg.Obs.Gauge("fp.traces_per_sec").Set(float64(len(out)) / sec)
+
+	out := make([]nn.Sample, total)
+	err = par.ForEach(cfg.Parallelism, total, func(k int) error {
+		i, r := k/cfg.TracesPerFile, k%cfg.TracesPerFile
+		seed := cfg.Seed + int64(i*100003+r*7919)
+		p := periods[k]
+		tr := timelines[i].Sample(SampleConfig{
+			Period:      p,
+			PhaseJitter: uint64(seed%31) * p / 31,
+			NoiseRate:   cfg.NoiseRate,
+			Seed:        seed,
+			Obs:         cfg.Obs,
+		})
+		out[k] = nn.Sample{X: Features(tr), Label: i}
+		traceCtr.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

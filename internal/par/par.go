@@ -1,0 +1,101 @@
+// Package par is the deterministic parallelism substrate shared by the
+// experiment scheduler, the end-to-end attacks, and the fingerprinting
+// dataset generator. It provides exactly two things:
+//
+//   - ForEach, a bounded worker pool over an index space whose results
+//     are deterministic by construction: every trial writes only to its
+//     own slot, and the reported error is always the lowest-indexed one,
+//     so outcomes are byte-identical at any parallelism level.
+//   - SplitSeed, a stable (rootSeed, taskID) hash that hands every
+//     parallel task its own RNG stream. Two tasks never share an RNG, so
+//     scheduling order cannot leak into results.
+//
+// The package is deliberately tiny and dependency-free so that any layer
+// (internal/experiments, internal/fingerprint, the cmd/ binaries) can use
+// it without import cycles.
+package par
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism normalizes a -parallel flag value: values <= 0 mean
+// GOMAXPROCS, everything else is taken as-is.
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(0..n-1) across at most parallelism goroutines and
+// waits for all of them. Trials must be independent (each writing only
+// to its own output slot); under that contract the combined result is
+// identical at any parallelism level. When several trials fail, the
+// error of the lowest index is returned — the same error a sequential
+// loop would have hit first — so error reporting is deterministic too.
+//
+// parallelism <= 1 (or n <= 1) degrades to a plain loop with early exit
+// on the first error.
+func ForEach(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitSeed derives a stable per-task seed from a root seed and a task
+// identifier, via FNV-1a over the root's bytes and the ID. The same
+// (root, taskID) pair always yields the same seed, and distinct task IDs
+// yield independent streams, so a task's RNG does not depend on how many
+// workers ran or in which order tasks completed.
+func SplitSeed(root int64, taskID string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(root) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(taskID))
+	return int64(h.Sum64())
+}

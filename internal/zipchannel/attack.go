@@ -122,7 +122,12 @@ type Result struct {
 	// redundancy (§V-D) resolved. Filled by the bzip2 attacks.
 	KnownBytes     int
 	CorrectedBytes int
-	Elapsed        time.Duration
+	// SimSteps is the victim's retired-instruction count — the attack's
+	// deterministic duration. Elapsed is the wall clock, excluded from
+	// String so that fixed-seed output stays byte-identical across runs
+	// and parallelism levels.
+	SimSteps uint64
+	Elapsed  time.Duration
 
 	CacheHits      uint64
 	CacheMisses    uint64
@@ -134,8 +139,8 @@ type Result struct {
 func (r *Result) CacheAccesses() uint64 { return r.CacheHits + r.CacheMisses }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("recovered %d bytes: %.2f%% bytes, %.3f%% bits correct (%d/%d iterations unknown, %d remaps, %s)",
-		len(r.Recovered), 100*r.ByteAcc, 100*r.BitAcc, r.UnknownObs, r.Iterations, r.Remaps, r.Elapsed)
+	return fmt.Sprintf("recovered %d bytes: %.2f%% bytes, %.3f%% bits correct (%d/%d iterations unknown, %d remaps, %d sim steps)",
+		len(r.Recovered), 100*r.ByteAcc, 100*r.BitAcc, r.UnknownObs, r.Iterations, r.Remaps, r.SimSteps)
 }
 
 // pageState is the attacker's bookkeeping for one vetted ftab page.

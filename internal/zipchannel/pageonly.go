@@ -65,6 +65,7 @@ func PageOnlyAttack(input []byte, cfg Config) (*Result, error) {
 	res.ByteAcc, res.BitAcc = rec.Accuracy(input)
 	res.KnownBytes = rec.KnownCount()
 	res.CorrectedBytes = rec.Corrected
+	res.SimSteps = enc.VM.Steps
 	res.Elapsed = time.Since(start)
 	cfg.Obs.Gauge("attack.byte_acc").Set(res.ByteAcc)
 	cfg.Obs.Gauge("attack.bit_acc").Set(res.BitAcc)

@@ -116,6 +116,7 @@ func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
 // confidence as gauges, and closes the attack.run span. Call once, after
 // recovery scored the result.
 func (r *rig) finish(res *Result) {
+	res.SimSteps = r.enc.VM.Steps
 	res.Iterations = int(r.iterations.Value())
 	res.UnknownObs = int(r.unknownObs.Value())
 	res.Remaps = int(r.remaps.Value())
