@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke golden clean test-fuzz test-parallel
+.PHONY: all build vet test race bench bench-json smoke smoke-server golden clean test-fuzz test-parallel
 
 all: build vet test
 
@@ -13,10 +13,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency contracts: the telemetry layer, the worker pool, and
-# the experiment scheduler (fake-runner + cheap real-runner tests).
+# The concurrency contracts: the telemetry layer, the worker pool, the
+# HTTP compression service, and the experiment scheduler (fake-runner +
+# cheap real-runner tests).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/par/...
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/server/...
 	$(GO) test -race -run 'TestRunAll' ./internal/experiments/
 
 # Short round-trip fuzz pass over every from-scratch compressor (the
@@ -39,9 +40,33 @@ test-parallel:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# Machine-readable perf record for this PR (the repo's performance
+# trajectory; bump the filename each PR that re-measures).
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
+
 # Quick cross-layer check: SGX attack telemetry end to end.
 smoke:
 	$(GO) test -run TestExperimentsSmoke ./internal/experiments/
+
+# Server smoke: build zipserverd + zipload, boot the server on an
+# ephemeral port, hammer it for 2s across all codecs with round-trip
+# verification, and require zero errors (zipload exits non-zero on any).
+smoke-server:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "zipserverd never bound"; kill $$pid; exit 1; }; \
+	status=0; \
+	$$tmp/zipload -url http://$$(cat $$tmp/addr) -clients 8 -duration 2s || status=$$?; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	exit $$status
 
 # Regenerate golden files (obs snapshot, experiments example manifest).
 golden:

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so the Makefile's bench-json target can persist one machine-
+// readable perf record per PR (BENCH_PR3.json, BENCH_PR4.json, ...) and the
+// repo's performance trajectory accumulates alongside the code.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchjson -out BENCH_PR3.json
+//
+// Non-benchmark lines (goos/goarch headers, PASS, ok) are ignored. Each
+// benchmark line becomes one record carrying its iteration count, ns/op,
+// MB/s when present, and every custom metric (the repo's benchmarks attach
+// accuracy headlines like bitAcc via b.ReportMetric).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the stripped -N suffix (0 when absent).
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	MBPerS     float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsGen  float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchDoc is the emitted document.
+type benchDoc struct {
+	GeneratedBy string        `json:"generated_by"`
+	Results     []benchResult `json:"results"`
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	doc := benchDoc{GeneratedBy: "make bench-json", Results: results}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(outPath, b, 0o644)
+}
+
+// parse scans benchmark output, keeping only Benchmark lines.
+func parse(in io.Reader) ([]benchResult, error) {
+	var results []benchResult
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+	return results, nil
+}
+
+// parseLine decodes one "BenchmarkName-N  iters  v unit  v unit ..." line.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchResult{}, false
+	}
+	var r benchResult
+	r.Name = fields[0]
+	if m := procSuffix.FindStringSubmatch(r.Name); m != nil {
+		r.Procs, _ = strconv.Atoi(m[1])
+		r.Name = strings.TrimSuffix(r.Name, m[0])
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Iterations = iters
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsGen = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

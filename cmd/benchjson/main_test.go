@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/zipchannel/zipchannel
+cpu: Some CPU
+BenchmarkFig2ZlibTaint-8             	       1	  52034011 ns/op	        14.00 gadgets
+BenchmarkLZ77Compress-8              	       1	   4161339 ns/op	  15.75 MB/s
+BenchmarkE7SGXAttack                 	       2	   9000000 ns/op	         0.9720 bitAcc	     128 B/op	       3 allocs/op
+PASS
+ok  	github.com/zipchannel/zipchannel	12.639s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkFig2ZlibTaint" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 1 || r.NsPerOp != 52034011 {
+		t.Fatalf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.Metrics["gadgets"] != 14.0 {
+		t.Fatalf("gadgets metric = %v", r.Metrics["gadgets"])
+	}
+
+	if results[1].MBPerS != 15.75 {
+		t.Fatalf("MB/s = %v", results[1].MBPerS)
+	}
+
+	r = results[2]
+	if r.Procs != 0 || r.Name != "BenchmarkE7SGXAttack" {
+		t.Fatalf("suffix-free name parsed as %q/%d", r.Name, r.Procs)
+	}
+	if r.Metrics["bitAcc"] != 0.9720 || r.BytesPerOp != 128 || r.AllocsGen != 3 {
+		t.Fatalf("custom/alloc metrics = %v / %v / %v", r.Metrics, r.BytesPerOp, r.AllocsGen)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want an error when no benchmark lines are present")
+	}
+}

@@ -1,12 +1,17 @@
 // Command zipcomp compresses and decompresses files with the repository's
 // three from-scratch codecs (the paper's study subjects): the
 // DEFLATE-style lz77, the ncompress-style lzw, and the bzip2-style bwt.
+// All dispatch goes through the shared registry (internal/compress/codec),
+// the same one zipserverd and the §IV survey use.
 //
 // Usage:
 //
 //	zipcomp -alg bwt -in corpus.txt -out corpus.bz
 //	zipcomp -alg bwt -d -in corpus.bz -out corpus.txt
 //	echo "hello hello hello" | zipcomp -alg lz77 | zipcomp -alg lz77 -d
+//
+// Decompressing corrupt or truncated input exits non-zero with a message
+// naming the codec and the decode failure.
 package main
 
 import (
@@ -15,9 +20,7 @@ import (
 	"io"
 	"os"
 
-	"github.com/zipchannel/zipchannel/internal/compress/bwt"
-	"github.com/zipchannel/zipchannel/internal/compress/lz77"
-	"github.com/zipchannel/zipchannel/internal/compress/lzw"
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
 )
 
 func main() {
@@ -29,7 +32,7 @@ func main() {
 
 func run() error {
 	var (
-		alg        = flag.String("alg", "bwt", "codec: lz77, lzw, or bwt")
+		alg        = flag.String("alg", "bwt", "codec: "+codec.NamesString())
 		decompress = flag.Bool("d", false, "decompress instead of compress")
 		inFile     = flag.String("in", "", "input file (default stdin)")
 		outFile    = flag.String("out", "", "output file (default stdout)")
@@ -51,29 +54,7 @@ func run() error {
 		return err
 	}
 
-	var result []byte
-	switch *alg {
-	case "lz77":
-		if *decompress {
-			result, err = lz77.Decompress(src)
-		} else {
-			result, err = lz77.Compress(src, lz77.Options{Lazy: true})
-		}
-	case "lzw":
-		if *decompress {
-			result, err = lzw.Decompress(src)
-		} else {
-			result, err = lzw.Compress(src, nil)
-		}
-	case "bwt":
-		if *decompress {
-			result, err = bwt.Decompress(src)
-		} else {
-			result, err = bwt.Compress(src, bwt.Options{})
-		}
-	default:
-		return fmt.Errorf("unknown codec %q (lz77, lzw, bwt)", *alg)
-	}
+	result, err := process(*alg, *decompress, src)
 	if err != nil {
 		return err
 	}
@@ -91,16 +72,43 @@ func run() error {
 		return err
 	}
 	if *stats {
-		dir := "compressed"
-		if *decompress {
-			dir = "decompressed"
-		}
-		ratio := 0.0
-		if len(src) > 0 {
-			ratio = float64(len(result)) / float64(len(src))
-		}
-		fmt.Fprintf(os.Stderr, "%s %d -> %d bytes (%.1f%%) with %s\n",
-			dir, len(src), len(result), 100*ratio, *alg)
+		fmt.Fprint(os.Stderr, statsLine(*alg, *decompress, len(src), len(result)))
 	}
 	return nil
+}
+
+// process dispatches one compress/decompress run through the shared codec
+// registry. Decompression failures are wrapped so the CLI's exit message
+// says plainly that the input stream is bad, not just where decoding died.
+func process(alg string, decompress bool, src []byte) ([]byte, error) {
+	cd, ok := codec.Lookup(alg)
+	if !ok {
+		return nil, fmt.Errorf("unknown codec %q (have %s)", alg, codec.NamesString())
+	}
+	if decompress {
+		out, err := cd.Decompress(src)
+		if err != nil {
+			return nil, fmt.Errorf("cannot decompress with %s — corrupt or truncated input: %w", cd.Name, err)
+		}
+		return out, nil
+	}
+	return cd.Compress(src)
+}
+
+// statsLine renders the -stats summary, naming the codec via the registry.
+func statsLine(alg string, decompress bool, inBytes, outBytes int) string {
+	name := alg
+	if cd, ok := codec.Lookup(alg); ok {
+		name = cd.Name
+	}
+	dir := "compressed"
+	if decompress {
+		dir = "decompressed"
+	}
+	ratio := 0.0
+	if inBytes > 0 {
+		ratio = float64(outBytes) / float64(inBytes)
+	}
+	return fmt.Sprintf("%s %d -> %d bytes (%.1f%%) with %s\n",
+		dir, inBytes, outBytes, 100*ratio, name)
 }

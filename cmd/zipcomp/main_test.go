@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+)
+
+// TestProcessRoundTrip drives every registry codec through the CLI's
+// dispatch path.
+func TestProcessRoundTrip(t *testing.T) {
+	src := []byte(strings.Repeat("zipcomp says hello hello hello. ", 40))
+	for _, name := range codec.Names() {
+		comp, err := process(name, false, src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		back, err := process(name, true, comp)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+// TestProcessCorruptBWT: a truncated bwt stream must produce a clear error
+// (which main turns into a non-zero exit), never output or a panic.
+func TestProcessCorruptBWT(t *testing.T) {
+	comp, err := process("bwt", false, []byte(strings.Repeat("truncate me ", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 4, len(comp) / 2, len(comp) - 1} {
+		out, err := process("bwt", true, comp[:cut])
+		if err == nil {
+			t.Fatalf("decompress of %d/%d bytes should fail, got %d bytes out", cut, len(comp), len(out))
+		}
+		if !strings.Contains(err.Error(), "corrupt or truncated input") {
+			t.Fatalf("error should say the input is bad, got: %v", err)
+		}
+		if !strings.Contains(err.Error(), "bwt") {
+			t.Fatalf("error should name the codec, got: %v", err)
+		}
+	}
+}
+
+// TestProcessUnknownCodec lists the registry names in the error.
+func TestProcessUnknownCodec(t *testing.T) {
+	_, err := process("brotli", false, []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), codec.NamesString()) {
+		t.Fatalf("want unknown-codec error listing %q, got %v", codec.NamesString(), err)
+	}
+}
+
+// TestStatsLineUsesRegistryName pins the -stats format and its name source.
+func TestStatsLineUsesRegistryName(t *testing.T) {
+	line := statsLine("lzw", false, 100, 40)
+	if want := "compressed 100 -> 40 bytes (40.0%) with lzw\n"; line != want {
+		t.Fatalf("statsLine = %q, want %q", line, want)
+	}
+	line = statsLine("bwt", true, 40, 100)
+	if !strings.HasPrefix(line, "decompressed 40 -> 100 bytes") || !strings.Contains(line, "with bwt") {
+		t.Fatalf("statsLine = %q", line)
+	}
+}

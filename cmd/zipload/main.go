@@ -1,0 +1,371 @@
+// Command zipload is a seeded, deterministic traffic generator for
+// zipserverd. It draws request bodies from internal/corpus (so the payload
+// mix is reproducible from one -seed), fans -clients workers with
+// par.ForEach (each client owns an RNG stream split from the root seed and
+// a private obs.Registry, merged in client order afterwards), and reports
+// throughput, error counts, the server's cache hit rate (read back from
+// GET /metrics), and a client-side request-latency histogram.
+//
+// Usage:
+//
+//	zipload -url http://127.0.0.1:8321 -clients 8 -duration 2s
+//	zipload -url http://127.0.0.1:8321 -clients 4 -requests 100 -codecs bwt
+//
+// Every compress request is round-trip verified through the matching
+// decompress endpoint unless -verify=false. The exit status is non-zero if
+// any request failed, so scripts (the Makefile smoke target) can assert
+// zero errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/corpus"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8321", "zipserverd base URL")
+		clients  = flag.Int("clients", 8, "concurrent client workers")
+		duration = flag.Duration("duration", 2*time.Second, "how long to generate load")
+		requests = flag.Int("requests", 0, "requests per client (overrides -duration when > 0)")
+		codecs   = flag.String("codecs", codec.NamesString(), "comma-separated codec subset")
+		seed     = flag.Int64("seed", 1, "root seed for the body pool and per-client RNG streams")
+		verify   = flag.Bool("verify", true, "round-trip every compression through decompress")
+		bodyCap  = flag.Int("body-bytes", 4096, "truncate corpus bodies to this many bytes")
+		metrics  = flag.String("metrics", "", "write the merged client obs snapshot to this file")
+	)
+	flag.Parse()
+
+	names, err := parseCodecs(*codecs)
+	if err != nil {
+		return err
+	}
+	cfg := loadConfig{
+		BaseURL:  strings.TrimRight(*url, "/"),
+		Clients:  *clients,
+		Duration: *duration,
+		Requests: *requests,
+		Codecs:   names,
+		Seed:     *seed,
+		Verify:   *verify,
+		BodyCap:  *bodyCap,
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		return err
+	}
+	res.report(os.Stdout, cfg)
+	if *metrics != "" {
+		if err := res.Registry.WriteSnapshot(*metrics); err != nil {
+			return err
+		}
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %s)", res.Errors, res.Requests, res.FirstError)
+	}
+	return nil
+}
+
+// parseCodecs validates a comma-separated subset against the registry.
+func parseCodecs(s string) ([]string, error) {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, ok := codec.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown codec %q (have %s)", name, codec.NamesString())
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no codecs selected (have %s)", codec.NamesString())
+	}
+	return names, nil
+}
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	BaseURL  string
+	Clients  int
+	Duration time.Duration
+	Requests int // per client; 0 = run until Duration elapses
+	Codecs   []string
+	Seed     int64
+	Verify   bool
+	BodyCap  int
+}
+
+// loadResult aggregates all clients' outcomes. Registry carries the merged
+// per-client metrics (zipload.latency_us etc.); ServerSnap is the server's
+// /metrics snapshot fetched after the run (nil if unreachable).
+type loadResult struct {
+	Requests   uint64
+	Errors     uint64
+	BytesIn    uint64 // request bytes sent
+	BytesOut   uint64 // response bytes received
+	Elapsed    time.Duration
+	FirstError string
+	Registry   *obs.Registry
+	ServerSnap *obs.Snapshot
+}
+
+// clientResult is one worker's slot (par.ForEach contract: each client
+// writes only here).
+type clientResult struct {
+	requests uint64
+	errors   uint64
+	firstErr string
+	reg      *obs.Registry
+}
+
+// bodyPool builds the deterministic request-body mix: every corpus file
+// truncated to cap bytes (skipping empties), so the pool spans English
+// text, structured data, random bytes, zeros, and tiny degenerate inputs.
+func bodyPool(seed int64, cap int) [][]byte {
+	var pool [][]byte
+	for _, f := range corpus.BrotliLike(seed) {
+		data := f.Data
+		if len(data) > cap {
+			data = data[:cap]
+		}
+		if len(data) > 0 {
+			pool = append(pool, data)
+		}
+	}
+	return pool
+}
+
+// runLoad executes the configured load and aggregates results.
+func runLoad(cfg loadConfig) (*loadResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	pool := bodyPool(cfg.Seed, cfg.BodyCap)
+	httpc := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients * 2,
+			MaxIdleConnsPerHost: cfg.Clients * 2,
+		},
+	}
+
+	// Liveness check before unleashing the fleet.
+	if err := checkHealth(httpc, cfg.BaseURL); err != nil {
+		return nil, err
+	}
+
+	results := make([]clientResult, cfg.Clients)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	err := par.ForEach(cfg.Clients, cfg.Clients, func(i int) error {
+		cr := &results[i]
+		cr.reg = obs.NewRegistry()
+		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, fmt.Sprintf("client-%d", i))))
+		for n := 0; ; n++ {
+			if cfg.Requests > 0 {
+				if n >= cfg.Requests {
+					return nil
+				}
+			} else if !time.Now().Before(deadline) {
+				return nil
+			}
+			name := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
+			body := pool[rng.Intn(len(pool))]
+			oneRequest(httpc, cfg, name, body, cr)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &loadResult{Elapsed: time.Since(start), Registry: obs.NewRegistry()}
+	for i := range results {
+		cr := &results[i]
+		res.Requests += cr.requests
+		res.Errors += cr.errors
+		if res.FirstError == "" && cr.firstErr != "" {
+			res.FirstError = cr.firstErr
+		}
+		res.Registry.Merge(cr.reg) // client order: deterministic merge
+	}
+	snap := res.Registry.Snapshot()
+	res.BytesIn = snap.Counters["zipload.bytes_in"]
+	res.BytesOut = snap.Counters["zipload.bytes_out"]
+	res.ServerSnap = fetchMetrics(httpc, cfg.BaseURL)
+	return res, nil
+}
+
+// checkHealth probes /healthz so a dead server is one clear error instead
+// of clients*requests connection failures.
+func checkHealth(httpc *http.Client, base string) error {
+	resp, err := httpc.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// oneRequest performs one compress (optionally + decompress verify)
+// exchange, recording into the client's slot and registry.
+func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr *clientResult) {
+	fail := func(format string, args ...any) {
+		cr.errors++
+		cr.reg.Counter("zipload.errors").Inc()
+		if cr.firstErr == "" {
+			cr.firstErr = fmt.Sprintf(format, args...)
+		}
+	}
+	comp, err := timedPost(httpc, cfg, name, "compress", body, cr)
+	if err != nil {
+		fail("compress %s: %v", name, err)
+		return
+	}
+	if !cfg.Verify {
+		return
+	}
+	back, err := timedPost(httpc, cfg, name, "decompress", comp, cr)
+	if err != nil {
+		fail("decompress %s: %v", name, err)
+		return
+	}
+	if !bytes.Equal(back, body) {
+		fail("round trip %s: sent %d bytes, got %d back", name, len(body), len(back))
+	}
+}
+
+// timedPost issues one POST, counting it as a request and observing its
+// latency into the client registry.
+func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) ([]byte, error) {
+	cr.requests++
+	cr.reg.Counter("zipload.requests").Inc()
+	cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
+	start := time.Now()
+	resp, err := httpc.Post(cfg.BaseURL+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	cr.reg.Histogram("zipload.latency_us").Observe(time.Since(start).Microseconds())
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(out))
+	}
+	cr.reg.Counter("zipload.bytes_in").Add(uint64(len(body)))
+	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(out)))
+	if resp.Header.Get("X-Cache") == "HIT" {
+		cr.reg.Counter("zipload.cache_hits_seen").Inc()
+	}
+	return out, nil
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 120 {
+		s = s[:120]
+	}
+	return s
+}
+
+// fetchMetrics reads the server's /metrics snapshot; nil on any failure
+// (the report degrades gracefully).
+func fetchMetrics(httpc *http.Client, base string) *obs.Snapshot {
+	resp, err := httpc.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// report renders the human summary.
+func (r *loadResult) report(w io.Writer, cfg loadConfig) {
+	secs := r.Elapsed.Seconds()
+	rps := 0.0
+	if secs > 0 {
+		rps = float64(r.Requests) / secs
+	}
+	fmt.Fprintf(w, "zipload: %d requests, %d errors in %.2fs (%.1f req/s)\n",
+		r.Requests, r.Errors, secs, rps)
+	fmt.Fprintf(w, "  codecs %s | clients %d | seed %d | verify %v\n",
+		strings.Join(cfg.Codecs, ","), cfg.Clients, cfg.Seed, cfg.Verify)
+	fmt.Fprintf(w, "  bytes: %d sent, %d received\n", r.BytesIn, r.BytesOut)
+	if r.ServerSnap != nil {
+		hits := r.ServerSnap.Counters["server.cache.hits"]
+		misses := r.ServerSnap.Counters["server.cache.misses"]
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(w, "  server cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			hits, misses, rate, r.ServerSnap.Counters["server.cache.evictions"])
+	} else {
+		fmt.Fprintf(w, "  server cache: /metrics not available\n")
+	}
+	snap := r.Registry.Snapshot()
+	if h, ok := snap.Histograms["zipload.latency_us"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "  latency: n=%d mean=%.0fus min=%dus max=%dus\n",
+			h.Count, float64(h.Sum)/float64(h.Count), h.Min, h.Max)
+		fmt.Fprintf(w, "  latency histogram (us): %s\n", bucketLine(h))
+	}
+}
+
+// bucketLine renders a histogram snapshot's non-empty buckets in ascending
+// bound order as "lo:count" pairs.
+func bucketLine(h obs.HistogramSnapshot) string {
+	bounds := make([]uint64, 0, len(h.Buckets))
+	for k := range h.Buckets {
+		v, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			continue
+		}
+		bounds = append(bounds, v)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = fmt.Sprintf("%d:%d", b, h.Buckets[strconv.FormatUint(b, 10)])
+	}
+	return strings.Join(parts, " ")
+}

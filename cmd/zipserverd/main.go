@@ -1,0 +1,97 @@
+// Command zipserverd serves the repository's three from-scratch codecs over
+// HTTP (internal/server): POST /v1/{lz77|lzw|bwt}/{compress|decompress} with
+// a content-addressed LRU response cache, a bounded codec worker pool, and
+// live telemetry at GET /metrics (canonical obs snapshot). SIGINT/SIGTERM
+// trigger graceful shutdown: in-flight requests drain before exit.
+//
+// Usage:
+//
+//	zipserverd -addr 127.0.0.1:8321 -workers 8 -cache-mb 64
+//	curl -s --data-binary @file http://127.0.0.1:8321/v1/bwt/compress -o file.bz
+//	curl -s http://127.0.0.1:8321/metrics
+//
+// For scripting (the Makefile smoke target), -addr supports port 0 and
+// -addr-file writes the actually-bound address once listening.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zipserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers  = flag.Int("workers", 0, "max concurrent codec executions (0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "per-request body cap in bytes")
+		cacheMB  = flag.Int64("cache-mb", 64, "response cache budget in MiB (negative disables)")
+		metrics  = flag.String("metrics", "", "write a final obs snapshot to this file on shutdown")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB
+	if cacheBytes > 0 {
+		cacheBytes <<= 20
+	}
+	srv := server.New(server.Config{
+		MaxBodyBytes: *maxBody,
+		CacheBytes:   cacheBytes,
+		Workers:      *workers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "zipserverd: listening on %s (workers=%d)\n", bound, srv.Workers())
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // Serve never returns nil before Shutdown
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "zipserverd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-errc // reap the Serve goroutine (returns http.ErrServerClosed)
+	if *metrics != "" {
+		if err := srv.Registry().WriteSnapshot(*metrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -173,8 +173,8 @@ type FlushReload struct {
 	actor     int
 	threshold int
 
-	flushes *obs.Counter
-	reloads *obs.Counter
+	flushes  *obs.Counter
+	reloads  *obs.Counter
 	hitsSeen *obs.Counter
 }
 

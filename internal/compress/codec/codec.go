@@ -1,0 +1,96 @@
+// Package codec is the shared registry of the repository's three
+// paper-faithful compressors (the §IV study subjects): name → default-option
+// Compress/Decompress pair. It exists so the CLI (cmd/zipcomp), the HTTP
+// service (internal/server), and the §IV survey experiment all enumerate and
+// dispatch the same algorithm set from one place instead of each carrying a
+// per-algorithm switch statement.
+//
+// The registry is fixed at compile time and ordered as the paper presents the
+// families (§IV-B zlib, §IV-C ncompress, §IV-D bzip2), so any table or flag
+// help derived from Names()/All() keeps the paper's ordering.
+package codec
+
+import (
+	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/compress/bwt"
+	"github.com/zipchannel/zipchannel/internal/compress/lz77"
+	"github.com/zipchannel/zipchannel/internal/compress/lzw"
+)
+
+// Codec bundles one algorithm's wire name, the paper's family label, and its
+// default-option Compress/Decompress pair. The defaults match what
+// cmd/zipcomp and bench_test.go have always used (lazy matching for lz77, no
+// tracer for lzw, default block size for bwt), so data compressed by any
+// caller of the registry round-trips through any other.
+type Codec struct {
+	// Name is the wire/flag name: "lz77", "lzw", or "bwt".
+	Name string
+	// Family is the paper's name for the algorithm family (§IV table).
+	Family string
+	// Compress compresses src with the codec's default options.
+	Compress func(src []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress func(data []byte) ([]byte, error)
+}
+
+// registry holds the codecs in the paper's §IV presentation order.
+var registry = []Codec{
+	{
+		Name:   "lz77",
+		Family: "LZ77/zlib",
+		Compress: func(src []byte) ([]byte, error) {
+			return lz77.Compress(src, lz77.Options{Lazy: true})
+		},
+		Decompress: lz77.Decompress,
+	},
+	{
+		Name:   "lzw",
+		Family: "LZ78/lzw",
+		Compress: func(src []byte) ([]byte, error) {
+			return lzw.Compress(src, nil)
+		},
+		Decompress: lzw.Decompress,
+	},
+	{
+		Name:   "bwt",
+		Family: "BWT/bzip2",
+		Compress: func(src []byte) ([]byte, error) {
+			return bwt.Compress(src, bwt.Options{})
+		},
+		Decompress: bwt.Decompress,
+	},
+}
+
+// All returns the registered codecs in registry (paper) order. The slice is
+// a copy; callers may reorder it freely.
+func All() []Codec {
+	out := make([]Codec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the codec wire names in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, c := range registry {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NamesString renders the names as "lz77, lzw, bwt" for flag help and error
+// messages.
+func NamesString() string {
+	return strings.Join(Names(), ", ")
+}
+
+// Lookup finds a codec by wire name.
+func Lookup(name string) (Codec, bool) {
+	for _, c := range registry {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Codec{}, false
+}

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryOrder pins the paper's §IV presentation order; survey tables
+// and flag help are derived from it.
+func TestRegistryOrder(t *testing.T) {
+	want := []string{"lz77", "lzw", "bwt"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if s := NamesString(); s != "lz77, lzw, bwt" {
+		t.Fatalf("NamesString() = %q", s)
+	}
+}
+
+// TestRoundTrip runs every registered codec's default pair over a mixed
+// input and requires exact recovery.
+func TestRoundTrip(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 64) + "\x00\xff\x80tail")
+	for _, c := range All() {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", c.Name, err)
+		}
+		back, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", c.Name, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("%s: round trip mismatch: %d bytes in, %d bytes back", c.Name, len(src), len(back))
+		}
+	}
+}
+
+// TestLookup covers hits, misses, and the Family labels the survey prints.
+func TestLookup(t *testing.T) {
+	for _, tc := range []struct{ name, family string }{
+		{"lz77", "LZ77/zlib"},
+		{"lzw", "LZ78/lzw"},
+		{"bwt", "BWT/bzip2"},
+	} {
+		c, ok := Lookup(tc.name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", tc.name)
+		}
+		if c.Family != tc.family {
+			t.Fatalf("Lookup(%q).Family = %q, want %q", tc.name, c.Family, tc.family)
+		}
+	}
+	if _, ok := Lookup("gzip"); ok {
+		t.Fatal("Lookup(gzip) should miss")
+	}
+}
+
+// TestAllIsACopy guards against callers mutating the registry through All.
+func TestAllIsACopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if Names()[0] != "lz77" {
+		t.Fatal("All() aliases the registry")
+	}
+}

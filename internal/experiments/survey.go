@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"github.com/zipchannel/zipchannel/internal/compress/bwt"
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
 	"github.com/zipchannel/zipchannel/internal/compress/lz77"
 	"github.com/zipchannel/zipchannel/internal/compress/lzw"
 	"github.com/zipchannel/zipchannel/internal/core"
@@ -51,7 +52,10 @@ func (t *bwtTrace) FtabInc(j uint16) { t.js = append(t.js, j) }
 // its gadget instrumented, reduce the gadget stream to cache-line
 // granularity, run the §IV recovery computation, and report the leaked
 // fraction — alongside TaintChannel's gadget census on the assembly
-// miniatures. The three family sweeps are independent, so they fan out
+// miniatures. The family set, its table order, and the printed labels all
+// come from the shared codec registry (internal/compress/codec), so this
+// table, cmd/zipcomp, and zipserverd can never drift apart on which
+// algorithms exist. The family sweeps are independent, so they fan out
 // across ctx.Parallelism workers; each writes only its own table row.
 func Survey(ctx *Ctx) (*Result, error) {
 	quick := ctx.Quick
@@ -71,66 +75,65 @@ func Survey(ctx *Ctx) (*Result, error) {
 		lower[i] = byte('a' + rng.Intn(26))
 	}
 
-	lines := make([]string, 3)
 	var zlibRaw, zlibFull, lzwBytes, bzBits float64
-	err := par.ForEach(ctx.Parallelism, 3, func(i int) error {
-		switch i {
-		case 0:
+	// One row recipe per registry codec; each returns its rendered line.
+	rows := map[string]func(family string) (string, error){
+		"lz77": func(family string) (string, error) {
 			// --- LZ77 / zlib (§IV-B) ---
 			zlibGadget, err := gadgetCensus(victims.ZlibInsertString(), lower)
 			if err != nil {
-				return err
+				return "", err
 			}
 			var zt lz77Trace
 			zt.seen = map[int]bool{}
 			if _, err := lz77.Compress(lower, lz77.Options{Tracer: &zt}); err != nil {
-				return err
+				return "", err
 			}
 			recZ := recovery.RecoverZlib(zt.obs, len(lower), 0x60, true)
 			zlibFull = recovery.ZlibLeakFraction(recZ, lower)
 			var zt2 lz77Trace
 			zt2.seen = map[int]bool{}
 			if _, err := lz77.Compress(random, lz77.Options{Tracer: &zt2}); err != nil {
-				return err
+				return "", err
 			}
 			recZraw := recovery.RecoverZlib(zt2.obs, len(random), 0, false)
 			zlibRaw = recovery.ZlibLeakFraction(recZraw, random)
-			lines[0] = fmt.Sprintf("%-10s %-28s %-16s raw %.1f%% of bits; %.1f%% for lowercase charset",
-				"LZ77/zlib", zlibGadget, "head[ins_h]", 100*zlibRaw, 100*zlibFull)
-
-		case 1:
+			return fmt.Sprintf("%-10s %-28s %-16s raw %.1f%% of bits; %.1f%% for lowercase charset",
+				family, zlibGadget, "head[ins_h]", 100*zlibRaw, 100*zlibFull), nil
+		},
+		"lzw": func(family string) (string, error) {
 			// --- LZ78 / ncompress (§IV-C) ---
 			lzwGadget, err := gadgetCensus(victims.LZWHashProbe(), lower)
 			if err != nil {
-				return err
+				return "", err
 			}
 			var lt lzwTrace
 			if _, err := lzw.Compress(random, &lt); err != nil {
-				return err
+				return "", err
 			}
 			cands, err := recovery.RecoverLZW(lt.obs, 3, func(first byte) recovery.EntReplayer {
 				return lzw.NewReplayer(first)
 			})
 			if err != nil {
-				return err
+				return "", err
 			}
 			best, err := recovery.BestLZW(cands)
 			if err != nil {
-				return err
+				return "", err
 			}
 			lzwBytes = fractionEqual(best.Plaintext, random)
-			lines[1] = fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bytes (random data, 8-candidate first byte)",
-				"LZ78/lzw", lzwGadget, "htab[hp]", 100*lzwBytes)
-
-		default:
+			return fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bytes (random data, 8-candidate first byte)",
+				family, lzwGadget, "htab[hp]", 100*lzwBytes), nil
+		},
+		"bwt": func(family string) (string, error) {
 			// --- BWT / bzip2 (§IV-D) ---
 			bzGadget, err := gadgetCensus(victims.BzipFtab(victims.BzipFtabOptions{FtabPad: 20}), lower)
 			if err != nil {
-				return err
+				return "", err
 			}
 			var bt bwtTrace
 			if _, err := bwt.Compress(random, bwt.Options{Tracer: &bt, BlockSize: len(random)}); err != nil {
-				return err
+				return "", err
 			}
 			// Reduce to cache-line observations over a misaligned ftab.
 			const phase = 20
@@ -143,12 +146,26 @@ func Survey(ctx *Ctx) (*Result, error) {
 			rleBlock := rle1OfRandom(random)
 			recB, err := recovery.RecoverBzip(trace, len(rleBlock), 64)
 			if err != nil {
-				return err
+				return "", err
 			}
 			_, bzBits = recB.Accuracy(rleBlock)
-			lines[2] = fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bits (random data, misaligned ftab)",
-				"BWT/bzip2", bzGadget, "ftab[j]++", 100*bzBits)
+			return fmt.Sprintf("%-10s %-28s %-16s %.1f%% of bits (random data, misaligned ftab)",
+				family, bzGadget, "ftab[j]++", 100*bzBits), nil
+		},
+	}
+
+	algs := codec.All()
+	lines := make([]string, len(algs))
+	err := par.ForEach(ctx.Parallelism, len(algs), func(i int) error {
+		row, ok := rows[algs[i].Name]
+		if !ok {
+			return fmt.Errorf("survey: registry codec %q has no survey row", algs[i].Name)
 		}
+		line, err := row(algs[i].Family)
+		if err != nil {
+			return err
+		}
+		lines[i] = line
 		return nil
 	})
 	if err != nil {

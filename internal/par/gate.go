@@ -1,0 +1,28 @@
+package par
+
+// Gate is a bounded-concurrency admission gate: at most Capacity callers
+// execute inside Do at any moment; the rest block until a slot frees. It is
+// the service-shaped sibling of ForEach — ForEach bounds a finite index
+// space, Gate bounds an open-ended request stream (internal/server uses one
+// to cap concurrent codec executions at -workers regardless of how many
+// HTTP connections net/http has open).
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate creates a gate admitting at most capacity concurrent callers;
+// capacity <= 0 is normalized via Parallelism (GOMAXPROCS).
+func NewGate(capacity int) *Gate {
+	return &Gate{slots: make(chan struct{}, Parallelism(capacity))}
+}
+
+// Capacity reports the maximum number of concurrent callers.
+func (g *Gate) Capacity() int { return cap(g.slots) }
+
+// Do blocks until a slot is free, runs fn, and releases the slot (also on
+// panic, so a crashing worker cannot leak capacity).
+func (g *Gate) Do(fn func()) {
+	g.slots <- struct{}{}
+	defer func() { <-g.slots }()
+	fn()
+}

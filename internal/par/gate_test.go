@@ -1,0 +1,65 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGateBoundsConcurrency launches far more goroutines than the gate
+// admits and checks the observed high-water mark never exceeds capacity.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const capacity, callers = 4, 64
+	g := NewGate(capacity)
+	if g.Capacity() != capacity {
+		t.Fatalf("Capacity() = %d, want %d", g.Capacity(), capacity)
+	}
+	var inside, high atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(func() {
+				n := inside.Add(1)
+				for {
+					old := high.Load()
+					if n <= old || high.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				// Busy spin briefly so overlaps actually happen.
+				for j := 0; j < 1000; j++ {
+					_ = j
+				}
+				inside.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if h := high.Load(); h > capacity {
+		t.Fatalf("observed %d concurrent callers, gate capacity %d", h, capacity)
+	}
+}
+
+// TestGatePanicReleasesSlot verifies a panicking worker does not leak
+// capacity: all later calls must still be admitted.
+func TestGatePanicReleasesSlot(t *testing.T) {
+	g := NewGate(1)
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() { _ = recover() }()
+			g.Do(func() { panic("worker crash") })
+		}()
+	}
+	done := make(chan struct{})
+	go g.Do(func() { close(done) })
+	<-done
+}
+
+// TestGateDefaultCapacity checks <=0 normalizes to GOMAXPROCS.
+func TestGateDefaultCapacity(t *testing.T) {
+	if got, want := NewGate(0).Capacity(), Parallelism(0); got != want {
+		t.Fatalf("NewGate(0).Capacity() = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// cacheKey addresses a response by content: SHA-256 over (op, codec, body)
+// with NUL separators so ("compress","lz77x") and ("compressx","lz77") can
+// never collide. Identical bodies through the same codec+op always map to
+// the same entry regardless of which client sent them — the
+// content-addressed sharing that makes the cache a realistic stage for
+// cross-request compression side channels (see PAPERS.md: Schwarzl et al.,
+// Debreach).
+func cacheKey(op, codecName string, body []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(codecName))
+	h.Write([]byte{0})
+	h.Write(body)
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// lruCache is a byte-budgeted LRU of codec responses, modeled on the
+// MemoryCache of the httpcache reference repo but with strict size
+// accounting and obs counters. A nil *lruCache is a valid always-miss
+// cache, so the server can run with caching disabled without conditionals.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int64      // byte budget for stored values
+	size  int64      // current stored bytes
+	order *list.List // front = most recently used
+	items map[[sha256.Size]byte]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	bytes     *obs.Gauge
+	entries   *obs.Gauge
+}
+
+type cacheEntry struct {
+	key [sha256.Size]byte
+	val []byte
+}
+
+// newLRUCache creates a cache holding at most maxBytes of values, hanging
+// its counters off reg. maxBytes <= 0 returns nil (caching disabled).
+func newLRUCache(maxBytes int64, reg *obs.Registry) *lruCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &lruCache{
+		max:       maxBytes,
+		order:     list.New(),
+		items:     map[[sha256.Size]byte]*list.Element{},
+		hits:      reg.Counter("server.cache.hits"),
+		misses:    reg.Counter("server.cache.misses"),
+		evictions: reg.Counter("server.cache.evictions"),
+		bytes:     reg.Gauge("server.cache.bytes"),
+		entries:   reg.Gauge("server.cache.entries"),
+	}
+}
+
+// get returns the cached value and marks the entry most recently used. The
+// returned slice is shared; callers must not mutate it.
+func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts val under key, evicting least-recently-used entries until the
+// byte budget holds. Values larger than the whole budget are not cached.
+// Re-putting an existing key refreshes its recency (the value is identical
+// by construction: the key hashes the full input).
+func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
+	if c == nil || int64(len(val)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.size += int64(len(val))
+	for c.size > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.val))
+		c.evictions.Inc()
+	}
+	c.bytes.Set(float64(c.size))
+	c.entries.Set(float64(len(c.items)))
+}

@@ -1,0 +1,207 @@
+// Package server is the repository's network surface: zipserverd's HTTP
+// compression service wrapping the three paper-faithful codecs
+// (internal/compress/codec) behind POST /v1/{codec}/{compress|decompress}
+// endpoints, with
+//
+//   - a per-request body cap (413 on overflow),
+//   - a content-addressed (SHA-256 keyed), byte-budgeted LRU response cache
+//     with hit/miss/eviction counters,
+//   - a bounded worker gate (internal/par.Gate) so concurrent codec
+//     executions are capped at an explicit -workers regardless of open
+//     connections,
+//   - per-request obs.Registry instances merged into the server registry
+//     (obs.Registry.Merge), exposed at GET /metrics as a canonical obs
+//     snapshot, plus GET /healthz for liveness probes.
+//
+// Unlike the simulation layers, the server's registry knowingly contains a
+// wall-clock-derived histogram (server.request_latency_us): a live network
+// service has no simulation clock, and observed latency is exactly what a
+// load test wants. Everything else in the snapshot (request, byte, cache
+// counters) is deterministic for a fixed request sequence.
+//
+// The deployment shape is deliberate: real compression side channels live
+// inside shared services (Schwarzl et al.; Debreach — see PAPERS.md), and a
+// cross-request, content-addressed cache gives Attack-2-style fingerprinting
+// a realistic setting to exercise in later PRs.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
+)
+
+// Default limits; all overridable via Config.
+const (
+	DefaultMaxBodyBytes = 8 << 20  // 8 MiB per request body
+	DefaultCacheBytes   = 64 << 20 // 64 MiB of cached responses
+)
+
+// Config parameterizes a Server. The zero value is fully usable: default
+// caps, GOMAXPROCS workers, a fresh registry.
+type Config struct {
+	// MaxBodyBytes caps each request body; <= 0 means DefaultMaxBodyBytes.
+	// Oversized requests get 413.
+	MaxBodyBytes int64
+	// CacheBytes budgets the response cache; 0 means DefaultCacheBytes,
+	// negative disables caching entirely.
+	CacheBytes int64
+	// Workers caps concurrent codec executions; <= 0 means GOMAXPROCS.
+	Workers int
+	// Registry receives merged per-request metrics and serves /metrics.
+	// Created if nil.
+	Registry *obs.Registry
+}
+
+// Server is the http.Handler. Create with New.
+type Server struct {
+	maxBody int64
+	reg     *obs.Registry
+	gate    *par.Gate
+	cache   *lruCache
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := &Server{
+		maxBody: cfg.MaxBodyBytes,
+		reg:     cfg.Registry,
+		gate:    par.NewGate(cfg.Workers),
+		cache:   newLRUCache(cfg.CacheBytes, cfg.Registry),
+		mux:     http.NewServeMux(),
+	}
+	// Touch the cache counters so /metrics shows them from the first
+	// request even before any cacheable traffic arrives.
+	s.reg.Counter("server.cache.hits")
+	s.reg.Counter("server.cache.misses")
+	s.reg.Counter("server.cache.evictions")
+	s.mux.HandleFunc("POST /v1/{codec}/{op}", s.handleCodec)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Registry returns the server's metric registry (the merge target for
+// per-request registries).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Workers reports the codec-execution concurrency cap.
+func (s *Server) Workers() int { return s.gate.Capacity() }
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleCodec serves POST /v1/{codec}/{compress|decompress}: stream in the
+// body (capped), consult the content-addressed cache, otherwise run the
+// codec under the worker gate, and stream the result back. Each request
+// accumulates metrics in a private registry that is merged into the server
+// registry exactly once on the way out.
+func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("codec")
+	op := r.PathValue("op")
+
+	cd, ok := codec.Lookup(name)
+	if !ok {
+		s.reg.Counter("server.errors.unknown_codec").Inc()
+		http.Error(w, fmt.Sprintf("unknown codec %q (have %s)", name, codec.NamesString()),
+			http.StatusNotFound)
+		return
+	}
+	var run func([]byte) ([]byte, error)
+	switch op {
+	case "compress":
+		run = cd.Compress
+	case "decompress":
+		run = cd.Decompress
+	default:
+		s.reg.Counter("server.errors.unknown_op").Inc()
+		http.Error(w, fmt.Sprintf("unknown operation %q (have compress, decompress)", op),
+			http.StatusNotFound)
+		return
+	}
+
+	req := obs.NewRegistry()
+	defer s.reg.Merge(req)
+	req.Counter("server.requests").Inc()
+	req.Counter("server.codec." + name + "." + op).Inc()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			req.Counter("server.errors.body_too_large").Inc()
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.maxBody),
+				http.StatusRequestEntityTooLarge)
+		} else {
+			req.Counter("server.errors.read_body").Inc()
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	req.Counter("server.bytes_in").Add(uint64(len(body)))
+
+	key := cacheKey(op, name, body)
+	out, cached := s.cache.get(key)
+	if !cached {
+		var codecErr error
+		s.gate.Do(func() { out, codecErr = run(body) })
+		if codecErr != nil {
+			req.Counter("server.errors.codec").Inc()
+			http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusBadRequest)
+			return
+		}
+		s.cache.put(key, out)
+	}
+
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/octet-stream")
+	hdr.Set("X-Codec", name)
+	if cached {
+		hdr.Set("X-Cache", "HIT")
+	} else {
+		hdr.Set("X-Cache", "MISS")
+	}
+	hdr.Set("Content-Length", fmt.Sprint(len(out)))
+	if _, err := w.Write(out); err != nil {
+		req.Counter("server.errors.write_response").Inc()
+		return
+	}
+	req.Counter("server.bytes_out").Add(uint64(len(out)))
+	req.Histogram("server.request_latency_us").Observe(time.Since(start).Microseconds())
+}
+
+// handleMetrics serves the canonical obs snapshot of the server registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := s.reg.Snapshot().MarshalIndent()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}

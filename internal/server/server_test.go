@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", url, err)
+	}
+	return resp, out
+}
+
+// TestRoundTripAllCodecs pushes a mixed payload through compress then
+// decompress over HTTP for every registered codec.
+func TestRoundTripAllCodecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := []byte(strings.Repeat("zipserverd round trip payload. ", 100) + "\x00\x01\xfe\xff")
+	for _, name := range codec.Names() {
+		resp, comp := post(t, ts.URL+"/v1/"+name+"/compress", src)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s compress: status %d: %s", name, resp.StatusCode, comp)
+		}
+		if got := resp.Header.Get("X-Codec"); got != name {
+			t.Fatalf("%s compress: X-Codec = %q", name, got)
+		}
+		resp, back := post(t, ts.URL+"/v1/"+name+"/decompress", comp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s decompress: status %d: %s", name, resp.StatusCode, back)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("%s: round trip mismatch (%d bytes in, %d back)", name, len(src), len(back))
+		}
+	}
+}
+
+// TestUnknownCodec404 covers both unknown algorithm and unknown operation.
+func TestUnknownCodec404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/gzip/compress", []byte("x"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown codec: status %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "lz77, lzw, bwt") {
+		t.Fatalf("unknown codec error should list registry names, got %q", body)
+	}
+	resp, _ = post(t, ts.URL+"/v1/lz77/transmogrify", []byte("x"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown op: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestOversizedBody413 checks the request size cap.
+func TestOversizedBody413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	resp, _ := post(t, ts.URL+"/v1/lz77/compress", make([]byte, 4096))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// At the cap is still fine.
+	resp, _ = post(t, ts.URL+"/v1/lz77/compress", make([]byte, 1024))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("body at cap: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCorruptDecompress400 feeds truncated streams to every codec's
+// decompress endpoint.
+func TestCorruptDecompress400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := []byte(strings.Repeat("corrupt me please ", 50))
+	for _, c := range codec.All() {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", c.Name, err)
+		}
+		resp, body := post(t, ts.URL+"/v1/"+c.Name+"/decompress", comp[:len(comp)/2])
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s corrupt decompress: status %d, want 400 (%s)", c.Name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestCacheHitAndCounters sends the same body twice and checks the second
+// response is served from cache, with counters visible in the registry.
+func TestCacheHitAndCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := []byte(strings.Repeat("cache me ", 200))
+	resp, first := post(t, ts.URL+"/v1/bwt/compress", body)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first request X-Cache = %q, want MISS", got)
+	}
+	resp, second := post(t, ts.URL+"/v1/bwt/compress", body)
+	if got := resp.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached response differs from computed response")
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters["server.cache.hits"] != 1 || snap.Counters["server.cache.misses"] != 1 {
+		t.Fatalf("cache counters = hits %d misses %d, want 1/1",
+			snap.Counters["server.cache.hits"], snap.Counters["server.cache.misses"])
+	}
+	if snap.Counters["server.requests"] != 2 {
+		t.Fatalf("server.requests = %d, want 2", snap.Counters["server.requests"])
+	}
+}
+
+// TestCacheDisabled runs with a negative budget: everything is a miss and
+// nothing breaks.
+func TestCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheBytes: -1})
+	body := []byte("no cache for you")
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, ts.URL+"/v1/lzw/compress", body)
+		if got := resp.Header.Get("X-Cache"); got != "MISS" {
+			t.Fatalf("request %d with cache disabled: X-Cache = %q, want MISS", i, got)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks /metrics is a canonical obs snapshot: parseable
+// as obs.Snapshot, containing cache counters and the latency histogram.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/lz77/compress", []byte(strings.Repeat("metrics ", 64)))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics is not a canonical snapshot: %v", err)
+	}
+	for _, c := range []string{"server.cache.hits", "server.cache.misses", "server.cache.evictions",
+		"server.requests", "server.bytes_in", "server.bytes_out"} {
+		if _, ok := snap.Counters[c]; !ok {
+			t.Fatalf("/metrics missing counter %q (have %v)", c, snap.Counters)
+		}
+	}
+	h, ok := snap.Histograms["server.request_latency_us"]
+	if !ok {
+		t.Fatal("/metrics missing server.request_latency_us histogram")
+	}
+	if h.Count == 0 {
+		t.Fatal("latency histogram recorded no observations")
+	}
+}
+
+// TestHealthz checks the liveness probe.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestWorkersConfig checks the gate picks up -workers style config.
+func TestWorkersConfig(t *testing.T) {
+	s := New(Config{Workers: 3})
+	if s.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", s.Workers())
+	}
+}
