@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json smoke smoke-server golden clean test-fuzz test-parallel
+.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server golden clean test-fuzz test-parallel
 
 all: build vet test
 
@@ -31,7 +31,8 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/huffcoding/
 
 # The scheduler's determinism contract: the full quick suite must be
-# byte-identical at parallelism 1 and 8 (manifests and merged snapshot).
+# byte-identical at parallelism 1 and 8 (manifests and merged snapshot),
+# and 4 workers must not be slower than 1 (the anti-scaling guard).
 test-parallel:
 	$(GO) test -count=1 -run 'TestSchedulerDeterministic|TestRunAll' ./internal/experiments/
 
@@ -42,10 +43,21 @@ bench:
 
 # Machine-readable perf record for this PR (the repo's performance
 # trajectory; bump the filename each PR that re-measures).
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
+
+# Per-benchmark speedups between two perf records:
+#   make bench-compare BASE=BENCH_PR3.json [BENCH_JSON=BENCH_PR4.json]
+BASE ?= BENCH_PR3.json
+bench-compare:
+	$(GO) run ./cmd/benchcmp -base $(BASE) -new $(BENCH_JSON)
+
+# One-iteration hot-path smoke (CI runs this so compile or gross perf
+# regressions on the taint/LZ77 paths surface in PRs).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTaintAnalysis|BenchmarkLZ77Compress' -benchtime 1x .
 
 # Quick cross-layer check: SGX attack telemetry end to end.
 smoke:

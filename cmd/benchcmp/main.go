@@ -1,0 +1,142 @@
+// Command benchcmp diffs two BENCH_*.json perf records (written by
+// cmd/benchjson via `make bench-json`) and prints per-benchmark speedup
+// ratios, so the repo's performance trajectory across PRs is a one-liner:
+//
+//	benchcmp -base BENCH_PR3.json -new BENCH_PR4.json
+//
+// Speedup is base/new on ns/op (>1 means the new record is faster).
+// Benchmarks present in only one record are listed separately so a
+// renamed or dropped benchmark cannot silently vanish from the
+// comparison. Exits non-zero only on I/O or parse errors — a slowdown is
+// a fact to report, not a tool failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchResult mirrors cmd/benchjson's record (only the fields the
+// comparison needs; unknown fields are ignored by encoding/json).
+type benchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+type benchDoc struct {
+	Results []benchResult `json:"results"`
+}
+
+func main() {
+	base := flag.String("base", "", "baseline BENCH_*.json (required)")
+	next := flag.String("new", "", "new BENCH_*.json (required)")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: both -base and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *base, *next); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]benchResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	m := make(map[string]benchResult, len(doc.Results))
+	for _, r := range doc.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func run(w io.Writer, basePath, newPath string) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	next, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	var common, baseOnly, newOnly []string
+	for name := range base {
+		if _, ok := next[name]; ok {
+			common = append(common, name)
+		} else {
+			baseOnly = append(baseOnly, name)
+		}
+	}
+	for name := range next {
+		if _, ok := base[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(baseOnly)
+	sort.Strings(newOnly)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tbase\tnew\tspeedup\n")
+	for _, name := range common {
+		b, n := base[name], next[name]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			strings.TrimPrefix(name, "Benchmark"),
+			formatNs(b.NsPerOp), formatNs(n.NsPerOp), speedup(b.NsPerOp, n.NsPerOp))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, name := range baseOnly {
+		fmt.Fprintf(w, "only in %s: %s\n", basePath, name)
+	}
+	for _, name := range newOnly {
+		fmt.Fprintf(w, "only in %s: %s\n", newPath, name)
+	}
+	return nil
+}
+
+// speedup renders base/new as "N.NNx" ( >1 is faster); degenerate inputs
+// (zero or missing ns/op) come out as "?" rather than Inf/NaN.
+func speedup(base, next float64) string {
+	if base <= 0 || next <= 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%.2fx", base/next)
+}
+
+// formatNs prints a duration-style value at the scale a reader wants:
+// raw ns below 1µs, then µs/ms/s with two decimals.
+func formatNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "?"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}

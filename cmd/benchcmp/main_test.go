@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	base := writeDoc(t, "base.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":185000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":73000000,"mb_per_s":0.9},
+		{"name":"BenchmarkDropped","ns_per_op":100}
+	]}`)
+	next := writeDoc(t, "new.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":26000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":4000000,"mb_per_s":16.2},
+		{"name":"BenchmarkAdded","ns_per_op":50}
+	]}`)
+
+	var sb strings.Builder
+	if err := run(&sb, base, next); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"TaintAnalysis", "7.12x", // 185/26
+		"LZ77Compress", "18.25x", // 73/4
+		"only in " + base + ": BenchmarkDropped",
+		"only in " + next + ": BenchmarkAdded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("degenerate ratio leaked into output:\n%s", out)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	good := writeDoc(t, "good.json", `{"results":[{"name":"BenchmarkX","ns_per_op":1}]}`)
+	empty := writeDoc(t, "empty.json", `{"results":[]}`)
+	bad := writeDoc(t, "bad.json", `not json`)
+
+	var sb strings.Builder
+	if err := run(&sb, good, empty); err == nil {
+		t.Error("want error for empty results")
+	}
+	if err := run(&sb, bad, good); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+	if err := run(&sb, filepath.Join(t.TempDir(), "missing.json"), good); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestSpeedupFormatting(t *testing.T) {
+	if got := speedup(0, 5); got != "?" {
+		t.Errorf("speedup(0,5) = %q", got)
+	}
+	if got := speedup(10, 0); got != "?" {
+		t.Errorf("speedup(10,0) = %q", got)
+	}
+	if got := formatNs(1500); got != "1.50µs" {
+		t.Errorf("formatNs(1500) = %q", got)
+	}
+	if got := formatNs(2.5e9); got != "2.50s" {
+		t.Errorf("formatNs(2.5e9) = %q", got)
+	}
+}

@@ -146,6 +146,7 @@ type Cache struct {
 	setBits   int
 	lineBits  int
 	sliceBits int
+	sliceMask []uint64 // per slice bit: the comb of line bits whose parity it is
 }
 
 // New builds a cache from cfg (zero fields take defaults).
@@ -187,6 +188,14 @@ func New(cfg Config) *Cache {
 			sets[i].ways = make([]way, cfg.Ways)
 		}
 		c.slices[s] = sets
+	}
+	c.sliceMask = make([]uint64, c.sliceBits)
+	for b := range c.sliceMask {
+		var m uint64
+		for p := uint(b); p < 64; p += uint(c.sliceBits + 1) {
+			m |= 1 << p
+		}
+		c.sliceMask[b] = m
 	}
 	return c
 }
@@ -278,14 +287,9 @@ func (c *Cache) SliceOf(paddr uint64) int {
 	line := c.LineOf(paddr)
 	var out int
 	for b := 0; b < c.sliceBits; b++ {
-		// Each slice bit is the parity of a distinct comb of line bits.
-		v := line >> uint(b)
-		var parity uint64
-		for v != 0 {
-			parity ^= v & 1
-			v >>= uint(c.sliceBits + 1)
-		}
-		out |= int(parity) << uint(b)
+		// Each slice bit is the parity of a distinct comb of line bits;
+		// the combs are precomputed masks, so a bit costs one popcount.
+		out |= (bits.OnesCount64(line&c.sliceMask[b]) & 1) << uint(b)
 	}
 	return out
 }

@@ -12,8 +12,10 @@
 package lz77
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"github.com/zipchannel/zipchannel/internal/compress/huffcoding"
 )
@@ -47,6 +49,11 @@ type Options struct {
 	Lazy bool
 	// Tracer, if non-nil, receives gadget events.
 	Tracer Tracer
+	// useRefMatcher selects the reference (byte-at-a-time) longest-match
+	// scan instead of the optimized one. The two are selection-identical
+	// by construction (see bestMatch); the differential test keeps that
+	// honest on real corpora. In-package only.
+	useRefMatcher bool
 }
 
 // Token stream symbols: literals 0-255, EOB 256, then length codes.
@@ -79,22 +86,60 @@ var distCodes = [30]struct {
 	{16385, 13}, {24577, 13},
 }
 
-func lengthCode(l int) int {
-	for i := len(lengthCodes) - 1; i >= 0; i-- {
-		if l >= lengthCodes[i].base {
-			return i
+// O(1) code lookups, built once from the tables above (zlib keeps the
+// same two arrays as _length_code and _dist_code). Lengths index
+// directly; distances use a split table — direct for d <= 256, then one
+// entry per 128-distance block, which is exact because every distance
+// code base above 256 is 1 mod 128.
+var (
+	lengthCodeTab [MaxMatch + 1]uint8
+	distCodeSmall [257]uint8
+	distCodeLarge [256]uint8
+)
+
+func init() {
+	for l := MinMatch; l <= MaxMatch; l++ {
+		for i := len(lengthCodes) - 1; i >= 0; i-- {
+			if l >= lengthCodes[i].base {
+				lengthCodeTab[l] = uint8(i)
+				break
+			}
 		}
+	}
+	code := func(d int) uint8 {
+		for i := len(distCodes) - 1; i >= 0; i-- {
+			if d >= distCodes[i].base {
+				return uint8(i)
+			}
+		}
+		return 0
+	}
+	for d := 1; d <= 256; d++ {
+		distCodeSmall[d] = code(d)
+	}
+	for b := 2; b < 256; b++ {
+		distCodeLarge[b] = code(b<<7 + 1)
+	}
+}
+
+func lengthCode(l int) int {
+	if l >= MinMatch && l <= MaxMatch {
+		return int(lengthCodeTab[l])
 	}
 	return 0
 }
 
 func distCode(d int) int {
-	for i := len(distCodes) - 1; i >= 0; i-- {
-		if d >= distCodes[i].base {
-			return i
-		}
+	if d <= 0 {
+		return 0
 	}
-	return 0
+	if d <= 256 {
+		return int(distCodeSmall[d])
+	}
+	if b := (d - 1) >> 7; b < 256 {
+		return int(distCodeLarge[b])
+	}
+	return len(distCodes) - 1
 }
 
 type token struct {
@@ -212,33 +257,9 @@ func tokenize(src []byte, opts Options) []token {
 		return h
 	}
 
-	bestMatch := func(pos int, chain int32) (length, dist int) {
-		limit := pos - WindowSize
-		maxLen := len(src) - pos
-		if maxLen > MaxMatch {
-			maxLen = MaxMatch
-		}
-		if maxLen < MinMatch {
-			return 0, 0
-		}
-		for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
-			cand := int(chain)
-			l := 0
-			for l < maxLen && src[cand+l] == src[pos+l] {
-				l++
-			}
-			if l > length {
-				length, dist = l, pos-cand
-				if l == maxLen {
-					break
-				}
-			}
-			chain = prev[cand]
-		}
-		if length < MinMatch {
-			return 0, 0
-		}
-		return length, dist
+	bestMatch := bestMatchFast
+	if opts.useRefMatcher {
+		bestMatch = bestMatchRef
 	}
 
 	pos := 0
@@ -248,7 +269,7 @@ func tokenize(src []byte, opts Options) []token {
 		var length, dist int
 		if pos+MinMatch <= len(src) && pos+2 < len(src) {
 			chain := insert(pos)
-			length, dist = bestMatch(pos, chain)
+			length, dist = bestMatch(src, prev, pos, chain)
 		}
 		if !opts.Lazy {
 			if length >= MinMatch {
@@ -296,6 +317,107 @@ func tokenize(src []byte, opts Options) []token {
 		tokens = append(tokens, token{length: prevLen, distance: prevDist})
 	}
 	return tokens
+}
+
+// bestMatchRef is the reference longest-match scan: walk the hash chain
+// newest to oldest, extend each candidate byte by byte, keep the first
+// candidate that achieves each strictly greater length. Retained for the
+// differential test (Options.useRefMatcher).
+func bestMatchRef(src []byte, prev []int32, pos int, chain int32) (length, dist int) {
+	limit := pos - WindowSize
+	maxLen := len(src) - pos
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	if maxLen < MinMatch {
+		return 0, 0
+	}
+	for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
+		cand := int(chain)
+		l := 0
+		for l < maxLen && src[cand+l] == src[pos+l] {
+			l++
+		}
+		if l > length {
+			length, dist = l, pos-cand
+			if l == maxLen {
+				break
+			}
+		}
+		chain = prev[cand]
+	}
+	if length < MinMatch {
+		return 0, 0
+	}
+	return length, dist
+}
+
+// bestMatchFast is selection-identical to bestMatchRef but cheaper per
+// candidate, borrowing zlib's longest_match structure:
+//
+//   - scan-end rejection: a candidate can only beat the current best
+//     length L by matching at least L+1 bytes, which requires
+//     src[cand+L] == src[pos+L]; when that byte differs the candidate is
+//     skipped without extending. Skipped candidates would have produced
+//     l <= L in the reference scan and therefore never update (length,
+//     dist), so the surviving winner — first strictly-longer candidate in
+//     chain order — is unchanged.
+//   - word-at-a-time extension: the match is extended 8 bytes per
+//     comparison with an XOR + trailing-zero count, falling back to the
+//     byte loop near the buffer end. The computed l is exactly the
+//     reference scan's l.
+//
+// The chain walk itself (start, order, try budget, window limit, early
+// break at maxLen) is byte-for-byte the reference loop, so both variants
+// also touch prev[] identically.
+func bestMatchFast(src []byte, prev []int32, pos int, chain int32) (length, dist int) {
+	limit := pos - WindowSize
+	maxLen := len(src) - pos
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	if maxLen < MinMatch {
+		return 0, 0
+	}
+	for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
+		cand := int(chain)
+		// Scan-end rejection. length < maxLen here (a best of maxLen breaks
+		// out below), so pos+length is in bounds.
+		if length > 0 && src[cand+length] != src[pos+length] {
+			chain = prev[cand]
+			continue
+		}
+		l := matchLen(src, cand, pos, maxLen)
+		if l > length {
+			length, dist = l, pos-cand
+			if l == maxLen {
+				break
+			}
+		}
+		chain = prev[cand]
+	}
+	if length < MinMatch {
+		return 0, 0
+	}
+	return length, dist
+}
+
+// matchLen returns the length of the common prefix of src[cand:] and
+// src[pos:], capped at maxLen, comparing 8 bytes at a time while both
+// windows allow it.
+func matchLen(src []byte, cand, pos, maxLen int) int {
+	l := 0
+	for l+8 <= maxLen && pos+l+8 <= len(src) {
+		x := binary.LittleEndian.Uint64(src[cand+l:]) ^ binary.LittleEndian.Uint64(src[pos+l:])
+		if x != 0 {
+			return l + bits.TrailingZeros64(x)>>3
+		}
+		l += 8
+	}
+	for l < maxLen && src[cand+l] == src[pos+l] {
+		l++
+	}
+	return l
 }
 
 // ErrCorrupt reports a malformed compressed stream.

@@ -1,0 +1,149 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/corpus"
+)
+
+// traceRecorder captures the INSERT_STRING stream, the secret-dependent
+// access sequence the survey experiment recovers from.
+type traceRecorder struct {
+	events []traceEvent
+}
+
+type traceEvent struct {
+	insH uint32
+	pos  int
+}
+
+func (t *traceRecorder) HeadInsert(insH uint32, pos int) {
+	t.events = append(t.events, traceEvent{insH, pos})
+}
+
+func matcherCorpora(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 8192)
+	rng.Read(random)
+	lower := make([]byte, 8192)
+	for i := range lower {
+		lower[i] = byte('a' + rng.Intn(26))
+	}
+	cases := map[string][]byte{
+		"empty":      nil,
+		"single":     {'z'},
+		"tiny":       []byte("aaa"),
+		"random":     random,
+		"lowercase":  lower,
+		"repetitive": bytes.Repeat([]byte("abcdefgh"), 1024),
+		"runs":       bytes.Repeat([]byte{0}, 8192),
+		"english":    corpus.EnglishText(rand.New(rand.NewSource(11)), 8192),
+	}
+	for _, f := range corpus.BrotliLike(3) {
+		cases["brotli/"+f.Name] = f.Data
+	}
+	return cases
+}
+
+// TestMatcherDifferential proves the optimized matcher is output- and
+// trace-identical to the reference matcher on the seed corpora: the
+// compressed bytes match exactly, and the HeadInsert gadget stream (the
+// head[ins_h] accesses of Fig 2) fires with the same hashes at the same
+// positions in the same order, for both greedy and lazy matching.
+func TestMatcherDifferential(t *testing.T) {
+	for name, data := range matcherCorpora(t) {
+		for _, lazy := range []bool{false, true} {
+			mode := "greedy"
+			if lazy {
+				mode = "lazy"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				var refTrace, fastTrace traceRecorder
+				ref, err := Compress(data, Options{Lazy: lazy, Tracer: &refTrace, useRefMatcher: true})
+				if err != nil {
+					t.Fatalf("reference Compress: %v", err)
+				}
+				fast, err := Compress(data, Options{Lazy: lazy, Tracer: &fastTrace})
+				if err != nil {
+					t.Fatalf("optimized Compress: %v", err)
+				}
+				if !bytes.Equal(ref, fast) {
+					t.Fatalf("compressed output differs: ref %d bytes, fast %d bytes", len(ref), len(fast))
+				}
+				if len(refTrace.events) != len(fastTrace.events) {
+					t.Fatalf("trace length differs: ref %d, fast %d", len(refTrace.events), len(fastTrace.events))
+				}
+				for i := range refTrace.events {
+					if refTrace.events[i] != fastTrace.events[i] {
+						t.Fatalf("trace diverges at event %d: ref %+v, fast %+v",
+							i, refTrace.events[i], fastTrace.events[i])
+					}
+				}
+				back, err := Decompress(fast)
+				if err != nil {
+					t.Fatalf("Decompress: %v", err)
+				}
+				if !bytes.Equal(back, data) {
+					t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(back))
+				}
+			})
+		}
+	}
+}
+
+// TestMatchLen pins matchLen (the word-at-a-time extension) against the
+// byte-at-a-time definition on random windows.
+func TestMatchLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	src := make([]byte, 2048)
+	rng.Read(src)
+	// Plant long self-similarity so extensions of every length occur.
+	copy(src[1024:], src[:768])
+	for trial := 0; trial < 5000; trial++ {
+		pos := 1 + rng.Intn(len(src)-1)
+		cand := rng.Intn(pos)
+		maxLen := len(src) - pos
+		if maxLen > MaxMatch {
+			maxLen = MaxMatch
+		}
+		want := 0
+		for want < maxLen && src[cand+want] == src[pos+want] {
+			want++
+		}
+		if got := matchLen(src, cand, pos, maxLen); got != want {
+			t.Fatalf("matchLen(cand=%d, pos=%d, max=%d) = %d, want %d", cand, pos, maxLen, got, want)
+		}
+	}
+}
+
+// TestCodeTables pins the O(1) length/distance code lookups against the
+// linear-scan definition over their full domains.
+func TestCodeTables(t *testing.T) {
+	for l := MinMatch; l <= MaxMatch; l++ {
+		want := 0
+		for i := len(lengthCodes) - 1; i >= 0; i-- {
+			if l >= lengthCodes[i].base {
+				want = i
+				break
+			}
+		}
+		if got := lengthCode(l); got != want {
+			t.Fatalf("lengthCode(%d) = %d, want %d", l, got, want)
+		}
+	}
+	for d := 1; d <= WindowSize; d++ {
+		want := 0
+		for i := len(distCodes) - 1; i >= 0; i-- {
+			if d >= distCodes[i].base {
+				want = i
+				break
+			}
+		}
+		if got := distCode(d); got != want {
+			t.Fatalf("distCode(%d) = %d, want %d", d, got, want)
+		}
+	}
+}

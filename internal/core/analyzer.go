@@ -11,6 +11,11 @@
 //
 // together with the exact per-bit relation between input bytes and the
 // dereferenced address (the ASCII matrices of Figs 2-4).
+//
+// The propagation hot path is allocation-free in steady state: taint words
+// are manipulated through the in-place pointer API of internal/taint
+// (hash-consed sets, memoized unions), and the analyzer reuses a small
+// number of scratch words instead of passing 512-byte shadows by value.
 package core
 
 import (
@@ -111,6 +116,15 @@ type findingKey struct {
 	pc   int
 }
 
+// byteShadow is the per-memory-byte shadow: one set per bit plus a bitmap
+// of the non-empty positions, mirroring taint.Word's mask at byte grain.
+type byteShadow struct {
+	bits [8]*taint.Set
+	mask uint8
+}
+
+func (b *byteShadow) clean() bool { return b.mask == 0 }
+
 // Analyzer is a TaintChannel instance attached to one execution.
 type Analyzer struct {
 	cfg Config
@@ -127,17 +141,13 @@ type Analyzer struct {
 
 	instrCount uint64
 	taintOps   uint64
-}
 
-type byteShadow [8]*taint.Set
-
-func (b byteShadow) clean() bool {
-	for _, s := range b {
-		if !s.IsEmpty() {
-			return false
-		}
-	}
-	return true
+	// Scratch shadows reused across steps so propagation never passes
+	// 512-byte words by value.
+	tmpSrc  taint.Word
+	tmpDst  taint.Word
+	tmpAddr taint.Word
+	tmpIdx  taint.Word
 }
 
 // New creates an analyzer.
@@ -174,8 +184,8 @@ func (a *Analyzer) History(t taint.Tag) []HistEvent { return a.history[t] }
 func (a *Analyzer) onRead(_ *vm.VM, bufAddr uint64, n, firstIndex int) {
 	for i := 0; i < n; i++ {
 		tag := taint.Tag(firstIndex + i)
-		w := taint.ByteWord(tag)
-		a.storeShadow(bufAddr+uint64(i), 1, w)
+		a.tmpSrc.SetByte(tag)
+		a.storeShadow(bufAddr+uint64(i), 1, &a.tmpSrc)
 		if a.cfg.TrackTags[tag] {
 			a.recordHistory(tag, 0, -1, "read syscall", "byte enters memory")
 		}
@@ -191,81 +201,82 @@ func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
 
 	switch in.Op {
 	case isa.OpMov:
-		src := a.operandShadow(in.Src, w)
-		touched = !src.IsClean() || !a.regs[in.Dst.Reg].IsClean()
-		a.setReg(v, in, in.Dst.Reg, src.Truncate(w))
+		a.operandShadow(&a.tmpSrc, in.Src, w)
+		touched = !a.tmpSrc.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, &a.tmpSrc)
 
 	case isa.OpLea:
-		addr := a.addrShadow(v, in.Src.Mem)
-		touched = !addr.IsClean() || !a.regs[in.Dst.Reg].IsClean()
-		a.setReg(v, in, in.Dst.Reg, addr)
+		a.addrShadow(&a.tmpAddr, in.Src.Mem)
+		touched = !a.tmpAddr.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, &a.tmpAddr)
 
 	case isa.OpLd:
-		addrT := a.addrShadow(v, in.Src.Mem)
-		if !addrT.IsClean() {
-			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Src.Mem), addrT)
+		a.addrShadow(&a.tmpAddr, in.Src.Mem)
+		if !a.tmpAddr.IsClean() {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Src.Mem), &a.tmpAddr)
 		}
-		loaded := a.loadShadow(v.EffectiveAddr(in.Src.Mem), w)
-		touched = !loaded.IsClean() || !addrT.IsClean() || !a.regs[in.Dst.Reg].IsClean()
-		a.setReg(v, in, in.Dst.Reg, loaded)
+		a.loadShadow(&a.tmpSrc, v.EffectiveAddr(in.Src.Mem), w)
+		touched = !a.tmpSrc.IsClean() || !a.tmpAddr.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, &a.tmpSrc)
 
 	case isa.OpSt:
-		addrT := a.addrShadow(v, in.Dst.Mem)
-		if !addrT.IsClean() {
-			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Dst.Mem), addrT)
+		a.addrShadow(&a.tmpAddr, in.Dst.Mem)
+		if !a.tmpAddr.IsClean() {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Dst.Mem), &a.tmpAddr)
 		}
-		src := a.operandShadow(in.Src, w)
-		touched = !src.IsClean() || !addrT.IsClean()
-		a.storeShadowTracked(v, in, v.EffectiveAddr(in.Dst.Mem), w, src.Truncate(w))
+		a.operandShadow(&a.tmpSrc, in.Src, w)
+		touched = !a.tmpSrc.IsClean() || !a.tmpAddr.IsClean()
+		a.tmpSrc.TruncateIn(w)
+		a.storeShadowTracked(v, in, v.EffectiveAddr(in.Dst.Mem), w, &a.tmpSrc)
 
 	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
 		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
 		touched = a.aluTaint(v, in)
 
 	case isa.OpNot:
-		touched = !a.regs[in.Dst.Reg].IsClean()
-		a.setReg(v, in, in.Dst.Reg, a.regs[in.Dst.Reg].Truncate(w))
+		reg := &a.regs[in.Dst.Reg]
+		touched = !reg.IsClean()
+		reg.TruncateIn(w)
+		a.trackReg(v, in, in.Dst.Reg)
 
 	case isa.OpNeg:
-		d := a.regs[in.Dst.Reg]
-		touched = !d.IsClean()
+		reg := &a.regs[in.Dst.Reg]
+		touched = !reg.IsClean()
 		if a.cfg.CarryAware {
 			var zero taint.Word
-			d = taint.AddCarryAware(zero, d)
+			reg.SetAddCarryAware(&zero, reg)
 		}
-		a.setReg(v, in, in.Dst.Reg, d.Truncate(w))
+		reg.TruncateIn(w)
+		a.trackReg(v, in, in.Dst.Reg)
 
 	case isa.OpCmp, isa.OpTest:
-		d := a.regs[in.Dst.Reg].Truncate(w)
-		s := a.operandShadow(in.Src, w)
-		a.flagTaint = taint.Union(d.AllTags(), s.AllTags())
+		a.tmpDst.CopyFrom(&a.regs[in.Dst.Reg])
+		a.tmpDst.TruncateIn(w)
+		a.operandShadow(&a.tmpSrc, in.Src, w)
+		a.flagTaint = taint.Union(a.tmpDst.AllTags(), a.tmpSrc.AllTags())
 		a.flagPC = v.PC
 		touched = !a.flagTaint.IsEmpty()
 
 	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
 		isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
 		if !a.flagTaint.IsEmpty() {
-			var word taint.Word
-			for i := 0; i < taint.WordBits; i++ {
-				word.SetBit(i, a.flagTaint)
-			}
-			a.recordBranch(v, in, word)
+			a.recordBranch(v, in)
 			touched = true
 		}
 
 	case isa.OpPush:
-		src := a.operandShadow(in.Src, 8)
-		touched = !src.IsClean()
-		a.storeShadow(v.Regs[isa.SP]-8, 8, src)
+		a.operandShadow(&a.tmpSrc, in.Src, 8)
+		touched = !a.tmpSrc.IsClean()
+		a.storeShadow(v.Regs[isa.SP]-8, 8, &a.tmpSrc)
 
 	case isa.OpPop:
-		loaded := a.loadShadow(v.Regs[isa.SP], 8)
-		touched = !loaded.IsClean() || !a.regs[in.Dst.Reg].IsClean()
-		a.setReg(v, in, in.Dst.Reg, loaded)
+		a.loadShadow(&a.tmpSrc, v.Regs[isa.SP], 8)
+		touched = !a.tmpSrc.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		a.setReg(v, in, in.Dst.Reg, &a.tmpSrc)
 
 	case isa.OpCall:
 		var zero taint.Word
-		a.storeShadow(v.Regs[isa.SP]-8, 8, zero)
+		a.storeShadow(v.Regs[isa.SP]-8, 8, &zero)
 	}
 
 	if touched {
@@ -284,109 +295,127 @@ func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
 // read-modify-write memory-destination form. Returns whether taint moved.
 func (a *Analyzer) aluTaint(v *vm.VM, in *isa.Instr) bool {
 	w := int(in.Width)
-	src := a.operandShadow(in.Src, w)
+	a.operandShadow(&a.tmpSrc, in.Src, w)
+	src := &a.tmpSrc
 
 	// x86-style zeroing idiom: xor r, r produces a clean zero.
 	if in.Op == isa.OpXor && in.Dst.Kind == isa.KindReg && in.Src.Kind == isa.KindReg &&
 		in.Dst.Reg == in.Src.Reg {
 		touched := !a.regs[in.Dst.Reg].IsClean()
-		var zero taint.Word
-		a.setReg(v, in, in.Dst.Reg, zero)
+		a.regs[in.Dst.Reg].Reset()
+		a.trackReg(v, in, in.Dst.Reg)
 		return touched
 	}
 
 	if in.Dst.Kind == isa.KindMem {
-		addrT := a.addrShadow(v, in.Dst.Mem)
+		a.addrShadow(&a.tmpAddr, in.Dst.Mem)
 		addr := v.EffectiveAddr(in.Dst.Mem)
-		if !addrT.IsClean() {
-			a.recordGadget(v, in, DataFlow, addr, addrT)
+		if !a.tmpAddr.IsClean() {
+			a.recordGadget(v, in, DataFlow, addr, &a.tmpAddr)
 		}
-		old := a.loadShadow(addr, w)
-		res := a.combine(in.Op, old, src, v, in, w)
-		a.flagTaint = res.AllTags()
+		a.loadShadow(&a.tmpDst, addr, w)
+		old := &a.tmpDst
+		oldClean := old.IsClean()
+		// Combine into tmpDst (aliasing old, which combine permits), then
+		// derive the flag taint from the *untruncated* result, matching
+		// the historical memory-destination rule.
+		a.combine(old, in.Op, old, src, v, in, w)
+		a.flagTaint = old.AllTags()
 		a.flagPC = v.PC
-		a.storeShadowTracked(v, in, addr, w, res.Truncate(w))
-		return !old.IsClean() || !src.IsClean() || !addrT.IsClean()
+		old.TruncateIn(w)
+		a.storeShadowTracked(v, in, addr, w, old)
+		return !oldClean || !src.IsClean() || !a.tmpAddr.IsClean()
 	}
 
-	d := a.regs[in.Dst.Reg].Truncate(w)
-	res := a.combine(in.Op, d, src, v, in, w)
-	res = res.Truncate(w)
-	a.flagTaint = res.AllTags()
+	a.tmpDst.CopyFrom(&a.regs[in.Dst.Reg])
+	a.tmpDst.TruncateIn(w)
+	d := &a.tmpDst
+	dClean := d.IsClean()
+	a.combine(d, in.Op, d, src, v, in, w)
+	d.TruncateIn(w)
+	a.flagTaint = d.AllTags()
 	a.flagPC = v.PC
-	touched := !d.IsClean() || !src.IsClean()
-	a.setReg(v, in, in.Dst.Reg, res)
+	touched := !dClean || !src.IsClean()
+	a.setReg(v, in, in.Dst.Reg, d)
 	return touched
 }
 
 // combine applies the per-opcode taint transfer function (the paper's
 // Fig 1 decision tree plus the §III-B special cases for and-masks and
-// shifts).
-func (a *Analyzer) combine(op isa.Op, d, s taint.Word, v *vm.VM, in *isa.Instr, w int) taint.Word {
+// shifts), storing the result into out. out may alias d; it must not
+// alias s.
+func (a *Analyzer) combine(out *taint.Word, op isa.Op, d, s *taint.Word, v *vm.VM, in *isa.Instr, w int) {
 	switch op {
 	case isa.OpAdd, isa.OpSub:
 		if a.cfg.CarryAware {
-			return taint.AddCarryAware(d, s)
+			out.SetAddCarryAware(d, s)
+			return
 		}
-		return taint.MergePerBit(d, s)
+		out.SetMergePerBit(d, s)
 	case isa.OpXor:
-		return taint.MergePerBit(d, s)
+		out.SetMergePerBit(d, s)
 	case isa.OpOr:
 		// Or with an untainted operand destroys taint where that operand
 		// has 1 bits (forced to 1).
 		if s.IsClean() {
-			return taint.OrMask(d, a.srcValue(v, in, w))
+			out.SetOrMask(d, a.srcValue(v, in, w))
+			return
 		}
 		if d.IsClean() {
-			return taint.OrMask(s, v.Regs[in.Dst.Reg])
+			out.SetOrMask(s, v.Regs[in.Dst.Reg])
+			return
 		}
-		return taint.MergePerBit(d, s)
+		out.SetMergePerBit(d, s)
 	case isa.OpAnd:
 		// And with an untainted mask keeps taint only at the mask's 1 bits.
 		if s.IsClean() {
-			return taint.AndMask(d, a.srcValue(v, in, w))
+			out.SetAndMask(d, a.srcValue(v, in, w))
+			return
 		}
 		if d.IsClean() {
-			return taint.AndMask(s, v.Regs[in.Dst.Reg])
+			out.SetAndMask(s, v.Regs[in.Dst.Reg])
+			return
 		}
-		return taint.MergePerBit(d, s)
+		out.SetMergePerBit(d, s)
 	case isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
 		if !s.IsClean() {
 			// Tainted shift count: conservatively smear everything.
-			return taint.MergeAll(d, s)
+			out.SetMergeAll(d, s)
+			return
 		}
 		n := uint(a.srcValue(v, in, w))
 		switch op {
 		case isa.OpShl:
-			return taint.Shl(d, n)
+			out.SetShl(d, n)
 		case isa.OpShr:
-			return taint.Shr(d, n)
+			out.SetShr(d, n)
 		case isa.OpSar:
-			return taint.Sar(d, n, w)
+			out.SetSar(d, n, w)
 		default:
-			return taint.Rol(d, n, w)
+			out.SetRol(d, n, w)
 		}
 	case isa.OpMul:
 		// Multiplication by an untainted power of two is a shift.
 		if s.IsClean() {
 			val := a.srcValue(v, in, w)
 			if val != 0 && val&(val-1) == 0 {
-				return taint.Shl(d, uint(bits.TrailingZeros64(val)))
+				out.SetShl(d, uint(bits.TrailingZeros64(val)))
+				return
 			}
 		}
 		if d.IsClean() && s.IsClean() {
-			var zero taint.Word
-			return zero
+			out.Reset()
+			return
 		}
-		return taint.MergeAll(d, s)
+		out.SetMergeAll(d, s)
 	case isa.OpDiv, isa.OpMod:
 		if d.IsClean() && s.IsClean() {
-			var zero taint.Word
-			return zero
+			out.Reset()
+			return
 		}
-		return taint.MergeAll(d, s)
+		out.SetMergeAll(d, s)
 	default:
-		return taint.MergePerBit(d, s)
+		out.SetMergePerBit(d, s)
 	}
 }
 
@@ -403,68 +432,85 @@ func (a *Analyzer) srcValue(v *vm.VM, in *isa.Instr, w int) uint64 {
 	}
 }
 
-// operandShadow returns the taint word of a register or immediate operand.
-func (a *Analyzer) operandShadow(o isa.Operand, w int) taint.Word {
-	var zero taint.Word
-	switch o.Kind {
-	case isa.KindReg:
-		return a.regs[o.Reg].Truncate(w)
-	default:
-		return zero
+// operandShadow stores the taint word of a register or immediate operand
+// into dst, truncated to the operand width.
+func (a *Analyzer) operandShadow(dst *taint.Word, o isa.Operand, w int) {
+	if o.Kind == isa.KindReg {
+		dst.CopyFrom(&a.regs[o.Reg])
+		dst.TruncateIn(w)
+		return
 	}
+	dst.Reset()
 }
 
-// addrShadow computes the taint of a memory operand's effective address:
-// base + index*scale + disp, modelling the scale as a left shift (the
-// pointer arithmetic that places ins_h<<1 inside rdx in Fig 2).
-func (a *Analyzer) addrShadow(_ *vm.VM, m isa.MemRef) taint.Word {
-	var addr taint.Word
+// addrShadow computes the taint of a memory operand's effective address
+// into dst: base + index*scale + disp, modelling the scale as a left shift
+// (the pointer arithmetic that places ins_h<<1 inside rdx in Fig 2).
+func (a *Analyzer) addrShadow(dst *taint.Word, m isa.MemRef) {
 	if m.HasBase {
-		addr = a.regs[m.Base]
+		dst.CopyFrom(&a.regs[m.Base])
+	} else {
+		dst.Reset()
 	}
 	if m.HasIndex {
-		idx := taint.Shl(a.regs[m.Index], uint(bits.TrailingZeros8(m.Scale)))
+		a.tmpIdx.SetShl(&a.regs[m.Index], uint(bits.TrailingZeros8(m.Scale)))
 		if a.cfg.CarryAware {
-			addr = taint.AddCarryAware(addr, idx)
+			dst.SetAddCarryAware(dst, &a.tmpIdx)
 		} else {
-			addr = taint.MergePerBit(addr, idx)
+			dst.SetMergePerBit(dst, &a.tmpIdx)
 		}
 	}
-	return addr
 }
 
-func (a *Analyzer) setReg(v *vm.VM, in *isa.Instr, r isa.Reg, word taint.Word) {
-	a.regs[r] = word
-	a.trackWord(v, in, word, "-> "+r.String())
+// setReg copies word into r's shadow. word may alias a scratch buffer; it
+// is left untouched.
+func (a *Analyzer) setReg(v *vm.VM, in *isa.Instr, r isa.Reg, word *taint.Word) {
+	a.regs[r].CopyFrom(word)
+	a.trackReg(v, in, r)
 }
 
-func (a *Analyzer) loadShadow(addr uint64, w int) taint.Word {
-	var bs [][8]*taint.Set
+func (a *Analyzer) loadShadow(dst *taint.Word, addr uint64, w int) {
+	dst.Reset()
 	for i := 0; i < w; i++ {
-		b := a.mem[addr+uint64(i)]
-		bs = append(bs, [8]*taint.Set(b))
+		b, ok := a.mem[addr+uint64(i)]
+		if !ok || b.mask == 0 {
+			continue
+		}
+		m := b.mask
+		for m != 0 {
+			j := bits.TrailingZeros8(m)
+			m &= m - 1
+			dst.SetBit(i*8+j, b.bits[j])
+		}
 	}
-	return taint.FromBytes(bs)
 }
 
-func (a *Analyzer) storeShadow(addr uint64, w int, word taint.Word) {
-	bytes := word.Bytes()
+func (a *Analyzer) storeShadow(addr uint64, w int, word *taint.Word) {
+	mask := word.Mask()
 	for i := 0; i < w; i++ {
-		b := byteShadow(bytes[i])
-		if b.clean() {
+		bm := uint8(mask >> uint(i*8))
+		if bm == 0 {
 			delete(a.mem, addr+uint64(i))
-		} else {
-			a.mem[addr+uint64(i)] = b
+			continue
 		}
+		var b byteShadow
+		b.mask = bm
+		m := bm
+		for m != 0 {
+			j := bits.TrailingZeros8(m)
+			m &= m - 1
+			b.bits[j] = word.Bit(i*8 + j)
+		}
+		a.mem[addr+uint64(i)] = b
 	}
 }
 
-func (a *Analyzer) storeShadowTracked(v *vm.VM, in *isa.Instr, addr uint64, w int, word taint.Word) {
+func (a *Analyzer) storeShadowTracked(v *vm.VM, in *isa.Instr, addr uint64, w int, word *taint.Word) {
 	a.storeShadow(addr, w, word)
 	a.trackWord(v, in, word, "-> memory")
 }
 
-func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr uint64, addrT taint.Word) {
+func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr uint64, addrT *taint.Word) {
 	key := findingKey{kind, v.PC}
 	f, ok := a.findings[key]
 	if !ok {
@@ -475,12 +521,13 @@ func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr u
 	f.Count++
 	if len(f.Samples) < a.cfg.MaxSamplesPerGadget {
 		f.Samples = append(f.Samples, AccessSample{
-			Step: v.Steps, Addr: addr, AddrTaint: addrT,
+			Step: v.Steps, Addr: addr,
 		})
+		f.Samples[len(f.Samples)-1].AddrTaint.CopyFrom(addrT)
 	}
 }
 
-func (a *Analyzer) recordBranch(v *vm.VM, in *isa.Instr, word taint.Word) {
+func (a *Analyzer) recordBranch(v *vm.VM, in *isa.Instr) {
 	key := findingKey{ControlFlow, v.PC}
 	f, ok := a.findings[key]
 	if !ok {
@@ -490,6 +537,10 @@ func (a *Analyzer) recordBranch(v *vm.VM, in *isa.Instr, word taint.Word) {
 	}
 	f.Count++
 	if len(f.Samples) < a.cfg.MaxSamplesPerGadget {
+		var word taint.Word
+		for i := 0; i < taint.WordBits; i++ {
+			word.SetBit(i, a.flagTaint)
+		}
 		f.Samples = append(f.Samples, AccessSample{
 			Step: v.Steps, Addr: uint64(a.flagPC), AddrTaint: word,
 			Taken: v.Halted == false && a.branchTaken(v, in),
@@ -523,8 +574,17 @@ func (a *Analyzer) branchTaken(v *vm.VM, in *isa.Instr) bool {
 	return false
 }
 
+// trackReg appends a history event for any tracked tag present in r's
+// shadow.
+func (a *Analyzer) trackReg(v *vm.VM, in *isa.Instr, r isa.Reg) {
+	if len(a.cfg.TrackTags) == 0 {
+		return
+	}
+	a.trackWord(v, in, &a.regs[r], "-> "+r.String())
+}
+
 // trackWord appends a history event for any tracked tag present in word.
-func (a *Analyzer) trackWord(v *vm.VM, in *isa.Instr, word taint.Word, note string) {
+func (a *Analyzer) trackWord(v *vm.VM, in *isa.Instr, word *taint.Word, note string) {
 	if len(a.cfg.TrackTags) == 0 {
 		return
 	}
@@ -547,10 +607,12 @@ func (a *Analyzer) recordHistory(t taint.Tag, step uint64, pc int, instr, note s
 	a.history[t] = append(h, HistEvent{Step: step, PC: pc, Instr: instr, Note: note})
 }
 
-// RegTaint exposes a register's current shadow (tests, reports).
-func (a *Analyzer) RegTaint(r isa.Reg) taint.Word { return a.regs[r] }
+// RegTaint exposes a register's current shadow (tests, reports). The
+// returned pointer aliases the analyzer's live state; callers must not
+// mutate it.
+func (a *Analyzer) RegTaint(r isa.Reg) *taint.Word { return &a.regs[r] }
 
 // MemTaint exposes a memory byte's current shadow.
 func (a *Analyzer) MemTaint(addr uint64) [8]*taint.Set {
-	return [8]*taint.Set(a.mem[addr])
+	return a.mem[addr].bits
 }

@@ -16,9 +16,11 @@ type RunOptions struct {
 	Runners []Runner
 	// Quick selects the reduced-size variants.
 	Quick bool
-	// Parallelism bounds the worker pool (and each runner's internal
-	// trial fan-out); <= 0 means GOMAXPROCS. Results, manifests, and the
-	// merged registry are byte-identical at any value.
+	// Parallelism is the total worker budget, split between the task pool
+	// and each runner's internal trial fan-out (a task's Ctx.Parallelism
+	// is budget/poolWidth, at least 1), so the run never oversubscribes
+	// the requested width; <= 0 means GOMAXPROCS. Results, manifests, and
+	// the merged registry are byte-identical at any value.
 	Parallelism int
 	// RootSeed re-parameterizes every task's RNG deterministically: task
 	// i runs with par.SplitSeed(RootSeed, runner name). Zero — the
@@ -63,6 +65,24 @@ func RunAll(ctx context.Context, opts RunOptions) ([]*Outcome, error) {
 	}
 	parallelism := par.Parallelism(opts.Parallelism)
 
+	// Split the worker budget between the outer task pool and each task's
+	// internal trial fan-out instead of granting both the full budget:
+	// -parallel 4 used to run 4 tasks × 4 inner workers = 16 CPU-bound
+	// goroutines, which anti-scaled on small hosts (GC pressure from four
+	// oversubscribed heaps). Inner width does not affect outputs (ForEach
+	// is deterministic at any width), so only wall time changes.
+	outer := parallelism
+	if outer > len(runners) {
+		outer = len(runners)
+	}
+	inner := 1
+	if outer > 0 {
+		inner = parallelism / outer
+		if inner < 1 {
+			inner = 1
+		}
+	}
+
 	outcomes := make([]*Outcome, len(runners))
 	var mu sync.Mutex
 	next := 0
@@ -79,7 +99,7 @@ func RunAll(ctx context.Context, opts RunOptions) ([]*Outcome, error) {
 		}
 	}
 
-	par.ForEach(parallelism, len(runners), func(i int) error {
+	par.ForEach(outer, len(runners), func(i int) error {
 		r := runners[i]
 		o := &Outcome{Runner: r}
 		if err := ctx.Err(); err != nil {
@@ -89,7 +109,7 @@ func RunAll(ctx context.Context, opts RunOptions) ([]*Outcome, error) {
 			ec := &Ctx{
 				Quick:       opts.Quick,
 				Obs:         obs.NewRegistry(),
-				Parallelism: parallelism,
+				Parallelism: inner,
 			}
 			if opts.RootSeed != 0 {
 				ec.Seed = par.SplitSeed(opts.RootSeed, r.Name)

@@ -203,3 +203,58 @@ func TestSchedulerDeterministic(t *testing.T) {
 		t.Errorf("merged snapshots differ between parallel=1 and parallel=8")
 	}
 }
+
+// TestRunAllWorkerBudget: the scheduler splits the -parallel budget
+// between the task pool and each task's inner fan-out instead of
+// granting both the full width (the PR 2 oversubscription bug: 4 tasks
+// × 4 inner workers on a 4-worker request).
+func TestRunAllWorkerBudget(t *testing.T) {
+	cases := []struct {
+		parallelism, tasks, wantInner int
+	}{
+		{1, 5, 1},   // sequential: inner stays 1
+		{4, 5, 1},   // pool soaks the budget
+		{8, 2, 4},   // few tasks: leftover budget goes inward
+		{6, 4, 1},   // non-divisible: round down, never oversubscribe
+		{16, 1, 16}, // single task gets everything
+	}
+	for _, tc := range cases {
+		var got atomic.Int64
+		var runners []Runner
+		for i := 0; i < tc.tasks; i++ {
+			runners = append(runners, fakeRunner(fmt.Sprintf("task%d", i), 0, func(c *Ctx) {
+				got.Store(int64(c.Parallelism))
+			}))
+		}
+		if _, err := RunAll(context.Background(), RunOptions{Runners: runners, Parallelism: tc.parallelism}); err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		if int(got.Load()) != tc.wantInner {
+			t.Errorf("parallel=%d tasks=%d: inner budget %d, want %d",
+				tc.parallelism, tc.tasks, got.Load(), tc.wantInner)
+		}
+	}
+}
+
+// TestRunAllParallelNoSlowdown guards the anti-scaling regression:
+// running the quick suite with 4 workers must not be slower than with 1
+// (modulo scheduling noise — on a single-CPU host the best case is a
+// tie, so the guard allows a 25% band rather than demanding a speedup).
+func TestRunAllParallelNoSlowdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped in -short")
+	}
+	wall := func(parallelism int) time.Duration {
+		start := time.Now()
+		if _, err := RunAll(context.Background(), RunOptions{Quick: true, Parallelism: parallelism}); err != nil {
+			t.Fatalf("RunAll(parallel=%d): %v", parallelism, err)
+		}
+		return time.Since(start)
+	}
+	p1 := wall(1)
+	p4 := wall(4)
+	t.Logf("quick suite wall time: parallel=1 %v, parallel=4 %v", p1, p4)
+	if p4 > p1+p1/4 {
+		t.Errorf("parallel=4 (%v) is >1.25x slower than parallel=1 (%v): scheduler anti-scales", p4, p1)
+	}
+}

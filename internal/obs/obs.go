@@ -18,8 +18,12 @@
 //   - Nil-safety everywhere. A nil *Registry hands out nil instruments,
 //     and every instrument method is a no-op on a nil receiver, so
 //     instrumented hot paths need no conditionals.
-//   - Cheap hot paths. Instruments are resolved once (by name, under the
-//     registry mutex) and then updated with single atomic operations.
+//   - Cheap hot paths. Instruments are resolved once (by name, under a
+//     read-mostly registry lock) and then updated with single atomic
+//     operations. Hot writers additionally take a padded per-owner shard
+//     of their counter (Counter.Shard), so concurrent simulation tasks
+//     increment disjoint cache lines instead of bouncing one; Value
+//     remains exact at every instant (DESIGN.md §7).
 package obs
 
 import (
@@ -33,7 +37,7 @@ import (
 // methods are safe for concurrent use; instruments with the same name are
 // shared (two modules asking for "cache.hits" get the same counter).
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -58,9 +62,15 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok = r.counters[name]
 	if !ok {
 		c = NewCounter()
 		r.counters[name] = c
@@ -74,9 +84,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok = r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
@@ -90,9 +106,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	h, ok = r.hists[name]
 	if !ok {
 		h = NewHistogram()
 		r.hists[name] = h
@@ -118,9 +140,9 @@ func (r *Registry) SimNow() uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	fn := r.simClock
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if fn == nil {
 		return 0
 	}
@@ -142,9 +164,9 @@ func (r *Registry) traceSink() *TraceSink {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	s := r.sink
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	return s
 }
 
@@ -163,9 +185,15 @@ func (r *Registry) wallCounter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	c, ok := r.wall[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.wall[name]
+	c, ok = r.wall[name]
 	if !ok {
 		c = NewCounter()
 		r.wall[name] = c
@@ -205,10 +233,45 @@ func (r *Registry) CounterNames() []string {
 	return names
 }
 
+// numCounterShards is the size of a counter's padded shard array. Owners
+// round-robin over the slots, so up to this many concurrent writers
+// increment disjoint cache lines.
+const numCounterShards = 8
+
+// CounterShard is one padded increment slot of a sharded Counter (see
+// Counter.Shard). It has the same nil-safe Inc/Add surface as Counter, so
+// a hot path can hold either.
+type CounterShard struct {
+	v atomic.Uint64
+	_ [56]byte // pad to a full cache line: neighbours never false-share
+}
+
+// Inc adds one.
+func (s *CounterShard) Inc() {
+	if s != nil {
+		s.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (s *CounterShard) Add(n uint64) {
+	if s != nil {
+		s.v.Add(n)
+	}
+}
+
 // Counter is a monotonically increasing uint64. The zero value is ready
 // to use; all methods are no-ops on a nil receiver.
+//
+// Inc/Add on the counter itself hit a single shared atomic — fine for
+// occasional events. Per-step writers (the VM, the cache model) call
+// Shard once at attach time and increment their private slot instead;
+// Value sums the base and every slot, so reads stay exact at any moment
+// (a mid-run snapshot by the SGX stepper sees every completed add).
 type Counter struct {
-	v atomic.Uint64
+	v      atomic.Uint64
+	next   atomic.Uint32
+	shards atomic.Pointer[[numCounterShards]CounterShard]
 }
 
 // NewCounter creates a standalone counter (not attached to a registry).
@@ -228,12 +291,38 @@ func (c *Counter) Add(n uint64) {
 	}
 }
 
+// Shard returns a padded private increment slot for one hot writer.
+// Slots are assigned round-robin and may be reused by later owners; a
+// shared slot is still a single atomic add. Returns nil (a valid no-op
+// instrument) on a nil counter.
+func (c *Counter) Shard() *CounterShard {
+	if c == nil {
+		return nil
+	}
+	arr := c.shards.Load()
+	if arr == nil {
+		fresh := new([numCounterShards]CounterShard)
+		if c.shards.CompareAndSwap(nil, fresh) {
+			arr = fresh
+		} else {
+			arr = c.shards.Load()
+		}
+	}
+	return &arr[(c.next.Add(1)-1)%numCounterShards]
+}
+
 // Value returns the current count (0 for nil).
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	total := c.v.Load()
+	if arr := c.shards.Load(); arr != nil {
+		for i := range arr {
+			total += arr[i].v.Load()
+		}
+	}
+	return total
 }
 
 // Gauge is a settable float64. The zero value is ready to use; methods

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterShardValueExact(t *testing.T) {
+	c := NewCounter()
+	c.Add(5) // base slot
+
+	// More owners than slots: round-robin must reuse them without losing
+	// counts.
+	const owners = numCounterShards*2 + 3
+	var want uint64 = 5
+	for i := 0; i < owners; i++ {
+		s := c.Shard()
+		if s == nil {
+			t.Fatalf("Shard() returned nil on non-nil counter")
+		}
+		s.Inc()
+		s.Add(uint64(i))
+		want += 1 + uint64(i)
+	}
+	if got := c.Value(); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+func TestCounterShardNil(t *testing.T) {
+	var c *Counter
+	s := c.Shard()
+	s.Inc() // must not panic
+	s.Add(3)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value() = %d", c.Value())
+	}
+}
+
+func TestCounterShardConcurrent(t *testing.T) {
+	c := NewCounter()
+	const (
+		workers = 8
+		perG    = 10000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.Shard()
+			for j := 0; j < perG; j++ {
+				s.Inc()
+				c.Inc() // base slot in parallel with shards
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(2*workers*perG); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+func TestRegistryCounterSharedAcrossShards(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x").Shard()
+	b := r.Counter("x").Shard()
+	a.Inc()
+	b.Inc()
+	r.Counter("x").Inc()
+	if got := r.Counter("x").Value(); got != 3 {
+		t.Fatalf("shared counter Value() = %d, want 3", got)
+	}
+}

@@ -7,6 +7,12 @@
 // read system call. A Set is an immutable collection of tags attached to a
 // single bit of machine state; a Word is the 64-bit shadow of a register or
 // memory word, holding one Set per bit.
+//
+// Sets are hash-consed: every constructor routes through a process-wide
+// interning pool, so structurally equal sets are the same pointer, Equal
+// degenerates to a pointer comparison, and Union of two already-seen
+// operands is a memo lookup instead of a merge (DESIGN.md §7). Both pools
+// are sharded and safe for concurrent use by parallel experiment tasks.
 package taint
 
 import (
@@ -20,9 +26,11 @@ import (
 type Tag uint32
 
 // Set is an immutable sorted set of tags. The nil *Set is the valid empty
-// set; all methods are nil-safe.
+// set; all methods are nil-safe. Sets obtained from NewSet/Union are
+// interned: structural equality implies pointer equality.
 type Set struct {
 	tags []Tag
+	hash uint64 // interning hash of tags, fixed at construction
 }
 
 // NewSet returns a set holding the given tags. Duplicates are removed.
@@ -30,6 +38,9 @@ type Set struct {
 func NewSet(tags ...Tag) *Set {
 	if len(tags) == 0 {
 		return nil
+	}
+	if len(tags) == 1 {
+		return singleton(tags[0])
 	}
 	dup := make([]Tag, len(tags))
 	copy(dup, tags)
@@ -40,7 +51,7 @@ func NewSet(tags ...Tag) *Set {
 			out = append(out, t)
 		}
 	}
-	return &Set{tags: out}
+	return intern(out)
 }
 
 // IsEmpty reports whether the set holds no tags.
@@ -66,6 +77,15 @@ func (s *Set) Tags() []Tag {
 	return out
 }
 
+// rawTags exposes the interned tag slice for same-package iteration.
+// Callers must not mutate it.
+func (s *Set) rawTags() []Tag {
+	if s == nil {
+		return nil
+	}
+	return s.tags
+}
+
 // Contains reports whether t is a member of the set.
 func (s *Set) Contains(t Tag) bool {
 	if s == nil {
@@ -75,8 +95,14 @@ func (s *Set) Contains(t Tag) bool {
 	return i < len(s.tags) && s.tags[i] == t
 }
 
-// Equal reports whether two sets hold the same tags.
+// Equal reports whether two sets hold the same tags. Interned sets compare
+// by pointer; the structural walk below only runs for sets constructed
+// outside the pool (there are none in-repo, but the fallback keeps the
+// method total).
 func (s *Set) Equal(o *Set) bool {
+	if s == o {
+		return true
+	}
 	if s.Len() != o.Len() {
 		return false
 	}
@@ -92,8 +118,9 @@ func (s *Set) Equal(o *Set) bool {
 }
 
 // Union returns the set of tags present in either input. It returns one of
-// its inputs unchanged when possible, so repeated unions of stable sets do
-// not allocate.
+// its inputs unchanged when possible; the merge path is memoized on the
+// (pointer, pointer) pair, so steady-state propagation of already-seen set
+// combinations never allocates.
 func Union(a, b *Set) *Set {
 	if a.IsEmpty() {
 		return b
@@ -104,6 +131,15 @@ func Union(a, b *Set) *Set {
 	if a == b {
 		return a
 	}
+	if u, ok := unionMemoGet(a, b); ok {
+		return u
+	}
+	u := unionSlow(a, b)
+	unionMemoPut(a, b, u)
+	return u
+}
+
+func unionSlow(a, b *Set) *Set {
 	if subset(a, b) {
 		return b
 	}
@@ -128,7 +164,7 @@ func Union(a, b *Set) *Set {
 	}
 	merged = append(merged, a.tags[i:]...)
 	merged = append(merged, b.tags[j:]...)
-	return &Set{tags: merged}
+	return intern(merged)
 }
 
 func subset(inner, outer *Set) bool {

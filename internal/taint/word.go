@@ -1,56 +1,84 @@
 package taint
 
+import "math/bits"
+
 // WordBits is the width in bits of a shadow Word.
 const WordBits = 64
 
 // Word is the 64-bit shadow of a register or memory word: one tag set per
 // bit, with bit 0 the least significant. The zero Word is fully untainted.
+//
+// Alongside the per-bit sets the word maintains mask, a bitmap of the
+// positions whose set is non-empty. Every operation consults the mask
+// first, so clean words cost O(1) and a typical tainted word (one input
+// byte: 8 live bits) costs 8 pointer operations instead of 64. The
+// pointer-receiver Set* operations below compute in place and may alias
+// their destination with a source; the value-based helpers at the bottom
+// of the file are thin wrappers kept for tests and report rendering.
 type Word struct {
+	mask uint64
 	bits [WordBits]*Set
 }
 
 // Bit returns the tag set attached to bit i (0 = LSB).
-func (w Word) Bit(i int) *Set {
+func (w *Word) Bit(i int) *Set {
 	return w.bits[i]
 }
 
-// SetBit replaces the tag set attached to bit i.
+// SetBit replaces the tag set attached to bit i. Empty sets are
+// canonicalized to nil.
 func (w *Word) SetBit(i int, s *Set) {
+	if s.IsEmpty() {
+		w.bits[i] = nil
+		w.mask &^= 1 << uint(i)
+		return
+	}
 	w.bits[i] = s
+	w.mask |= 1 << uint(i)
 }
+
+// Mask returns the bitmap of tainted bit positions.
+func (w *Word) Mask() uint64 { return w.mask }
 
 // IsClean reports whether no bit of the word carries taint.
-func (w Word) IsClean() bool {
-	for _, s := range w.bits {
-		if !s.IsEmpty() {
-			return false
-		}
-	}
-	return true
-}
+func (w *Word) IsClean() bool { return w.mask == 0 }
 
 // AnyTainted reports whether any of bits [lo, hi) carries taint.
-func (w Word) AnyTainted(lo, hi int) bool {
-	for i := lo; i < hi && i < WordBits; i++ {
-		if !w.bits[i].IsEmpty() {
-			return true
-		}
+func (w *Word) AnyTainted(lo, hi int) bool {
+	if hi > WordBits {
+		hi = WordBits
 	}
-	return false
+	if lo >= hi {
+		return false
+	}
+	span := (^uint64(0) >> uint(WordBits-(hi-lo))) << uint(lo)
+	return w.mask&span != 0
 }
 
 // AllTags returns the union of every bit's tag set.
-func (w Word) AllTags() *Set {
+func (w *Word) AllTags() *Set {
+	m := w.mask
+	if m == 0 {
+		return nil
+	}
 	var u *Set
-	for _, s := range w.bits {
-		u = Union(u, s)
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		u = Union(u, w.bits[i])
 	}
 	return u
 }
 
 // Equal reports whether two words carry identical per-bit taint.
-func (w Word) Equal(o Word) bool {
-	for i := range w.bits {
+func (w *Word) Equal(o *Word) bool {
+	if w.mask != o.mask {
+		return false
+	}
+	m := w.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
 		if !w.bits[i].Equal(o.bits[i]) {
 			return false
 		}
@@ -58,152 +86,366 @@ func (w Word) Equal(o Word) bool {
 	return true
 }
 
+// Reset clears the word in place.
+func (w *Word) Reset() {
+	m := w.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	w.mask = 0
+}
+
+// CopyFrom makes w an exact copy of src, touching only live bits.
+func (w *Word) CopyFrom(src *Word) {
+	if w == src {
+		return
+	}
+	// Clear bits live in w but not in src, then copy src's live bits.
+	m := w.mask &^ src.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	m = src.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = src.bits[i]
+	}
+	w.mask = src.mask
+}
+
+// TruncateIn zeroes the taint of all bits at or above width*8 in place,
+// modelling a narrow (1/2/4-byte) write that discards high bits.
+func (w *Word) TruncateIn(widthBytes int) {
+	if widthBytes >= 8 {
+		return
+	}
+	keep := (uint64(1) << uint(widthBytes*8)) - 1
+	m := w.mask &^ keep
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	w.mask &= keep
+}
+
+// SetByte makes w the shadow of a freshly read input byte carrying tag t
+// in its low 8 bits.
+func (w *Word) SetByte(t Tag) {
+	w.Reset()
+	s := singleton(t)
+	for i := 0; i < 8; i++ {
+		w.bits[i] = s
+	}
+	w.mask = 0xff
+}
+
+// SetMergePerBit stores into w the per-bit union of a and b (w may alias
+// either): TaintChannel's rule for xor, or, and and-with-two-tainted-
+// operands, and the default (carry-ignoring) rule for add/sub, matching
+// the per-bit layouts of the paper's Figs 2-4.
+func (w *Word) SetMergePerBit(a, b *Word) {
+	if a.mask == 0 {
+		w.CopyFrom(b)
+		return
+	}
+	if b.mask == 0 {
+		w.CopyFrom(a)
+		return
+	}
+	union := a.mask | b.mask
+	// Clear stale bits in w first (bits live in w but in neither source).
+	m := w.mask &^ union
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	both := a.mask & b.mask
+	m = union
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		bit := uint64(1) << uint(i)
+		m &= m - 1
+		switch {
+		case both&bit != 0:
+			w.bits[i] = Union(a.bits[i], b.bits[i])
+		case a.mask&bit != 0:
+			w.bits[i] = a.bits[i]
+		default:
+			w.bits[i] = b.bits[i]
+		}
+	}
+	w.mask = union
+}
+
+// SetMergeAll gives every bit of w the union of all tags of both
+// operands: the conservative rule for instructions (general multiply,
+// division) whose per-bit flow is not tracked.
+func (w *Word) SetMergeAll(a, b *Word) {
+	u := Union(a.AllTags(), b.AllTags())
+	if u.IsEmpty() {
+		w.Reset()
+		return
+	}
+	for i := 0; i < WordBits; i++ {
+		w.bits[i] = u
+	}
+	w.mask = ^uint64(0)
+}
+
+// SetAddCarryAware stores the sound add/sub rule into w: result bit i
+// depends on both operands' bits 0..i through the carry chain, so it
+// receives the union of those tag sets. The paper's tool uses the per-bit
+// rule instead; this mode exists as a documented ablation (DESIGN.md §2).
+func (w *Word) SetAddCarryAware(a, b *Word) {
+	var run *Set
+	var mask uint64
+	live := a.mask | b.mask
+	if live == 0 {
+		w.Reset()
+		return
+	}
+	for i := 0; i < WordBits; i++ {
+		bit := uint64(1) << uint(i)
+		if live&bit != 0 {
+			run = Union(run, Union(a.bits[i], b.bits[i]))
+		}
+		if run != nil {
+			w.bits[i] = run
+			mask |= bit
+		} else {
+			w.bits[i] = nil
+		}
+	}
+	w.mask = mask
+}
+
+// SetAndMask keeps taint of a only at bit positions where the untainted
+// mask value has a 1 bit: an and with a clean mask zeroes the masked-out
+// bits, destroying their taint (paper §III-B, "special handling").
+func (w *Word) SetAndMask(a *Word, mask uint64) {
+	keep := a.mask & mask
+	m := w.mask &^ keep
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	m = keep
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = a.bits[i]
+	}
+	w.mask = keep
+}
+
+// SetOrMask keeps taint of a only at positions where the untainted mask
+// value has a 0 bit: or-ing with a constant 1 forces the bit, destroying
+// its taint.
+func (w *Word) SetOrMask(a *Word, mask uint64) {
+	w.SetAndMask(a, ^mask)
+}
+
+// SetShl stores a's taint shifted left by n bits into w (w may alias a);
+// shifted-in bits are untainted.
+func (w *Word) SetShl(a *Word, n uint) {
+	if n == 0 {
+		w.CopyFrom(a)
+		return
+	}
+	if n >= WordBits {
+		w.Reset()
+		return
+	}
+	newMask := a.mask << n
+	// Copy descending so w may alias a: each target reads a source n bits
+	// below it, which a descending walk has not yet overwritten.
+	m := newMask
+	for m != 0 {
+		i := WordBits - 1 - bits.LeadingZeros64(m)
+		m &^= 1 << uint(i)
+		w.bits[i] = a.bits[i-int(n)]
+	}
+	// Clear bits live in w but dead in the result; disjoint from the
+	// copied positions by construction (&^ newMask).
+	m = w.mask &^ newMask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	w.mask = newMask
+}
+
+// SetShr stores a's taint shifted right (logically) by n bits into w;
+// shifted-in bits are untainted.
+func (w *Word) SetShr(a *Word, n uint) {
+	if n == 0 {
+		w.CopyFrom(a)
+		return
+	}
+	if n >= WordBits {
+		w.Reset()
+		return
+	}
+	newMask := a.mask >> n
+	// Copy ascending so w may alias a: each target reads a source n bits
+	// above it, which an ascending walk has not yet overwritten.
+	m := newMask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = a.bits[i+int(n)]
+	}
+	m = w.mask &^ newMask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		w.bits[i] = nil
+	}
+	w.mask = newMask
+}
+
+// --- Value-based API (wrappers over the in-place forms) ---
+
 // ByteWord returns a word whose low 8 bits all carry the single tag t, the
 // shadow of a freshly read input byte.
 func ByteWord(t Tag) Word {
 	var w Word
-	s := NewSet(t)
-	for i := 0; i < 8; i++ {
-		w.bits[i] = s
-	}
+	w.SetByte(t)
 	return w
 }
 
 // Truncate zeroes the taint of all bits at or above width*8, modelling a
 // narrow (1/2/4-byte) write that discards high bits.
 func (w Word) Truncate(widthBytes int) Word {
-	for i := widthBytes * 8; i < WordBits; i++ {
-		w.bits[i] = nil
-	}
+	w.TruncateIn(widthBytes)
 	return w
 }
 
-// MergePerBit unions the taint of two operands bit by bit. This is
-// TaintChannel's rule for xor, or, and and-with-two-tainted-operands, and
-// the default (carry-ignoring) rule for add/sub, matching the per-bit
-// layouts of the paper's Figs 2-4.
+// MergePerBit unions the taint of two operands bit by bit.
 func MergePerBit(a, b Word) Word {
 	var out Word
-	for i := range out.bits {
-		out.bits[i] = Union(a.bits[i], b.bits[i])
-	}
+	out.SetMergePerBit(&a, &b)
 	return out
 }
 
 // MergeAll gives every bit of the result the union of all tags of both
-// operands: the conservative rule for instructions (general multiply,
-// division) whose per-bit flow is not tracked.
+// operands.
 func MergeAll(a, b Word) Word {
-	u := Union(a.AllTags(), b.AllTags())
 	var out Word
-	if u.IsEmpty() {
-		return out
-	}
-	for i := range out.bits {
-		out.bits[i] = u
-	}
+	out.SetMergeAll(&a, &b)
 	return out
 }
 
-// AddCarryAware is the sound mode for addition/subtraction: result bit i
-// depends on both operands' bits 0..i through the carry chain, so it
-// receives the union of those tag sets. The paper's tool uses the per-bit
-// rule instead; this mode exists as a documented ablation (DESIGN.md §2).
+// AddCarryAware is the sound mode for addition/subtraction.
 func AddCarryAware(a, b Word) Word {
 	var out Word
-	var run *Set
-	for i := 0; i < WordBits; i++ {
-		run = Union(run, Union(a.bits[i], b.bits[i]))
-		out.bits[i] = run
-	}
+	out.SetAddCarryAware(&a, &b)
 	return out
 }
 
 // AndMask keeps taint only at bit positions where the untainted mask has a
-// 1 bit: an and with a clean mask zeroes the masked-out bits, destroying
-// their taint (paper §III-B, "special handling").
+// 1 bit.
 func AndMask(a Word, mask uint64) Word {
 	var out Word
-	for i := 0; i < WordBits; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			out.bits[i] = a.bits[i]
-		}
-	}
+	out.SetAndMask(&a, mask)
 	return out
 }
 
 // OrMask keeps taint only at positions where the untainted mask has a 0
-// bit: or-ing with a constant 1 forces the bit, destroying its taint.
+// bit.
 func OrMask(a Word, mask uint64) Word {
 	var out Word
-	for i := 0; i < WordBits; i++ {
-		if mask&(1<<uint(i)) == 0 {
-			out.bits[i] = a.bits[i]
-		}
-	}
+	out.SetOrMask(&a, mask)
 	return out
 }
 
 // Shl shifts taint left by n bits; shifted-in bits are untainted.
 func Shl(a Word, n uint) Word {
 	var out Word
-	if n >= WordBits {
-		return out
-	}
-	for i := WordBits - 1; i >= int(n); i-- {
-		out.bits[i] = a.bits[i-int(n)]
-	}
+	out.SetShl(&a, n)
 	return out
 }
 
 // Shr shifts taint right by n bits (logical); shifted-in bits are untainted.
 func Shr(a Word, n uint) Word {
 	var out Word
-	if n >= WordBits {
-		return out
-	}
-	for i := 0; i < WordBits-int(n); i++ {
-		out.bits[i] = a.bits[i+int(n)]
-	}
+	out.SetShr(&a, n)
 	return out
+}
+
+// SetSar stores a's taint shifted right arithmetically by n bits for the
+// given operand width into w: the sign bit's taint is replicated into the
+// shifted-in positions.
+func (w *Word) SetSar(a *Word, n uint, widthBytes int) {
+	if n == 0 {
+		w.CopyFrom(a)
+		return
+	}
+	top := widthBytes*8 - 1
+	if int(n) > top {
+		n = uint(top)
+	}
+	sign := a.bits[top]
+	var scratch Word
+	scratch.SetShr(a, n)
+	scratch.TruncateIn(widthBytes) // drop any bits above width (none expected)
+	if sign != nil {
+		for i := top - int(n) + 1; i <= top; i++ {
+			scratch.SetBit(i, sign)
+		}
+	} else {
+		for i := top - int(n) + 1; i <= top; i++ {
+			scratch.SetBit(i, nil)
+		}
+	}
+	w.CopyFrom(&scratch)
 }
 
 // Sar shifts taint right by n bits arithmetically for the given operand
 // width: the sign bit's taint is replicated into the shifted-in positions.
 func Sar(a Word, n uint, widthBytes int) Word {
-	top := widthBytes*8 - 1
-	if n == 0 {
-		return a
-	}
 	var out Word
-	if int(n) > top {
-		n = uint(top)
-	}
-	for i := 0; i <= top-int(n); i++ {
-		out.bits[i] = a.bits[i+int(n)]
-	}
-	sign := a.bits[top]
-	for i := top - int(n) + 1; i <= top; i++ {
-		out.bits[i] = sign
-	}
+	out.SetSar(&a, n, widthBytes)
 	return out
+}
+
+// SetRol stores a's taint rotated left by n bits within the given operand
+// width into w.
+func (w *Word) SetRol(a *Word, n uint, widthBytes int) {
+	nbits := widthBytes * 8
+	n %= uint(nbits)
+	var scratch Word
+	for i := 0; i < nbits; i++ {
+		if a.mask&(1<<uint(i)) != 0 {
+			scratch.SetBit((i+int(n))%nbits, a.bits[i])
+		}
+	}
+	w.CopyFrom(&scratch)
 }
 
 // Rol rotates taint left by n bits within the given operand width.
 func Rol(a Word, n uint, widthBytes int) Word {
-	bits := widthBytes * 8
-	n %= uint(bits)
 	var out Word
-	for i := 0; i < bits; i++ {
-		out.bits[(i+int(n))%bits] = a.bits[i]
-	}
+	out.SetRol(&a, n, widthBytes)
 	return out
 }
 
 // Bytes splits the word into 8 per-byte shadows, little-endian.
 func (w Word) Bytes() [8][8]*Set {
 	var out [8][8]*Set
-	for i := 0; i < WordBits; i++ {
+	m := w.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
 		out[i/8][i%8] = w.bits[i]
 	}
 	return out
@@ -218,7 +460,9 @@ func FromBytes(bs [][8]*Set) Word {
 			break
 		}
 		for j := 0; j < 8; j++ {
-			w.bits[bi*8+j] = b[j]
+			if b[j] != nil && !b[j].IsEmpty() {
+				w.SetBit(bi*8+j, b[j])
+			}
 		}
 	}
 	return w

@@ -42,7 +42,7 @@ func TestTruncate(t *testing.T) {
 func TestShlShrInverse(t *testing.T) {
 	w := ByteWord(7)
 	round := Shr(Shl(w, 20), 20)
-	if !round.Equal(w) {
+	if !round.Equal(&w) {
 		t.Error("Shr(Shl(w,20),20) should restore w for low-byte taint")
 	}
 }
@@ -185,7 +185,7 @@ func TestBytesRoundTrip(t *testing.T) {
 		}
 		bs := w.Bytes()
 		back := FromBytes(bs[:])
-		return back.Equal(w)
+		return back.Equal(&w)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Errorf("Bytes/FromBytes not inverse: %v", err)
@@ -237,7 +237,7 @@ func TestShiftMergeCommute(t *testing.T) {
 		}
 		lhs := Shl(MergePerBit(a, b), n)
 		rhs := MergePerBit(Shl(a, n), Shl(b, n))
-		return lhs.Equal(rhs)
+		return lhs.Equal(&rhs)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Errorf("Shl does not distribute over merge: %v", err)

@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"math/bits"
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+// Pre-decoded instruction forms. The isa.Instr struct is built for
+// assembly/disassembly fidelity, not for interpretation: every operand
+// access re-branches on operand kind, addressing-mode flags, and width.
+// decodeProgram flattens each instruction once into a compact dec record —
+// operand kind resolved to a boolean, width resolved to a mask, the
+// effective-address expression classified into one of four modes with the
+// scale turned into a shift — so Step's dispatch reads pre-computed fields
+// instead of re-deriving them hundreds of millions of times.
+
+// Effective-address modes, most common first. The register+disp form
+// (eaBase) — the ftab/head/htab accesses of every victim gadget — costs a
+// single add at run time.
+const (
+	eaNone uint8 = iota
+	eaDisp
+	eaBase
+	eaBaseIndex
+	eaIndex
+)
+
+type eaDec struct {
+	mode  uint8
+	base  isa.Reg
+	index isa.Reg
+	shift uint8 // log2(scale)
+	disp  uint64
+}
+
+type dec struct {
+	op       isa.Op
+	width    uint8
+	dstIsMem bool
+	srcIsReg bool
+	dstReg   isa.Reg
+	srcReg   isa.Reg
+	wmask    uint64 // mask for the operand width
+	sbit     uint64 // sign bit at the operand width
+	imm      uint64 // immediate source value, pre-extended
+	ea       eaDec  // the instruction's (single) memory operand, if any
+	target   int32
+}
+
+func decodeEA(m isa.MemRef) eaDec {
+	e := eaDec{disp: uint64(m.Disp)}
+	if m.HasIndex {
+		e.index = m.Index
+		e.shift = uint8(bits.TrailingZeros8(m.Scale))
+	}
+	switch {
+	case m.HasBase && m.HasIndex:
+		e.mode = eaBaseIndex
+		e.base = m.Base
+	case m.HasBase:
+		e.mode = eaBase
+		e.base = m.Base
+	case m.HasIndex:
+		e.mode = eaIndex
+	default:
+		e.mode = eaDisp
+	}
+	return e
+}
+
+// ea computes the effective address from the pre-decoded form; it must
+// agree with VM.EffectiveAddr on every MemRef the assembler can produce
+// (scale restricted to 1/2/4/8).
+func (v *VM) ea(e *eaDec) uint64 {
+	switch e.mode {
+	case eaBase:
+		return v.Regs[e.base] + e.disp
+	case eaBaseIndex:
+		return v.Regs[e.base] + v.Regs[e.index]<<e.shift + e.disp
+	case eaIndex:
+		return v.Regs[e.index]<<e.shift + e.disp
+	default:
+		return e.disp
+	}
+}
+
+func decodeInstr(in *isa.Instr) dec {
+	d := dec{
+		op:     in.Op,
+		width:  in.Width,
+		wmask:  mask(int(in.Width)),
+		sbit:   1 << (uint(in.Width)*8 - 1),
+		dstReg: in.Dst.Reg,
+		target: int32(in.Target),
+	}
+	switch in.Src.Kind {
+	case isa.KindReg:
+		d.srcIsReg = true
+		d.srcReg = in.Src.Reg
+	case isa.KindImm:
+		d.imm = uint64(in.Src.Imm)
+	case isa.KindMem:
+		d.ea = decodeEA(in.Src.Mem)
+	}
+	if in.Dst.Kind == isa.KindMem {
+		d.dstIsMem = true
+		d.ea = decodeEA(in.Dst.Mem)
+	}
+	return d
+}
+
+// decCache memoizes decoded programs by identity. Programs are assembled
+// once and never mutated afterwards, so the cache stays valid for the
+// process lifetime and is shared by every VM (parallel tasks included).
+var decCache sync.Map // *isa.Program -> []dec
+
+func decodeProgram(p *isa.Program) []dec {
+	if d, ok := decCache.Load(p); ok {
+		return d.([]dec)
+	}
+	ds := make([]dec, len(p.Instrs))
+	for i := range p.Instrs {
+		ds[i] = decodeInstr(&p.Instrs[i])
+	}
+	actual, _ := decCache.LoadOrStore(p, ds)
+	return actual.([]dec)
+}

@@ -6,6 +6,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -105,6 +106,16 @@ func (m *FlatMemory) offset(addr uint64, width int) (uint64, error) {
 }
 
 func leLoad(b []byte, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
 	var v uint64
 	for i := 0; i < width; i++ {
 		v |= uint64(b[i]) << (8 * i)
@@ -113,7 +124,18 @@ func leLoad(b []byte, width int) uint64 {
 }
 
 func leStore(b []byte, width int, v uint64) {
-	for i := 0; i < width; i++ {
-		b[i] = byte(v >> (8 * i))
+	switch width {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		for i := 0; i < width; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
 }

@@ -60,6 +60,12 @@ type VM struct {
 	inputPos int
 	output   []byte
 
+	// dec is the pre-decoded form of Prog.Instrs (decode.go); flat is the
+	// memory devirtualized once at construction so the hot path can call
+	// *FlatMemory methods directly instead of through the interface.
+	dec  []dec
+	flat *FlatMemory
+
 	obs vmObs
 }
 
@@ -70,6 +76,8 @@ const DefaultMaxSteps = 500_000_000
 // .init data into place.
 func New(prog *isa.Program, mem Memory) (*VM, error) {
 	v := &VM{Prog: prog, Mem: mem, PC: prog.Entry, MaxSteps: DefaultMaxSteps}
+	v.dec = decodeProgram(prog)
+	v.flat, _ = mem.(*FlatMemory)
 	type rawWriter interface{ WriteBytes(uint64, []byte) error }
 	for _, init := range prog.Init {
 		w, ok := mem.(rawWriter)
@@ -132,84 +140,85 @@ func (v *VM) Step() error {
 		return fmt.Errorf("vm: pc %d outside program (%d instrs)", v.PC, len(v.Prog.Instrs))
 	}
 	in := &v.Prog.Instrs[v.PC]
+	d := &v.dec[v.PC]
 	if v.Hooks.BeforeInstr != nil {
 		v.Hooks.BeforeInstr(v, in)
 	}
 	next := v.PC + 1
 	var err error
-	switch in.Op {
+	switch d.op {
 	case isa.OpNop:
 	case isa.OpHalt:
 		v.Halted = true
 	case isa.OpMov:
-		v.setReg(in.Dst.Reg, truncate(v.operandValue(in.Src), int(in.Width)))
+		v.Regs[d.dstReg] = v.srcVal(d) & d.wmask
 	case isa.OpLea:
-		v.setReg(in.Dst.Reg, v.EffectiveAddr(in.Src.Mem))
+		v.Regs[d.dstReg] = v.ea(&d.ea)
 	case isa.OpLd:
-		addr := v.EffectiveAddr(in.Src.Mem)
+		addr := v.ea(&d.ea)
 		var val uint64
-		val, err = v.Mem.Load(addr, int(in.Width))
+		val, err = v.load(addr, int(d.width))
 		if err == nil {
-			v.setReg(in.Dst.Reg, val)
+			v.Regs[d.dstReg] = val
 			if v.Hooks.OnLoad != nil {
-				v.Hooks.OnLoad(v, in, addr, int(in.Width), val)
+				v.Hooks.OnLoad(v, in, addr, int(d.width), val)
 			}
 		}
 	case isa.OpSt:
-		addr := v.EffectiveAddr(in.Dst.Mem)
-		val := truncate(v.operandValue(in.Src), int(in.Width))
-		err = v.Mem.Store(addr, int(in.Width), val)
+		addr := v.ea(&d.ea)
+		val := v.srcVal(d) & d.wmask
+		err = v.store(addr, int(d.width), val)
 		if err == nil && v.Hooks.OnStore != nil {
-			v.Hooks.OnStore(v, in, addr, int(in.Width), val)
+			v.Hooks.OnStore(v, in, addr, int(d.width), val)
 		}
 	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
 		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar, isa.OpRol:
-		err = v.alu(in)
+		err = v.alu(in, d)
 	case isa.OpNot:
-		v.setReg(in.Dst.Reg, truncate(^v.Regs[in.Dst.Reg], int(in.Width)))
+		v.Regs[d.dstReg] = ^v.Regs[d.dstReg] & d.wmask
 	case isa.OpNeg:
-		v.setReg(in.Dst.Reg, truncate(-v.Regs[in.Dst.Reg], int(in.Width)))
+		v.Regs[d.dstReg] = -v.Regs[d.dstReg] & d.wmask
 	case isa.OpCmp:
-		d := truncate(v.Regs[in.Dst.Reg], int(in.Width))
-		s := truncate(v.operandValue(in.Src), int(in.Width))
-		v.setFlags(d-s, int(in.Width))
-		v.CF = d < s
+		dv := v.Regs[d.dstReg] & d.wmask
+		s := v.srcVal(d) & d.wmask
+		v.setFlagsW(dv-s, d)
+		v.CF = dv < s
 	case isa.OpTest:
-		d := truncate(v.Regs[in.Dst.Reg], int(in.Width))
-		s := truncate(v.operandValue(in.Src), int(in.Width))
-		v.setFlags(d&s, int(in.Width))
+		dv := v.Regs[d.dstReg] & d.wmask
+		s := v.srcVal(d) & d.wmask
+		v.setFlagsW(dv&s, d)
 		v.CF = false
 	case isa.OpJmp:
-		next = in.Target
+		next = int(d.target)
 	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge,
 		isa.OpJb, isa.OpJbe, isa.OpJa, isa.OpJae:
-		if v.condition(in.Op) {
-			next = in.Target
+		if v.condition(d.op) {
+			next = int(d.target)
 		}
 	case isa.OpPush:
 		v.Regs[isa.SP] -= 8
-		err = v.Mem.Store(v.Regs[isa.SP], 8, v.operandValue(in.Src))
+		err = v.store(v.Regs[isa.SP], 8, v.srcVal(d))
 		if err != nil {
 			v.Regs[isa.SP] += 8 // undo for clean fault retry
 		}
 	case isa.OpPop:
 		var val uint64
-		val, err = v.Mem.Load(v.Regs[isa.SP], 8)
+		val, err = v.load(v.Regs[isa.SP], 8)
 		if err == nil {
-			v.setReg(in.Dst.Reg, val)
+			v.Regs[d.dstReg] = val
 			v.Regs[isa.SP] += 8
 		}
 	case isa.OpCall:
 		v.Regs[isa.SP] -= 8
-		err = v.Mem.Store(v.Regs[isa.SP], 8, uint64(v.PC+1))
+		err = v.store(v.Regs[isa.SP], 8, uint64(v.PC+1))
 		if err != nil {
 			v.Regs[isa.SP] += 8
 		} else {
-			next = in.Target
+			next = int(d.target)
 		}
 	case isa.OpRet:
 		var val uint64
-		val, err = v.Mem.Load(v.Regs[isa.SP], 8)
+		val, err = v.load(v.Regs[isa.SP], 8)
 		if err == nil {
 			v.Regs[isa.SP] += 8
 			next = int(val)
@@ -230,23 +239,46 @@ func (v *VM) Step() error {
 	v.PC = next
 	v.Steps++
 	v.obs.instructions.Inc()
-	v.obs.ops[in.Op].Inc()
+	v.obs.ops[d.op].Inc()
 	return nil
 }
 
-func (v *VM) alu(in *isa.Instr) error {
-	w := int(in.Width)
-	src := truncate(v.operandValue(in.Src), w)
+// load and store route data accesses through the devirtualized flat memory
+// when possible; the interface path remains for paged (SGX) memory.
+func (v *VM) load(addr uint64, width int) (uint64, error) {
+	if v.flat != nil {
+		return v.flat.Load(addr, width)
+	}
+	return v.Mem.Load(addr, width)
+}
 
-	if in.Dst.Kind == isa.KindMem {
+func (v *VM) store(addr uint64, width int, val uint64) error {
+	if v.flat != nil {
+		return v.flat.Store(addr, width, val)
+	}
+	return v.Mem.Store(addr, width, val)
+}
+
+func (v *VM) srcVal(d *dec) uint64 {
+	if d.srcIsReg {
+		return v.Regs[d.srcReg]
+	}
+	return d.imm
+}
+
+func (v *VM) alu(in *isa.Instr, d *dec) error {
+	w := int(d.width)
+	src := v.srcVal(d) & d.wmask
+
+	if d.dstIsMem {
 		// Read-modify-write form (add [ftab + r*4], 1).
-		addr := v.EffectiveAddr(in.Dst.Mem)
-		old, err := v.Mem.Load(addr, w)
+		addr := v.ea(&d.ea)
+		old, err := v.load(addr, w)
 		if err != nil {
 			return err
 		}
-		res := truncate(aluCompute(in.Op, old, src, w), w)
-		if err := v.Mem.Store(addr, w, res); err != nil {
+		res := aluCompute(d.op, old, src, w) & d.wmask
+		if err := v.store(addr, w, res); err != nil {
 			return err
 		}
 		if v.Hooks.OnLoad != nil {
@@ -255,19 +287,19 @@ func (v *VM) alu(in *isa.Instr) error {
 		if v.Hooks.OnStore != nil {
 			v.Hooks.OnStore(v, in, addr, w, res)
 		}
-		v.setFlags(res, w)
+		v.setFlagsW(res, d)
 		return nil
 	}
 
-	d := truncate(v.Regs[in.Dst.Reg], w)
-	if (in.Op == isa.OpDiv || in.Op == isa.OpMod) && src == 0 {
+	dv := v.Regs[d.dstReg] & d.wmask
+	if (d.op == isa.OpDiv || d.op == isa.OpMod) && src == 0 {
 		return fmt.Errorf("division by zero")
 	}
-	res := truncate(aluCompute(in.Op, d, src, w), w)
-	v.setReg(in.Dst.Reg, res)
-	v.setFlags(res, w)
-	if in.Op == isa.OpSub {
-		v.CF = d < src
+	res := aluCompute(d.op, dv, src, w) & d.wmask
+	v.Regs[d.dstReg] = res
+	v.setFlagsW(res, d)
+	if d.op == isa.OpSub {
+		v.CF = dv < src
 	}
 	return nil
 }
@@ -352,9 +384,20 @@ func (v *VM) syscall() error {
 			n = avail
 		}
 		first := v.inputPos + 1
-		for i := 0; i < n; i++ {
-			if err := v.Mem.Store(buf+uint64(i), 1, uint64(v.input[v.inputPos+i])); err != nil {
+		if v.flat != nil && n > 0 {
+			// Bulk copy on flat memory: syscall stores bypass data-access
+			// hooks, so one WriteBytes is observationally identical to the
+			// byte loop (an out-of-range error is fatal either way).
+			if err := v.flat.WriteBytes(buf, v.input[v.inputPos:v.inputPos+n]); err != nil {
 				return err
+			}
+		} else {
+			// Per-byte path for paged memory: a mid-copy fault must leave
+			// the earlier bytes written, exactly as before.
+			for i := 0; i < n; i++ {
+				if err := v.Mem.Store(buf+uint64(i), 1, uint64(v.input[v.inputPos+i])); err != nil {
+					return err
+				}
 			}
 		}
 		v.inputPos += n
@@ -365,12 +408,20 @@ func (v *VM) syscall() error {
 		}
 	case SysWrite:
 		buf, n := v.Regs[isa.R2], int(v.Regs[isa.R3])
-		for i := 0; i < n; i++ {
-			b, err := v.Mem.Load(buf+uint64(i), 1)
+		if v.flat != nil && n > 0 {
+			off, err := v.flat.offset(buf, n)
 			if err != nil {
 				return err
 			}
-			v.output = append(v.output, byte(b))
+			v.output = append(v.output, v.flat.data[off:off+uint64(n)]...)
+		} else {
+			for i := 0; i < n; i++ {
+				b, err := v.Mem.Load(buf+uint64(i), 1)
+				if err != nil {
+					return err
+				}
+				v.output = append(v.output, byte(b))
+			}
 		}
 		v.Regs[isa.R0] = uint64(n)
 		v.obs.sysWrite.Inc()
@@ -414,6 +465,13 @@ func (v *VM) setFlags(res uint64, w int) {
 	res = truncate(res, w)
 	v.ZF = res == 0
 	v.SF = res&(1<<uint(w*8-1)) != 0
+}
+
+// setFlagsW is setFlags with the width mask and sign bit pre-computed.
+func (v *VM) setFlagsW(res uint64, d *dec) {
+	res &= d.wmask
+	v.ZF = res == 0
+	v.SF = res&d.sbit != 0
 }
 
 func truncate(v uint64, w int) uint64 { return v & mask(w) }
