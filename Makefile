@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server golden clean test-fuzz test-parallel
+.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server golden clean test-fuzz test-parallel test-chaos
 
 all: build vet test
 
@@ -79,6 +79,51 @@ smoke-server:
 	$$tmp/zipload -url http://$$(cat $$tmp/addr) -clients 8 -duration 2s || status=$$?; \
 	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
 	exit $$status
+
+# Chaos suite (DESIGN.md §8). Three layers:
+#   1. In-process chaos tests under -race: concurrent faulted server load
+#      (zero round-trip corruption), breaker/deadline/disarmed-invisibility
+#      contracts, retrying zipload clients, and the bzip2 ftab attack
+#      recovering >99% of a 10 KB buffer under injected measurement noise.
+#   2. End to end: zipserverd with ~10% injected faults (codec errors,
+#      panics, output corruption, cache bit-flips, pool latency) hammered
+#      by verifying zipload clients with backoff retries — zero unrecovered
+#      errors, the process survives its own panics, SIGTERM exits within
+#      the drain bound, and the final metrics snapshot proves faults fired.
+#   3. Determinism: with faults disarmed, the full quick experiment suite
+#      is byte-identical at -parallel 1, 2, and 4.
+CHAOS_FAULTS = server.codec.compress=error:0.04,server.codec.compress=panic:0.02,server.codec.compress=corrupt:0.02,server.codec.decompress=error:0.05,server.codec.decompress=panic:0.02,server.cache.get=corrupt:0.03,server.gate.acquire=latency:0.05:300
+test-chaos:
+	ZIPCHAOS_FULL=1 $(GO) test -race -count=1 \
+		-run 'TestChaos|TestDisarmedFaultsAreInvisible|TestRunLoadRetriesRecoverInjectedFaults' \
+		./internal/server/ ./internal/zipchannel/ ./cmd/zipload/
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		-faults '$(CHAOS_FAULTS)' -fault-seed 7 -drain 5s -metrics $$tmp/metrics.json & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "zipserverd never bound"; kill $$pid; exit 1; }; \
+	url=http://$$(cat $$tmp/addr); \
+	$$tmp/zipload -url $$url -clients 8 -duration 3s -retries 6 -retry-base 2ms || \
+		{ echo "chaos load saw unrecovered errors or corruption"; kill $$pid; exit 1; }; \
+	$$tmp/zipload -url $$url -clients 1 -requests 1 -retries 6 >/dev/null || \
+		{ echo "server dead after chaos load (a panic escaped?)"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	for i in $$(seq 1 80); do kill -0 $$pid 2>/dev/null || break; sleep 0.1; done; \
+	if kill -0 $$pid 2>/dev/null; then echo "SIGTERM exit exceeded the drain bound"; kill -9 $$pid; exit 1; fi; \
+	wait $$pid 2>/dev/null || true; \
+	[ -s $$tmp/metrics.json ] || { echo "no final metrics snapshot after SIGTERM"; exit 1; }; \
+	grep -q 'fault\.server\.' $$tmp/metrics.json || \
+		{ echo "metrics snapshot shows no injected faults — chaos never fired"; exit 1; }; \
+	echo "chaos e2e: server survived injected faults, drained on SIGTERM, wrote metrics"; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments; \
+	for p in 1 2 4; do $$tmp/experiments -quick -json -parallel $$p 2>/dev/null > $$tmp/par$$p.json; done; \
+	cmp $$tmp/par1.json $$tmp/par2.json && cmp $$tmp/par1.json $$tmp/par4.json || \
+		{ echo "disarmed runs diverge across parallelism"; exit 1; }; \
+	echo "chaos determinism: quick suite byte-identical at -parallel 1, 2, 4"
 
 # Regenerate golden files (obs snapshot, experiments example manifest).
 golden:

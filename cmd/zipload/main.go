@@ -56,6 +56,8 @@ func run() error {
 		verify   = flag.Bool("verify", true, "round-trip every compression through decompress")
 		bodyCap  = flag.Int("body-bytes", 4096, "truncate corpus bodies to this many bytes")
 		metrics  = flag.String("metrics", "", "write the merged client obs snapshot to this file")
+		retries  = flag.Int("retries", 3, "retry attempts per request on 5xx/connection errors (0 disables)")
+		rbase    = flag.Duration("retry-base", 5*time.Millisecond, "exponential-backoff base; jitter in [0,base) is drawn from the client's seeded RNG")
 	)
 	flag.Parse()
 
@@ -64,14 +66,16 @@ func run() error {
 		return err
 	}
 	cfg := loadConfig{
-		BaseURL:  strings.TrimRight(*url, "/"),
-		Clients:  *clients,
-		Duration: *duration,
-		Requests: *requests,
-		Codecs:   names,
-		Seed:     *seed,
-		Verify:   *verify,
-		BodyCap:  *bodyCap,
+		BaseURL:   strings.TrimRight(*url, "/"),
+		Clients:   *clients,
+		Duration:  *duration,
+		Requests:  *requests,
+		Codecs:    names,
+		Seed:      *seed,
+		Verify:    *verify,
+		BodyCap:   *bodyCap,
+		Retries:   *retries,
+		RetryBase: *rbase,
 	}
 	res, err := runLoad(cfg)
 	if err != nil {
@@ -118,6 +122,14 @@ type loadConfig struct {
 	Seed     int64
 	Verify   bool
 	BodyCap  int
+	// Retries is the per-request retry budget against transient failures
+	// (5xx and connection errors; 4xx are never retried). Backoff is
+	// RetryBase·2^attempt plus a jitter in [0, RetryBase) drawn from the
+	// client's seeded RNG — drawn only when a retry actually happens, so
+	// a failure-free run consumes exactly the same RNG stream as a run
+	// with retries disabled.
+	Retries   int
+	RetryBase time.Duration
 }
 
 // loadResult aggregates all clients' outcomes. Registry carries the merged
@@ -195,7 +207,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 			}
 			name := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
 			body := pool[rng.Intn(len(pool))]
-			oneRequest(httpc, cfg, name, body, cr)
+			oneRequest(httpc, cfg, name, body, cr, rng)
 		}
 	})
 	if err != nil {
@@ -236,7 +248,7 @@ func checkHealth(httpc *http.Client, base string) error {
 
 // oneRequest performs one compress (optionally + decompress verify)
 // exchange, recording into the client's slot and registry.
-func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr *clientResult) {
+func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr *clientResult, rng *rand.Rand) {
 	fail := func(format string, args ...any) {
 		cr.errors++
 		cr.reg.Counter("zipload.errors").Inc()
@@ -244,7 +256,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 			cr.firstErr = fmt.Sprintf(format, args...)
 		}
 	}
-	comp, err := timedPost(httpc, cfg, name, "compress", body, cr)
+	comp, err := postWithRetry(httpc, cfg, name, "compress", body, cr, rng)
 	if err != nil {
 		fail("compress %s: %v", name, err)
 		return
@@ -252,7 +264,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 	if !cfg.Verify {
 		return
 	}
-	back, err := timedPost(httpc, cfg, name, "decompress", comp, cr)
+	back, err := postWithRetry(httpc, cfg, name, "decompress", comp, cr, rng)
 	if err != nil {
 		fail("decompress %s: %v", name, err)
 		return
@@ -262,32 +274,53 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 	}
 }
 
+// postWithRetry wraps timedPost with the transient-failure retry loop:
+// exponential backoff RetryBase·2^attempt plus seeded jitter, retrying
+// only errors that say nothing about the request itself (5xx, connection
+// resets). Client errors surface immediately — retrying a 4xx is load,
+// not resilience.
+func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		out, transient, err := timedPost(httpc, cfg, name, op, body, cr)
+		if err == nil || !transient || attempt >= cfg.Retries {
+			return out, err
+		}
+		cr.reg.Counter("zipload.retries").Inc()
+		backoff := cfg.RetryBase << uint(attempt)
+		if cfg.RetryBase > 0 {
+			backoff += time.Duration(rng.Int63n(int64(cfg.RetryBase)))
+		}
+		time.Sleep(backoff)
+	}
+}
+
 // timedPost issues one POST, counting it as a request and observing its
-// latency into the client registry.
-func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) ([]byte, error) {
+// latency into the client registry. transient reports whether a failure is
+// worth retrying (connection error or 5xx).
+func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) (out []byte, transient bool, err error) {
 	cr.requests++
 	cr.reg.Counter("zipload.requests").Inc()
 	cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
 	start := time.Now()
 	resp, err := httpc.Post(cfg.BaseURL+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	out, err := io.ReadAll(resp.Body)
+	out, err = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	cr.reg.Histogram("zipload.latency_us").Observe(time.Since(start).Microseconds())
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(out))
+		return nil, resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(out))
 	}
 	cr.reg.Counter("zipload.bytes_in").Add(uint64(len(body)))
 	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(out)))
 	if resp.Header.Get("X-Cache") == "HIT" {
 		cr.reg.Counter("zipload.cache_hits_seen").Inc()
 	}
-	return out, nil
+	return out, false, nil
 }
 
 func firstLine(b []byte) string {
@@ -331,6 +364,9 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 	fmt.Fprintf(w, "  codecs %s | clients %d | seed %d | verify %v\n",
 		strings.Join(cfg.Codecs, ","), cfg.Clients, cfg.Seed, cfg.Verify)
 	fmt.Fprintf(w, "  bytes: %d sent, %d received\n", r.BytesIn, r.BytesOut)
+	if retries := r.Registry.Snapshot().Counters["zipload.retries"]; retries > 0 {
+		fmt.Fprintf(w, "  retries: %d transient failures recovered by backoff\n", retries)
+	}
 	if r.ServerSnap != nil {
 		hits := r.ServerSnap.Counters["server.cache.hits"]
 		misses := r.ServerSnap.Counters["server.cache.misses"]

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/server"
 )
 
@@ -84,6 +85,48 @@ func TestRunLoadCountsServerErrors(t *testing.T) {
 	}
 	if !strings.Contains(res.FirstError, "status 413") {
 		t.Fatalf("first error should carry the status, got %q", res.FirstError)
+	}
+}
+
+// TestRunLoadRetriesRecoverInjectedFaults is the in-process core of
+// make test-chaos: a fault-armed server (injected codec errors and
+// panics) driven by verifying clients with backoff retries. Every
+// round trip must still come back byte-correct with zero unrecovered
+// errors, and the retry path must actually have fired.
+func TestRunLoadRetriesRecoverInjectedFaults(t *testing.T) {
+	faults := fault.NewRegistry(7)
+	if err := faults.ArmAll("server.codec.compress=error:0.06,server.codec.compress=panic:0.03,server.codec.decompress=error:0.06"); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 4, Faults: faults, CodecRetries: -1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	res, err := runLoad(loadConfig{
+		BaseURL:   ts.URL,
+		Clients:   4,
+		Requests:  12,
+		Codecs:    []string{"lz77", "lzw", "bwt"},
+		Seed:      4,
+		Verify:    true,
+		BodyCap:   1024,
+		Retries:   5,
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d unrecovered errors under injected faults (first: %s)", res.Errors, res.FirstError)
+	}
+	retries := res.Registry.Snapshot().Counters["zipload.retries"]
+	if retries == 0 {
+		t.Fatal("no retries recorded — the fault profile never fired")
+	}
+	var sb strings.Builder
+	res.report(&sb, loadConfig{Codecs: []string{"lz77"}})
+	if !strings.Contains(sb.String(), "retries:") {
+		t.Fatalf("report should surface the retry count:\n%s", sb.String())
 	}
 }
 

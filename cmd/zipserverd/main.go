@@ -2,7 +2,9 @@
 // HTTP (internal/server): POST /v1/{lz77|lzw|bwt}/{compress|decompress} with
 // a content-addressed LRU response cache, a bounded codec worker pool, and
 // live telemetry at GET /metrics (canonical obs snapshot). SIGINT/SIGTERM
-// trigger graceful shutdown: in-flight requests drain before exit.
+// trigger graceful shutdown: in-flight requests drain up to the -drain
+// deadline, after which remaining connections are cut; the final metrics
+// snapshot is written either way.
 //
 // Usage:
 //
@@ -12,6 +14,10 @@
 //
 // For scripting (the Makefile smoke target), -addr supports port 0 and
 // -addr-file writes the actually-bound address once listening.
+//
+// Chaos runs (make test-chaos) arm deterministic fault injection:
+//
+//	zipserverd -faults 'server.codec.compress=error:0.05,server.cache.get=corrupt:0.05' -fault-seed 7
 package main
 
 import (
@@ -22,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/server"
 )
 
@@ -43,9 +51,19 @@ func run() error {
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "per-request body cap in bytes")
 		cacheMB  = flag.Int64("cache-mb", 64, "response cache budget in MiB (negative disables)")
 		metrics  = flag.String("metrics", "", "write a final obs snapshot to this file on shutdown")
+		faults   = flag.String("faults", "", "deterministic fault injections, comma-separated point=kind:prob[:param] or point=kind@n[:param] (empty disables)")
+		fseed    = flag.Int64("fault-seed", 1, "root seed for the fault registry's per-point streams")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline before in-flight connections are cut")
 	)
 	flag.Parse()
 
+	var freg *fault.Registry
+	if *faults != "" {
+		freg = fault.NewRegistry(*fseed)
+		if err := freg.ArmAll(*faults); err != nil {
+			return err
+		}
+	}
 	cacheBytes := *cacheMB
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
@@ -54,7 +72,11 @@ func run() error {
 		MaxBodyBytes: *maxBody,
 		CacheBytes:   cacheBytes,
 		Workers:      *workers,
+		Faults:       freg,
 	})
+	if freg != nil {
+		fmt.Fprintf(os.Stderr, "zipserverd: chaos armed (seed %d): %s\n", *fseed, strings.Join(freg.Armed(), " "))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,13 +103,19 @@ func run() error {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintln(os.Stderr, "zipserverd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	fmt.Fprintf(os.Stderr, "zipserverd: shutting down (drain %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return err
+		// The drain deadline expired with requests still in flight: cut
+		// them rather than hang forever. Exit stays clean — a bounded
+		// drain is the contract, not a zero-loss one.
+		fmt.Fprintf(os.Stderr, "zipserverd: drain deadline exceeded, forcing close: %v\n", err)
+		httpSrv.Close()
 	}
 	<-errc // reap the Serve goroutine (returns http.ErrServerClosed)
+	// The final snapshot is written even after a forced close — a chaos
+	// run's post-mortem needs the counters most when shutdown was ugly.
 	if *metrics != "" {
 		if err := srv.Registry().WriteSnapshot(*metrics); err != nil {
 			return err

@@ -11,12 +11,18 @@ import (
 	"sort"
 
 	"github.com/zipchannel/zipchannel/internal/cache"
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
 // ErrNoEvictionSet reports that the attacker's buffer has too few lines
 // mapping to the requested cache set.
 var ErrNoEvictionSet = errors.New("attacker: cannot build eviction set")
+
+// DefaultTimerSamples is how many readings measure takes of each probed
+// line's latency when a noisy timer is armed. k=9 survives up to four
+// jittered readings per line.
+const DefaultTimerSamples = 9
 
 // PrimeProbe drives the prime/probe cycle for one attacker actor.
 type PrimeProbe struct {
@@ -30,6 +36,13 @@ type PrimeProbe struct {
 	// setLines caches, per global set, the attacker lines mapping to it.
 	setLines map[int][]uint64
 
+	// TimerFault, when armed (chaos runs), jitters individual timer
+	// readings of probe latencies; TimerSamples readings are taken per
+	// line and classified by their median (see measure). Nil or disarmed
+	// leaves every measurement byte-identical to a fault-free build.
+	TimerFault   *fault.Point
+	TimerSamples int
+
 	// Instruments are nil until AttachObs; obs methods no-op on nil.
 	primes       *obs.Counter
 	probes       *obs.Counter
@@ -37,6 +50,10 @@ type PrimeProbe struct {
 	evictionsObs *obs.Counter
 	evsetFail    *obs.Counter
 	probeLat     *obs.Histogram
+	// reg backs the lazily-registered noisy-read counter so runs without
+	// timer faults keep their metric snapshots unchanged.
+	reg        *obs.Registry
+	noisyReads *obs.Counter
 }
 
 // AttachObs registers the attacker's telemetry on reg: pp.primes and
@@ -49,6 +66,47 @@ func (p *PrimeProbe) AttachObs(reg *obs.Registry) {
 	p.evictionsObs = reg.Counter("pp.evictions_observed")
 	p.evsetFail = reg.Counter("pp.evset_failures")
 	p.probeLat = reg.Histogram("pp.probe_latency")
+	p.reg = reg
+}
+
+// measure returns the classified latency of one probed line. A probe is
+// destructive — reading a line's latency refills it — so a noisy timer
+// cannot be beaten by re-probing. Instead, when TimerFault is armed, the
+// single architectural latency is read TimerSamples times through the
+// fault-injected timer and the median of the readings is returned: with
+// per-reading jitter probability q, a line is misread only when a majority
+// of its readings jitter past the threshold (~C(k,⌈k/2⌉)·q^⌈k/2⌉), the
+// repeated-measurement amplification of Schwarzl et al.'s remote timing
+// attacks. With no timer fault this is exactly one clean probe.
+func (p *PrimeProbe) measure(addr uint64) int {
+	lat := p.c.Probe(p.actor, addr)
+	if p.TimerFault == nil {
+		return lat
+	}
+	k := p.TimerSamples
+	if k <= 0 {
+		k = DefaultTimerSamples
+	}
+	reads := make([]int, k)
+	noisy := 0
+	for i := range reads {
+		reads[i] = lat
+		if in := p.TimerFault.Hit(); in.Kind == fault.KindLatency {
+			reads[i] += int(in.Jitter())
+			noisy++
+		}
+	}
+	if noisy == 0 {
+		return lat
+	}
+	if p.reg != nil {
+		if p.noisyReads == nil {
+			p.noisyReads = p.reg.Counter("pp.noisy_reads")
+		}
+		p.noisyReads.Add(uint64(noisy))
+	}
+	sort.Ints(reads)
+	return reads[k/2]
 }
 
 // NewPrimeProbe creates the attacker with a contiguous physical buffer of
@@ -132,7 +190,7 @@ func (p *PrimeProbe) Probe(ev []uint64) (evicted int, lats []int) {
 	p.probes.Inc()
 	lats = make([]int, len(ev))
 	for i, a := range ev {
-		lats[i] = p.c.Probe(p.actor, a)
+		lats[i] = p.measure(a)
 		p.probedLines.Inc()
 		p.probeLat.Observe(int64(lats[i]))
 		if lats[i] > p.threshold {

@@ -1,0 +1,410 @@
+// Package fault is the repository's deterministic fault-injection layer:
+// a seeded registry of named injection points that the production-shaped
+// layers (internal/server, internal/par, internal/sgx, internal/attacker)
+// consult at the places where a real deployment can fail — codec workers,
+// the response cache, worker-pool admission, SGX fault delivery, and the
+// attacker's timer reads.
+//
+// Design constraints, mirroring internal/obs:
+//
+//   - No globals. A *Registry is created by whoever owns a run (a CLI
+//     flag, a chaos test) and handed down explicitly. A nil *Registry
+//     hands out nil *Points, and every Point method is a no-op on a nil
+//     receiver, so instrumented paths need no conditionals and cost one
+//     nil check when injection is disabled.
+//   - Deterministic streams. Every point draws its decisions from a
+//     private RNG seeded with par.SplitSeed(rootSeed, pointName), so the
+//     n-th hit of a given point makes the same decision in every run
+//     with the same seed and arming — runs replay exactly, and arming a
+//     new point never perturbs another point's stream.
+//   - Disarmed means invisible. A point that never fires registers no
+//     obs counters and injects nothing; with all faults disarmed every
+//     output byte of the host program is identical to a build without
+//     the layer.
+//
+// Injection points are named <layer>.<component>.<operation>, e.g.
+// server.codec.compress, server.cache.get, server.gate.acquire,
+// sgx.stepper.protect, attacker.pp.timer (see DESIGN.md §8 for the
+// full inventory and each site's supported kinds).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/par"
+)
+
+// ErrInjected is the error value surfaced by KindError injections (wrapped
+// with the point name). Sites and their callers classify injected errors as
+// transient — errors.Is(err, ErrInjected) — and retry or degrade rather
+// than treating them as bad input.
+var ErrInjected = errors.New("fault: injected error")
+
+// Kind enumerates what an armed point injects. KindNone is the zero value
+// carried by a clean Injection.
+type Kind int
+
+const (
+	KindNone Kind = iota
+	// KindError makes the site fail with ErrInjected.
+	KindError
+	// KindLatency adds Param latency units. The unit is the site's: sim
+	// steps or probe cycles inside the simulation, microseconds in the
+	// HTTP server.
+	KindLatency
+	// KindPanic makes the site panic (the recovery middleware / breaker
+	// must contain it).
+	KindPanic
+	// KindCorrupt flips one byte of the site's payload (via CorruptCopy).
+	KindCorrupt
+)
+
+var kindNames = map[string]Kind{
+	"error":   KindError,
+	"latency": KindLatency,
+	"panic":   KindPanic,
+	"corrupt": KindCorrupt,
+}
+
+func (k Kind) String() string {
+	for name, kk := range kindNames {
+		if kk == k {
+			return name
+		}
+	}
+	return "none"
+}
+
+// Spec is one arming of a point: a kind, a trigger (probability per hit,
+// or every Nth hit), and a kind-specific parameter.
+type Spec struct {
+	Kind Kind
+	// Prob fires the fault on each hit with this probability (used when
+	// Every == 0).
+	Prob float64
+	// Every fires the fault deterministically on every Every-th hit
+	// (1-based: Every=3 fires on hits 3, 6, 9, ...). Takes precedence
+	// over Prob.
+	Every uint64
+	// Param is the kind's parameter: latency units for KindLatency,
+	// maximum |jitter| for Injection.Jitter; ignored by error/panic.
+	Param uint64
+}
+
+// Injection is the outcome of one Point.Hit: the zero value means clean.
+type Injection struct {
+	Kind  Kind
+	Point string // name of the point that fired
+	Param uint64
+	// Rand is a pseudorandom payload drawn from the point's stream at
+	// fire time; CorruptCopy and Jitter derive their randomness from it
+	// so sites need no RNG of their own.
+	Rand uint64
+}
+
+// Fired reports whether any fault fired.
+func (in Injection) Fired() bool { return in.Kind != KindNone }
+
+// Error returns the injected error for KindError (nil otherwise).
+func (in Injection) Error() error {
+	if in.Kind != KindError {
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, in.Point)
+}
+
+// Jitter derives a zero-centered jitter in [-Param, +Param] from the
+// injection's random payload (for timer-noise sites).
+func (in Injection) Jitter() int64 {
+	if in.Kind != KindLatency || in.Param == 0 {
+		return 0
+	}
+	span := 2*in.Param + 1
+	return int64(in.Rand%span) - int64(in.Param)
+}
+
+// CorruptCopy returns b with one byte flipped (never a no-op flip), as a
+// fresh copy so shared buffers are not mutated in place. Returns b
+// unchanged when the injection is not a corruption or b is empty.
+func (in Injection) CorruptCopy(b []byte) []byte {
+	if in.Kind != KindCorrupt || len(b) == 0 {
+		return b
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	idx := int(in.Rand % uint64(len(b)))
+	out[idx] ^= byte(1 + (in.Rand>>32)%255)
+	return out
+}
+
+// Point is one named injection site. All methods are safe for concurrent
+// use and no-ops on a nil receiver.
+type Point struct {
+	name string
+
+	mu    sync.Mutex
+	specs []Spec
+	rng   *rand.Rand
+	hits  uint64
+	fired uint64
+
+	hitsC  *obs.Counter // non-nil once armed with an attached obs registry
+	firedC *obs.Counter
+}
+
+// Name returns the point's registered name ("" for a nil point).
+func (p *Point) Name() string {
+	if p == nil {
+		return ""
+	}
+	return p.name
+}
+
+// Hit consumes one decision from the point's deterministic stream and
+// returns the injection to apply (zero Injection when clean or disarmed).
+// When several specs are armed on one point they are evaluated in arming
+// order and the first that fires wins.
+func (p *Point) Hit() Injection {
+	if p == nil {
+		return Injection{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.specs) == 0 {
+		return Injection{}
+	}
+	p.hits++
+	p.hitsC.Inc()
+	for _, s := range p.specs {
+		fire := false
+		if s.Every > 0 {
+			fire = p.hits%s.Every == 0
+		} else {
+			fire = p.rng.Float64() < s.Prob
+		}
+		if fire {
+			p.fired++
+			p.firedC.Inc()
+			return Injection{Kind: s.Kind, Point: p.name, Param: s.Param, Rand: p.rng.Uint64()}
+		}
+	}
+	return Injection{}
+}
+
+// Err consumes one hit and returns the injected error for error faults,
+// panicking for panic faults; latency and corruption armings are ignored
+// by this accessor (for sites that can only fail, like pool admission).
+func (p *Point) Err() error {
+	in := p.Hit()
+	switch in.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", in.Point))
+	case KindError:
+		return in.Error()
+	}
+	return nil
+}
+
+// Stats reports how often the point was consulted and how often it fired.
+func (p *Point) Stats() (hits, fired uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.fired
+}
+
+// Registry owns a namespace of injection points sharing one root seed.
+type Registry struct {
+	seed int64
+
+	mu     sync.Mutex
+	points map[string]*Point
+	obs    *obs.Registry
+}
+
+// NewRegistry creates an empty registry whose points derive their streams
+// from seed via par.SplitSeed.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{seed: seed, points: map[string]*Point{}}
+}
+
+// AttachObs makes armed points mirror their hit/fire counts into reg as
+// fault.<point>.hits and fault.<point>.injected. Counters are registered
+// lazily on Arm, so a registry with nothing armed leaves reg untouched
+// (and metric snapshots byte-identical to a fault-free build).
+func (r *Registry) AttachObs(reg *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = reg
+	for name, p := range r.points {
+		p.mu.Lock()
+		if len(p.specs) > 0 {
+			p.hitsC = reg.Counter("fault." + name + ".hits")
+			p.firedC = reg.Counter("fault." + name + ".injected")
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Point returns (registering if needed) the named injection point. A nil
+// registry returns a nil point — a valid, permanently-clean site handle.
+func (r *Registry) Point(name string) *Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pointLocked(name)
+}
+
+func (r *Registry) pointLocked(name string) *Point {
+	p, ok := r.points[name]
+	if !ok {
+		p = &Point{
+			name: name,
+			rng:  rand.New(rand.NewSource(par.SplitSeed(r.seed, name))),
+		}
+		r.points[name] = p
+	}
+	return p
+}
+
+// Arm adds spec to the named point (specs stack; first-to-fire wins).
+func (r *Registry) Arm(name string, spec Spec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.pointLocked(name)
+	p.mu.Lock()
+	p.specs = append(p.specs, spec)
+	if r.obs != nil && p.hitsC == nil {
+		p.hitsC = r.obs.Counter("fault." + name + ".hits")
+		p.firedC = r.obs.Counter("fault." + name + ".injected")
+	}
+	p.mu.Unlock()
+}
+
+// ArmAll parses and arms a comma-separated fault list (the -faults CLI
+// flag). Each element is
+//
+//	<point>=<kind>:<prob>[:<param>]   fire with probability per hit
+//	<point>=<kind>@<n>[:<param>]      fire on every n-th hit
+//	<point>=<kind>                    fire on every hit
+//
+// e.g. "server.codec.compress=error:0.1,server.cache.get=corrupt:0.05,
+// server.gate.acquire=latency:0.05:2000,sgx.stepper.protect=error@7".
+func (r *Registry) ArmAll(list string) error {
+	if r == nil {
+		return errors.New("fault: ArmAll on nil registry")
+	}
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		spec, name, err := parseSpec(item)
+		if err != nil {
+			return err
+		}
+		r.Arm(name, spec)
+	}
+	return nil
+}
+
+// parseSpec parses one <point>=<kind>... element.
+func parseSpec(item string) (Spec, string, error) {
+	name, rest, ok := strings.Cut(item, "=")
+	if !ok || name == "" || rest == "" {
+		return Spec{}, "", fmt.Errorf("fault: bad spec %q (want point=kind:prob[:param] or point=kind@n[:param])", item)
+	}
+	parts := strings.Split(rest, ":")
+	head := parts[0]
+	spec := Spec{Prob: 1}
+
+	kindStr, everyStr, hasEvery := strings.Cut(head, "@")
+	kind, ok := kindNames[kindStr]
+	if !ok {
+		return Spec{}, "", fmt.Errorf("fault: unknown kind %q in %q (have error, latency, panic, corrupt)", kindStr, item)
+	}
+	spec.Kind = kind
+	if hasEvery {
+		n, err := strconv.ParseUint(everyStr, 10, 64)
+		if err != nil || n == 0 {
+			return Spec{}, "", fmt.Errorf("fault: bad @every count in %q", item)
+		}
+		spec.Every = n
+		if len(parts) > 2 {
+			return Spec{}, "", fmt.Errorf("fault: too many fields in %q", item)
+		}
+		if len(parts) == 2 {
+			param, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				return Spec{}, "", fmt.Errorf("fault: bad param in %q", item)
+			}
+			spec.Param = param
+		}
+		return spec, name, nil
+	}
+
+	if len(parts) > 3 {
+		return Spec{}, "", fmt.Errorf("fault: too many fields in %q", item)
+	}
+	if len(parts) >= 2 {
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return Spec{}, "", fmt.Errorf("fault: bad probability in %q (want 0..1)", item)
+		}
+		spec.Prob = prob
+	}
+	if len(parts) == 3 {
+		param, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return Spec{}, "", fmt.Errorf("fault: bad param in %q", item)
+		}
+		spec.Param = param
+	}
+	return spec, name, nil
+}
+
+// Armed returns a sorted human-readable description of every armed point,
+// for startup logging ("what chaos is live in this process").
+func (r *Registry) Armed() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for name, p := range r.points {
+		p.mu.Lock()
+		for _, s := range p.specs {
+			var trig string
+			if s.Every > 0 {
+				trig = fmt.Sprintf("@%d", s.Every)
+			} else {
+				trig = fmt.Sprintf(":%g", s.Prob)
+			}
+			if s.Param != 0 {
+				trig += fmt.Sprintf(":%d", s.Param)
+			}
+			out = append(out, fmt.Sprintf("%s=%s%s", name, s.Kind, trig))
+		}
+		p.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}

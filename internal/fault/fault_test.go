@@ -1,0 +1,306 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// Two registries with the same seed and arming must make identical
+// decision sequences at every point — the replay contract.
+func TestDeterministicReplay(t *testing.T) {
+	sequence := func() []Kind {
+		r := NewRegistry(42)
+		r.Arm("a.b.c", Spec{Kind: KindError, Prob: 0.3})
+		r.Arm("a.b.c", Spec{Kind: KindLatency, Prob: 0.2, Param: 100})
+		r.Arm("x.y.z", Spec{Kind: KindCorrupt, Prob: 0.5})
+		var kinds []Kind
+		pa, px := r.Point("a.b.c"), r.Point("x.y.z")
+		for i := 0; i < 200; i++ {
+			kinds = append(kinds, pa.Hit().Kind, px.Hit().Kind)
+		}
+		return kinds
+	}
+	first, second := sequence(), sequence()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// A point's stream depends only on (seed, name): arming or hitting other
+// points must not perturb it.
+func TestPointStreamsIndependent(t *testing.T) {
+	solo := NewRegistry(7)
+	solo.Arm("p.q", Spec{Kind: KindError, Prob: 0.25})
+	var want []bool
+	p := solo.Point("p.q")
+	for i := 0; i < 100; i++ {
+		want = append(want, p.Hit().Fired())
+	}
+
+	crowded := NewRegistry(7)
+	crowded.Arm("p.q", Spec{Kind: KindError, Prob: 0.25})
+	crowded.Arm("other.point", Spec{Kind: KindPanic, Prob: 0.9})
+	q := crowded.Point("p.q")
+	other := crowded.Point("other.point")
+	for i := 0; i < 100; i++ {
+		func() {
+			defer func() { recover() }()
+			other.Err()
+		}()
+		if got := q.Hit().Fired(); got != want[i] {
+			t.Fatalf("hit %d: crowded registry diverged from solo stream", i)
+		}
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm("p", Spec{Kind: KindError, Every: 3})
+	p := r.Point("p")
+	for i := 1; i <= 12; i++ {
+		fired := p.Hit().Fired()
+		if want := i%3 == 0; fired != want {
+			t.Fatalf("hit %d: fired=%v, want %v", i, fired, want)
+		}
+	}
+	if hits, fired := p.Stats(); hits != 12 || fired != 4 {
+		t.Fatalf("stats = (%d, %d), want (12, 4)", hits, fired)
+	}
+}
+
+func TestDisarmedPointIsClean(t *testing.T) {
+	r := NewRegistry(9)
+	p := r.Point("never.armed")
+	for i := 0; i < 50; i++ {
+		if p.Hit().Fired() {
+			t.Fatal("disarmed point fired")
+		}
+		if err := p.Err(); err != nil {
+			t.Fatalf("disarmed Err: %v", err)
+		}
+	}
+	if hits, _ := p.Stats(); hits != 0 {
+		t.Fatalf("disarmed point counted %d hits; want 0 (invisible when off)", hits)
+	}
+}
+
+func TestNilRegistryAndPoint(t *testing.T) {
+	var r *Registry
+	p := r.Point("anything")
+	if p != nil {
+		t.Fatal("nil registry should hand out nil points")
+	}
+	if p.Hit().Fired() || p.Err() != nil || p.Name() != "" {
+		t.Fatal("nil point must be permanently clean")
+	}
+	if h, f := p.Stats(); h != 0 || f != 0 {
+		t.Fatal("nil point stats should be zero")
+	}
+	r.Arm("x", Spec{Kind: KindError, Prob: 1}) // must not panic
+	if got := r.Armed(); got != nil {
+		t.Fatalf("nil registry Armed = %v", got)
+	}
+}
+
+func TestErrAndPanicKinds(t *testing.T) {
+	r := NewRegistry(3)
+	r.Arm("always.err", Spec{Kind: KindError, Prob: 1})
+	if err := r.Point("always.err").Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(r.Point("always.err").Err().Error(), "always.err") {
+		t.Fatal("injected error should name its point")
+	}
+
+	r.Arm("always.panic", Spec{Kind: KindPanic, Prob: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic kind did not panic")
+			}
+		}()
+		r.Point("always.panic").Err()
+	}()
+}
+
+func TestCorruptCopy(t *testing.T) {
+	r := NewRegistry(5)
+	r.Arm("c", Spec{Kind: KindCorrupt, Prob: 1})
+	p := r.Point("c")
+	orig := []byte("the payload under corruption")
+	for i := 0; i < 64; i++ {
+		in := p.Hit()
+		if in.Kind != KindCorrupt {
+			t.Fatal("corrupt point did not fire")
+		}
+		got := in.CorruptCopy(orig)
+		if bytes.Equal(got, orig) {
+			t.Fatal("CorruptCopy returned identical bytes")
+		}
+		diff := 0
+		for j := range got {
+			if got[j] != orig[j] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("CorruptCopy changed %d bytes, want exactly 1", diff)
+		}
+		if !bytes.Equal(orig, []byte("the payload under corruption")) {
+			t.Fatal("CorruptCopy mutated the input slice")
+		}
+	}
+	// Clean and empty payloads pass through untouched.
+	if got := (Injection{}).CorruptCopy(orig); !bytes.Equal(got, orig) {
+		t.Fatal("clean injection should not corrupt")
+	}
+	if got := p.Hit().CorruptCopy(nil); got != nil {
+		t.Fatal("empty payload should pass through")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRegistry(11)
+	r.Arm("j", Spec{Kind: KindLatency, Prob: 1, Param: 40})
+	p := r.Point("j")
+	sawNeg, sawPos := false, false
+	for i := 0; i < 256; i++ {
+		j := p.Hit().Jitter()
+		if j < -40 || j > 40 {
+			t.Fatalf("jitter %d out of [-40, 40]", j)
+		}
+		sawNeg = sawNeg || j < 0
+		sawPos = sawPos || j > 0
+	}
+	if !sawNeg || !sawPos {
+		t.Error("jitter should be zero-centered (saw both signs over 256 draws)")
+	}
+	if (Injection{Kind: KindError}).Jitter() != 0 {
+		t.Error("non-latency injection must have zero jitter")
+	}
+}
+
+func TestArmAllDSL(t *testing.T) {
+	r := NewRegistry(2)
+	err := r.ArmAll("server.codec.compress=error:0.1, server.cache.get=corrupt:0.05 ,server.gate.acquire=latency:0.5:2000,sgx.stepper.protect=error@7,always.on=panic")
+	if err != nil {
+		t.Fatalf("ArmAll: %v", err)
+	}
+	armed := r.Armed()
+	want := []string{
+		"always.on=panic:1",
+		"server.cache.get=corrupt:0.05",
+		"server.codec.compress=error:0.1",
+		"server.gate.acquire=latency:0.5:2000",
+		"sgx.stepper.protect=error@7",
+	}
+	if len(armed) != len(want) {
+		t.Fatalf("Armed = %v, want %v", armed, want)
+	}
+	for i := range want {
+		if armed[i] != want[i] {
+			t.Fatalf("Armed[%d] = %q, want %q", i, armed[i], want[i])
+		}
+	}
+	// The latency arming actually carries its param through.
+	in := r.Point("server.gate.acquire").Hit()
+	for !in.Fired() {
+		in = r.Point("server.gate.acquire").Hit()
+	}
+	if in.Kind != KindLatency || in.Param != 2000 {
+		t.Fatalf("latency injection = %+v, want kind=latency param=2000", in)
+	}
+}
+
+func TestArmAllRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{
+		"nameonly",
+		"p=", "=error",
+		"p=explode:0.1",
+		"p=error:1.5",
+		"p=error:x",
+		"p=error@0",
+		"p=error@x",
+		"p=latency:0.1:zz",
+		"p=error:0.1:5:9",
+		"p=error@3:5:9",
+	} {
+		if err := NewRegistry(0).ArmAll(bad); err == nil {
+			t.Errorf("ArmAll(%q) accepted a bad spec", bad)
+		}
+	}
+	if err := NewRegistry(0).ArmAll(" , ,"); err != nil {
+		t.Errorf("empty elements should be skipped: %v", err)
+	}
+}
+
+// Armed points mirror hit/injected counts into obs; disarmed points stay
+// out of the snapshot entirely.
+func TestObsMirroring(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRegistry(4)
+	r.AttachObs(reg)
+	r.Arm("armed.pt", Spec{Kind: KindError, Every: 2})
+	r.Point("quiet.pt") // registered but never armed
+	p := r.Point("armed.pt")
+	for i := 0; i < 10; i++ {
+		p.Hit()
+		r.Point("quiet.pt").Hit()
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["fault.armed.pt.hits"]; got != 10 {
+		t.Errorf("fault.armed.pt.hits = %d, want 10", got)
+	}
+	if got := snap.Counters["fault.armed.pt.injected"]; got != 5 {
+		t.Errorf("fault.armed.pt.injected = %d, want 5", got)
+	}
+	for name := range snap.Counters {
+		if strings.Contains(name, "quiet.pt") {
+			t.Errorf("disarmed point leaked counter %s into the snapshot", name)
+		}
+	}
+
+	// AttachObs after arming also wires the counters.
+	reg2 := obs.NewRegistry()
+	r2 := NewRegistry(4)
+	r2.Arm("late.pt", Spec{Kind: KindError, Prob: 0})
+	r2.AttachObs(reg2)
+	r2.Point("late.pt").Hit()
+	if got := reg2.Snapshot().Counters["fault.late.pt.hits"]; got != 1 {
+		t.Errorf("late AttachObs: hits = %d, want 1", got)
+	}
+}
+
+// Concurrent hits on one point must be safe (run under -race) and account
+// exactly.
+func TestConcurrentHits(t *testing.T) {
+	r := NewRegistry(6)
+	r.Arm("hot", Spec{Kind: KindError, Every: 4})
+	p := r.Point("hot")
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Hit()
+			}
+		}()
+	}
+	wg.Wait()
+	hits, fired := p.Stats()
+	if hits != goroutines*per {
+		t.Fatalf("hits = %d, want %d", hits, goroutines*per)
+	}
+	if fired != goroutines*per/4 {
+		t.Fatalf("fired = %d, want %d (every-4 schedule is exact regardless of interleaving)", fired, goroutines*per/4)
+	}
+}

@@ -1,5 +1,7 @@
 package par
 
+import "context"
+
 // Gate is a bounded-concurrency admission gate: at most Capacity callers
 // execute inside Do at any moment; the rest block until a slot frees. It is
 // the service-shaped sibling of ForEach — ForEach bounds a finite index
@@ -8,6 +10,7 @@ package par
 // HTTP connections net/http has open).
 type Gate struct {
 	slots chan struct{}
+	admit func() error
 }
 
 // NewGate creates a gate admitting at most capacity concurrent callers;
@@ -19,10 +22,42 @@ func NewGate(capacity int) *Gate {
 // Capacity reports the maximum number of concurrent callers.
 func (g *Gate) Capacity() int { return cap(g.slots) }
 
+// SetAdmit installs a hook that runs after every slot acquisition, before
+// the caller's fn. A non-nil error (or a panic) aborts the Do/DoCtx with
+// the slot correctly released — this is the worker pool's fault-injection
+// point (internal/server wires internal/fault here). Call before the gate
+// is shared; the hook itself must be safe for concurrent use.
+func (g *Gate) SetAdmit(fn func() error) { g.admit = fn }
+
 // Do blocks until a slot is free, runs fn, and releases the slot (also on
-// panic, so a crashing worker cannot leak capacity).
+// panic, so a crashing worker cannot leak capacity). Admission-hook errors
+// are ignored; use DoCtx when the caller can handle them.
 func (g *Gate) Do(fn func()) {
 	g.slots <- struct{}{}
 	defer func() { <-g.slots }()
+	if g.admit != nil {
+		g.admit()
+	}
 	fn()
+}
+
+// DoCtx is Do with a deadline on admission: it waits for a slot only as
+// long as ctx lives (returning ctx.Err() if it expires first — a saturated
+// pool cannot absorb a request past its deadline), then runs the admit
+// hook (whose error aborts fn) and fn. The slot is released on every path,
+// including panics from the hook or fn.
+func (g *Gate) DoCtx(ctx context.Context, fn func()) error {
+	select {
+	case g.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-g.slots }()
+	if g.admit != nil {
+		if err := g.admit(); err != nil {
+			return err
+		}
+	}
+	fn()
+	return nil
 }

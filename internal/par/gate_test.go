@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestGateBoundsConcurrency launches far more goroutines than the gate
@@ -62,4 +65,83 @@ func TestGateDefaultCapacity(t *testing.T) {
 	if got, want := NewGate(0).Capacity(), Parallelism(0); got != want {
 		t.Fatalf("NewGate(0).Capacity() = %d, want %d", got, want)
 	}
+}
+
+// TestGateDoCtxDeadline: a saturated gate must reject a caller whose
+// context expires while waiting, without running fn.
+func TestGateDoCtxDeadline(t *testing.T) {
+	g := NewGate(1)
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(func() { close(started); <-hold })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := g.DoCtx(ctx, func() { ran = true })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx on saturated gate: err = %v, want DeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite expired deadline")
+	}
+	close(hold)
+
+	// With the slot free again, DoCtx admits normally.
+	if err := g.DoCtx(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("DoCtx after release: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestGateAdmitHook: a failing admit hook aborts DoCtx (fn unrun) and the
+// slot is released; Do ignores hook errors but still runs the hook.
+func TestGateAdmitHook(t *testing.T) {
+	g := NewGate(1)
+	hookErr := errors.New("injected admission failure")
+	var calls atomic.Int64
+	fail := true
+	g.SetAdmit(func() error {
+		calls.Add(1)
+		if fail {
+			return hookErr
+		}
+		return nil
+	})
+
+	ran := false
+	if err := g.DoCtx(context.Background(), func() { ran = true }); !errors.Is(err, hookErr) {
+		t.Fatalf("DoCtx err = %v, want hook error", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite admit failure")
+	}
+
+	fail = false
+	if err := g.DoCtx(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("DoCtx with passing hook: err=%v ran=%v (slot leaked by failed admission?)", err, ran)
+	}
+
+	// Do runs the hook too (the injection point covers both entrances).
+	before := calls.Load()
+	g.Do(func() {})
+	if calls.Load() != before+1 {
+		t.Fatal("Do did not run the admit hook")
+	}
+}
+
+// TestGateAdmitPanicReleasesSlot: a panicking hook must not leak capacity.
+func TestGateAdmitPanicReleasesSlot(t *testing.T) {
+	g := NewGate(1)
+	g.SetAdmit(func() error { panic("injected hook panic") })
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() { _ = recover() }()
+			g.DoCtx(context.Background(), func() {})
+		}()
+	}
+	g.SetAdmit(nil)
+	done := make(chan struct{})
+	go g.Do(func() { close(done) })
+	<-done
 }

@@ -1,0 +1,74 @@
+package server
+
+import "testing"
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := newBreaker(3, 4)
+
+	// Failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if tripped := b.record(false); tripped {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+		if !b.allow() {
+			t.Fatal("breaker opened early")
+		}
+	}
+	// A success resets the consecutive count.
+	b.record(true)
+	b.record(false)
+	b.record(false)
+	if !b.allow() {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+
+	// The third consecutive failure trips it.
+	if !b.record(false) {
+		t.Fatal("threshold reached but record did not report a trip")
+	}
+	// Open: exactly cooldown rejections, then a trial is allowed.
+	for i := 0; i < 4; i++ {
+		if b.allow() {
+			t.Fatalf("allow() = true during cooldown (rejection %d)", i+1)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("trial request not admitted after cooldown")
+	}
+
+	// A failed trial re-opens immediately.
+	if !b.record(false) {
+		t.Fatal("failed trial should re-trip the breaker")
+	}
+	for i := 0; i < 4; i++ {
+		if b.allow() {
+			t.Fatal("allow() = true during second cooldown")
+		}
+	}
+	if !b.allow() {
+		t.Fatal("second trial not admitted")
+	}
+
+	// A successful trial closes it for good.
+	b.record(true)
+	for i := 0; i < 10; i++ {
+		if !b.allow() {
+			t.Fatal("breaker should be closed after a successful trial")
+		}
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	var b *breaker // nil = disabled
+	for i := 0; i < 20; i++ {
+		if !b.allow() {
+			t.Fatal("nil breaker must always allow")
+		}
+		if b.record(false) {
+			t.Fatal("nil breaker must never trip")
+		}
+	}
+	if newBreaker(0, 8) != nil {
+		t.Fatal("threshold <= 0 should disable the breaker")
+	}
+}

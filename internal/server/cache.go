@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"sync"
 
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
@@ -29,8 +30,13 @@ func cacheKey(op, codecName string, body []byte) [sha256.Size]byte {
 
 // lruCache is a byte-budgeted LRU of codec responses, modeled on the
 // MemoryCache of the httpcache reference repo but with strict size
-// accounting and obs counters. A nil *lruCache is a valid always-miss
-// cache, so the server can run with caching disabled without conditionals.
+// accounting, obs counters, and end-to-end integrity: every entry stores a
+// SHA-256 of its value, verified on each hit, so a corrupted stored
+// response (a flipped bit in "storage", injected via internal/fault in
+// chaos runs) is detected and re-fetched instead of served — a cache can
+// degrade to a miss but never to wrong bytes. A nil *lruCache is a valid
+// always-miss cache, so the server can run with caching disabled without
+// conditionals.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int64      // byte budget for stored values
@@ -43,11 +49,16 @@ type lruCache struct {
 	evictions *obs.Counter
 	bytes     *obs.Gauge
 	entries   *obs.Gauge
+	// reg backs the lazily-registered corruption counter, so a run that
+	// never sees corruption keeps its metrics snapshot byte-identical to
+	// a pre-integrity build.
+	reg *obs.Registry
 }
 
 type cacheEntry struct {
 	key [sha256.Size]byte
 	val []byte
+	sum [sha256.Size]byte // integrity checksum of val, fixed at put time
 }
 
 // newLRUCache creates a cache holding at most maxBytes of values, hanging
@@ -65,11 +76,14 @@ func newLRUCache(maxBytes int64, reg *obs.Registry) *lruCache {
 		evictions: reg.Counter("server.cache.evictions"),
 		bytes:     reg.Gauge("server.cache.bytes"),
 		entries:   reg.Gauge("server.cache.entries"),
+		reg:       reg,
 	}
 }
 
-// get returns the cached value and marks the entry most recently used. The
-// returned slice is shared; callers must not mutate it.
+// get returns the cached value and marks the entry most recently used. A
+// stored value that fails its integrity check is dropped and counted as a
+// corruption plus a miss — the caller recomputes and re-puts. The returned
+// slice is shared; callers must not mutate it.
 func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
 	if c == nil {
 		return nil, false
@@ -81,15 +95,43 @@ func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
 		c.misses.Inc()
 		return nil, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if sha256.Sum256(ent.val) != ent.sum {
+		c.removeLocked(el, ent)
+		c.reg.Counter("server.cache.corruptions_detected").Inc()
+		c.misses.Inc()
+		return nil, false
+	}
 	c.order.MoveToFront(el)
 	c.hits.Inc()
-	return el.Value.(*cacheEntry).val, true
+	return ent.val, true
+}
+
+// corruptStored simulates a storage bit-flip on the entry under key (the
+// server.cache.get KindCorrupt fault): the stored value is replaced with a
+// corrupted copy while its checksum keeps the original digest, so the next
+// get detects the damage. In-flight responses holding the old slice are
+// unaffected (the flip lands in storage, not in buffers already handed
+// out). No-op when the key is absent.
+func (c *lruCache) corruptStored(key [sha256.Size]byte, in fault.Injection) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	ent.val = in.CorruptCopy(ent.val)
 }
 
 // put inserts val under key, evicting least-recently-used entries until the
 // byte budget holds. Values larger than the whole budget are not cached.
-// Re-putting an existing key refreshes its recency (the value is identical
-// by construction: the key hashes the full input).
+// Re-putting an existing key refreshes its recency and heals its stored
+// bytes (the value is correct by construction: the key hashes the full
+// input, and a corrupted entry was just recomputed by the caller).
 func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
 	if c == nil || int64(len(val)) > c.max {
 		return
@@ -100,7 +142,7 @@ func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, sum: sha256.Sum256(val)})
 	c.size += int64(len(val))
 	for c.size > c.max {
 		back := c.order.Back()
@@ -108,11 +150,19 @@ func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
 			break
 		}
 		ent := back.Value.(*cacheEntry)
-		c.order.Remove(back)
-		delete(c.items, ent.key)
-		c.size -= int64(len(ent.val))
+		c.removeLocked(back, ent)
 		c.evictions.Inc()
 	}
+	c.bytes.Set(float64(c.size))
+	c.entries.Set(float64(len(c.items)))
+}
+
+// removeLocked unlinks one entry and updates the size accounting and
+// gauges. Callers hold c.mu.
+func (c *lruCache) removeLocked(el *list.Element, ent *cacheEntry) {
+	c.order.Remove(el)
+	delete(c.items, ent.key)
+	c.size -= int64(len(ent.val))
 	c.bytes.Set(float64(c.size))
 	c.entries.Set(float64(len(c.items)))
 }

@@ -3,12 +3,22 @@
 // (internal/compress/codec) behind POST /v1/{codec}/{compress|decompress}
 // endpoints, with
 //
-//   - a per-request body cap (413 on overflow),
+//   - a per-request body cap enforced before buffering (413 via
+//     Content-Length or an io.LimitReader, never reading past the cap),
 //   - a content-addressed (SHA-256 keyed), byte-budgeted LRU response cache
-//     with hit/miss/eviction counters,
+//     with hit/miss/eviction counters and per-entry integrity checksums
+//     (corrupted stored responses degrade to misses, never to wrong bytes),
 //   - a bounded worker gate (internal/par.Gate) so concurrent codec
 //     executions are capped at an explicit -workers regardless of open
 //     connections,
+//   - per-request deadlines and panic-recovery middleware (a crashing codec
+//     worker is a 500 and a counter, never a dead process),
+//   - a deterministic circuit breaker per codec/op: consecutive transient
+//     codec failures trip it open, cached responses keep flowing while
+//     uncached requests fast-fail 503 until a trial succeeds,
+//   - named fault-injection points (internal/fault) on the codec workers,
+//     the cache, and pool admission, so chaos runs (make test-chaos) can
+//     rehearse all of the above deterministically,
 //   - per-request obs.Registry instances merged into the server registry
 //     (obs.Registry.Merge), exposed at GET /metrics as a canonical obs
 //     snapshot, plus GET /healthz for liveness probes.
@@ -17,7 +27,9 @@
 // wall-clock-derived histogram (server.request_latency_us): a live network
 // service has no simulation clock, and observed latency is exactly what a
 // load test wants. Everything else in the snapshot (request, byte, cache
-// counters) is deterministic for a fixed request sequence.
+// counters) is deterministic for a fixed request sequence, and every
+// resilience counter is registered lazily on its first event, so a run with
+// faults disarmed produces a snapshot byte-identical to a fault-free build.
 //
 // The deployment shape is deliberate: real compression side channels live
 // inside shared services (Schwarzl et al.; Debreach — see PAPERS.md), and a
@@ -26,13 +38,17 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/par"
 )
@@ -41,10 +57,29 @@ import (
 const (
 	DefaultMaxBodyBytes = 8 << 20  // 8 MiB per request body
 	DefaultCacheBytes   = 64 << 20 // 64 MiB of cached responses
+	// DefaultRequestTimeout bounds one request end to end: gate wait,
+	// codec execution, and transient retries.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultBreakerThreshold is how many consecutive transient codec
+	// failures open the circuit breaker for that codec/op.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how many uncached requests an open
+	// breaker rejects before admitting a trial request.
+	DefaultBreakerCooldown = 16
+	// DefaultCodecRetries is how many times a transient codec failure
+	// (injected fault, codec panic, failed self-check) is retried within
+	// one request before it becomes a 500.
+	DefaultCodecRetries = 2
 )
 
+// errTransient classifies failures that say nothing about the input —
+// injected faults, codec panics, failed self-checks. They are retried
+// within the request deadline and, if persistent, surface as 500s (and
+// breaker failures) rather than 400s.
+var errTransient = errors.New("transient codec failure")
+
 // Config parameterizes a Server. The zero value is fully usable: default
-// caps, GOMAXPROCS workers, a fresh registry.
+// caps, GOMAXPROCS workers, a fresh registry, no fault injection.
 type Config struct {
 	// MaxBodyBytes caps each request body; <= 0 means DefaultMaxBodyBytes.
 	// Oversized requests get 413.
@@ -57,15 +92,52 @@ type Config struct {
 	// Registry receives merged per-request metrics and serves /metrics.
 	// Created if nil.
 	Registry *obs.Registry
+	// RequestTimeout bounds each request (gate wait + codec run +
+	// retries); 0 means DefaultRequestTimeout, negative disables.
+	RequestTimeout time.Duration
+	// Faults arms deterministic fault injection at the server's named
+	// points (server.codec.{compress,decompress}, server.cache.{get,put},
+	// server.gate.acquire). Nil disables injection entirely and leaves
+	// every output byte identical to a fault-free build.
+	Faults *fault.Registry
+	// BreakerThreshold is the consecutive-transient-failure count that
+	// opens a codec/op breaker; 0 means DefaultBreakerThreshold, negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how many requests an open breaker rejects before
+	// trialing; 0 means DefaultBreakerCooldown.
+	BreakerCooldown int
+	// CodecRetries caps transient-failure retries per request; 0 means
+	// DefaultCodecRetries, negative disables retries.
+	CodecRetries int
+	// SelfCheck makes the server verify every compress response by
+	// decompressing it before it leaves the process (corruption can then
+	// only reach clients as a 500, never as wrong bytes). Forced on when
+	// Faults is non-nil.
+	SelfCheck bool
 }
 
 // Server is the http.Handler. Create with New.
 type Server struct {
-	maxBody int64
-	reg     *obs.Registry
-	gate    *par.Gate
-	cache   *lruCache
-	mux     *http.ServeMux
+	maxBody    int64
+	reg        *obs.Registry
+	gate       *par.Gate
+	cache      *lruCache
+	mux        *http.ServeMux
+	reqTimeout time.Duration
+	retries    int
+	selfCheck  bool
+
+	// Fault points (nil when injection is disabled; nil points are clean).
+	fpCompress   *fault.Point
+	fpDecompress *fault.Point
+	fpCacheGet   *fault.Point
+	fpCachePut   *fault.Point
+
+	breakerThreshold int
+	breakerCooldown  int
+	bkMu             sync.Mutex
+	breakers         map[string]*breaker
 }
 
 // New builds a Server from cfg.
@@ -79,12 +151,52 @@ func New(cfg Config) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.CodecRetries == 0 {
+		cfg.CodecRetries = DefaultCodecRetries
+	} else if cfg.CodecRetries < 0 {
+		cfg.CodecRetries = 0
+	}
 	s := &Server{
-		maxBody: cfg.MaxBodyBytes,
-		reg:     cfg.Registry,
-		gate:    par.NewGate(cfg.Workers),
-		cache:   newLRUCache(cfg.CacheBytes, cfg.Registry),
-		mux:     http.NewServeMux(),
+		maxBody:          cfg.MaxBodyBytes,
+		reg:              cfg.Registry,
+		gate:             par.NewGate(cfg.Workers),
+		cache:            newLRUCache(cfg.CacheBytes, cfg.Registry),
+		mux:              http.NewServeMux(),
+		reqTimeout:       cfg.RequestTimeout,
+		retries:          cfg.CodecRetries,
+		selfCheck:        cfg.SelfCheck || cfg.Faults != nil,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
+		breakers:         map[string]*breaker{},
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.AttachObs(cfg.Registry)
+		s.fpCompress = cfg.Faults.Point("server.codec.compress")
+		s.fpDecompress = cfg.Faults.Point("server.codec.decompress")
+		s.fpCacheGet = cfg.Faults.Point("server.cache.get")
+		s.fpCachePut = cfg.Faults.Point("server.cache.put")
+		fpGate := cfg.Faults.Point("server.gate.acquire")
+		s.gate.SetAdmit(func() error {
+			in := fpGate.Hit()
+			switch in.Kind {
+			case fault.KindPanic:
+				panic(fmt.Sprintf("fault: injected panic at %s", in.Point))
+			case fault.KindLatency:
+				time.Sleep(time.Duration(in.Param) * time.Microsecond)
+			case fault.KindError:
+				return fmt.Errorf("%w: %v", errTransient, in.Error())
+			}
+			return nil
+		})
 	}
 	// Touch the cache counters so /metrics shows them from the first
 	// request even before any cacheable traffic arrives.
@@ -104,16 +216,48 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Workers reports the codec-execution concurrency cap.
 func (s *Server) Workers() int { return s.gate.Capacity() }
 
-// ServeHTTP dispatches to the server's routes.
+// ServeHTTP applies the resilience middleware — per-request deadline and
+// panic recovery — and dispatches to the server's routes. A panic anywhere
+// below (a codec worker, an injected fault, a bug) is converted into a 500
+// and a server.errors.panic counter; the process never dies with a request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.reg.Counter("server.errors.panic").Inc()
+			http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+		}
+	}()
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// breakerFor returns (creating if needed) the circuit breaker guarding one
+// codec/op pair; nil when breakers are disabled.
+func (s *Server) breakerFor(key string) *breaker {
+	if s.breakerThreshold < 0 {
+		return nil
+	}
+	s.bkMu.Lock()
+	defer s.bkMu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = newBreaker(s.breakerThreshold, s.breakerCooldown)
+		s.breakers[key] = b
+	}
+	return b
 }
 
 // handleCodec serves POST /v1/{codec}/{compress|decompress}: stream in the
 // body (capped), consult the content-addressed cache, otherwise run the
-// codec under the worker gate, and stream the result back. Each request
-// accumulates metrics in a private registry that is merged into the server
-// registry exactly once on the way out.
+// codec under the worker gate — retrying transient failures within the
+// request deadline and feeding the outcome to the codec's circuit breaker —
+// and stream the result back. Each request accumulates metrics in a private
+// registry that is merged into the server registry exactly once on the way
+// out.
 func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	name := r.PathValue("codec")
@@ -127,11 +271,12 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var run func([]byte) ([]byte, error)
+	var fp *fault.Point
 	switch op {
 	case "compress":
-		run = cd.Compress
+		run, fp = cd.Compress, s.fpCompress
 	case "decompress":
-		run = cd.Decompress
+		run, fp = cd.Decompress, s.fpDecompress
 	default:
 		s.reg.Counter("server.errors.unknown_op").Inc()
 		http.Error(w, fmt.Sprintf("unknown operation %q (have compress, decompress)", op),
@@ -144,32 +289,72 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 	req.Counter("server.requests").Inc()
 	req.Counter("server.codec." + name + "." + op).Inc()
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			req.Counter("server.errors.body_too_large").Inc()
-			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.maxBody),
-				http.StatusRequestEntityTooLarge)
-		} else {
-			req.Counter("server.errors.read_body").Inc()
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
-		}
+	body, ok := s.readBody(w, r, req)
+	if !ok {
 		return
 	}
 	req.Counter("server.bytes_in").Add(uint64(len(body)))
 
 	key := cacheKey(op, name, body)
-	out, cached := s.cache.get(key)
+	useCache := s.cache != nil
+	if in := s.fpCacheGet.Hit(); in.Fired() {
+		switch in.Kind {
+		case fault.KindCorrupt:
+			// A storage bit-flip lands on this key's entry; the integrity
+			// check below turns it into a detected corruption + miss.
+			s.cache.corruptStored(key, in)
+		default:
+			// Cache backend unavailable: degrade to a full bypass for
+			// this request (no lookup, no store) instead of failing it.
+			useCache = false
+			req.Counter("server.cache.bypass").Inc()
+		}
+	}
+	var out []byte
+	cached := false
+	if useCache {
+		out, cached = s.cache.get(key)
+	}
 	if !cached {
-		var codecErr error
-		s.gate.Do(func() { out, codecErr = run(body) })
-		if codecErr != nil {
-			req.Counter("server.errors.codec").Inc()
-			http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusBadRequest)
+		bk := s.breakerFor(name + "/" + op)
+		if !bk.allow() {
+			req.Counter("server.breaker.rejected").Inc()
+			http.Error(w, fmt.Sprintf("%s %s temporarily unavailable (circuit open)", name, op),
+				http.StatusServiceUnavailable)
 			return
 		}
-		s.cache.put(key, out)
+		var codecErr error
+		out, codecErr = s.runCodec(r.Context(), req, cd, op, fp, run, body)
+		if codecErr != nil {
+			switch {
+			case errors.Is(codecErr, context.DeadlineExceeded) || errors.Is(codecErr, context.Canceled):
+				// Load, not codec health: no breaker record.
+				req.Counter("server.errors.deadline").Inc()
+				http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+			case errors.Is(codecErr, errTransient):
+				req.Counter("server.errors.transient").Inc()
+				if bk.record(false) {
+					req.Counter("server.breaker.trips").Inc()
+				}
+				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusInternalServerError)
+			default:
+				// Genuine codec error: the input is bad, the codec is
+				// healthy.
+				bk.record(true)
+				req.Counter("server.errors.codec").Inc()
+				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusBadRequest)
+			}
+			return
+		}
+		bk.record(true)
+		if useCache {
+			if in := s.fpCachePut.Hit(); in.Fired() {
+				// Store unavailable: serve the response uncached.
+				req.Counter("server.cache.bypass").Inc()
+			} else {
+				s.cache.put(key, out)
+			}
+		}
 	}
 
 	hdr := w.Header()
@@ -187,6 +372,99 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Counter("server.bytes_out").Add(uint64(len(out)))
 	req.Histogram("server.request_latency_us").Observe(time.Since(start).Microseconds())
+}
+
+// readBody streams in at most maxBody bytes, rejecting oversized requests
+// with 413 before buffering past the cap: a declared Content-Length above
+// the limit is refused without reading the body at all, and chunked or
+// lying uploads are cut off by an io.LimitReader one byte past the cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, req *obs.Registry) ([]byte, bool) {
+	tooLarge := func() {
+		req.Counter("server.errors.body_too_large").Inc()
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.maxBody),
+			http.StatusRequestEntityTooLarge)
+	}
+	if r.ContentLength > s.maxBody {
+		tooLarge()
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		req.Counter("server.errors.read_body").Inc()
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if int64(len(body)) > s.maxBody {
+		tooLarge()
+		return nil, false
+	}
+	return body, true
+}
+
+// runCodec executes one codec operation under the worker gate, retrying
+// transient failures (injected faults, codec panics, failed self-checks,
+// injected pool-admission errors) up to s.retries times while the request
+// deadline lives. Genuine codec errors (bad input) are returned on the
+// first attempt — retrying a deterministic parse failure only burns a
+// worker slot.
+func (s *Server) runCodec(ctx context.Context, req *obs.Registry, cd codec.Codec, op string,
+	fp *fault.Point, run func([]byte) ([]byte, error), body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var out []byte
+		var execErr error
+		gateErr := s.gate.DoCtx(ctx, func() {
+			out, execErr = s.execOnce(req, fp, run, body)
+		})
+		switch {
+		case gateErr != nil:
+			lastErr = gateErr
+		case execErr != nil:
+			lastErr = execErr
+		default:
+			if s.selfCheck && op == "compress" {
+				if back, err := cd.Decompress(out); err != nil || !bytes.Equal(back, body) {
+					req.Counter("server.errors.selfcheck").Inc()
+					lastErr = fmt.Errorf("%w: compress output failed decompression self-check", errTransient)
+					break
+				}
+			}
+			return out, nil
+		}
+		if !errors.Is(lastErr, errTransient) || attempt >= s.retries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		req.Counter("server.codec.retries").Inc()
+	}
+}
+
+// execOnce runs the codec once inside a worker slot, applying the codec
+// fault point and containing panics — injected or genuine — as transient
+// errors so the retry loop and the breaker see them instead of the client.
+func (s *Server) execOnce(req *obs.Registry, fp *fault.Point,
+	run func([]byte) ([]byte, error), body []byte) (out []byte, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			req.Counter("server.errors.codec_panic").Inc()
+			out, err = nil, fmt.Errorf("%w: codec panic: %v", errTransient, v)
+		}
+	}()
+	in := fp.Hit()
+	switch in.Kind {
+	case fault.KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", in.Point))
+	case fault.KindError:
+		return nil, fmt.Errorf("%w: %v", errTransient, in.Error())
+	case fault.KindLatency:
+		time.Sleep(time.Duration(in.Param) * time.Microsecond)
+	}
+	out, err = run(body)
+	if err != nil {
+		return nil, err
+	}
+	// Injected output corruption: the compress self-check (or, for cached
+	// entries, the integrity checksum) is what must catch this.
+	return in.CorruptCopy(out), nil
 }
 
 // handleMetrics serves the canonical obs snapshot of the server registry.

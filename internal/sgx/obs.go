@@ -49,6 +49,10 @@ func attachStepperObs(reg *obs.Registry, prefix string) stepperObs {
 // completed iterations, and raw permission-flip transitions.
 func (s *Stepper) AttachObs(reg *obs.Registry) {
 	s.obs = attachStepperObs(reg, "sgx.step")
+	// reg also backs the fault-path counters (sgx.step.protect_retries,
+	// sgx.step.noise_storms), registered lazily on first injection so
+	// fault-free runs keep their snapshots unchanged.
+	s.reg = reg
 }
 
 // AttachObs registers the two-array stepper's telemetry on reg under

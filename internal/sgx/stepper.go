@@ -4,8 +4,16 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/vm"
 )
+
+// protectRetries bounds how many times a fault-injected Protect failure is
+// retried. Protect only writes page permissions, so retrying is always
+// safe; each retry replays one transition's worth of kernel noise — the
+// cache footprint a real retried mprotect syscall would leave behind.
+const protectRetries = 3
 
 // ErrProtocol reports that the victim faulted somewhere the Fig 5 state
 // machine does not expect (e.g. a different gadget layout).
@@ -25,8 +33,18 @@ type Stepper struct {
 	// motivates frame selection (§V-C2).
 	OnTransition func()
 
+	// FaultProtect (error kind: sgx.stepper.protect) fails permission
+	// flips, which the stepper retries up to protectRetries times;
+	// FaultTransition (latency kind: sgx.stepper.transition) injects noise
+	// storms — Param extra rounds of OnTransition noise in the attack
+	// window, an interrupt burst landing mid-measurement. Nil or disarmed
+	// points leave the protocol byte-identical to a fault-free build.
+	FaultProtect    *fault.Point
+	FaultTransition *fault.Point
+
 	started bool
 	obs     stepperObs
+	reg     *obs.Registry // backs lazily-registered fault-path counters
 }
 
 // NewStepper builds a stepper for the three gadget arrays.
@@ -39,13 +57,45 @@ func (s *Stepper) transition() {
 	if s.OnTransition != nil {
 		s.OnTransition()
 	}
+	if in := s.FaultTransition.Hit(); in.Kind == fault.KindLatency {
+		if s.reg != nil {
+			s.reg.Counter("sgx.step.noise_storms").Inc()
+		}
+		n := int(in.Param)
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n && s.OnTransition != nil; i++ {
+			s.OnTransition()
+		}
+	}
+}
+
+// protect flips one array's permissions, absorbing injected failures: a
+// fault-injected Protect error is retried (the flip is idempotent), and
+// the failed syscall still costs a transition's worth of kernel cache
+// noise, so the injected failure measurably perturbs the attack window.
+func (s *Stepper) protect(symbol string, perm vm.Perm) error {
+	for attempt := 0; ; attempt++ {
+		if err := s.FaultProtect.Err(); err != nil {
+			if attempt < protectRetries {
+				if s.reg != nil {
+					s.reg.Counter("sgx.step.protect_retries").Inc()
+				}
+				s.transition()
+				continue
+			}
+			return fmt.Errorf("sgx: protect %s: %w", symbol, err)
+		}
+		return s.e.Protect(symbol, perm)
+	}
 }
 
 // Start lets the enclave run its input read and ftab clearing, then stops
 // it at the first quadrant store (state S0). Returns false if the enclave
 // halted before reaching the loop (empty input).
 func (s *Stepper) Start() (bool, error) {
-	if err := s.e.Protect(s.quadrant, vm.PermRead); err != nil {
+	if err := s.protect(s.quadrant, vm.PermRead); err != nil {
 		return false, err
 	}
 	s.transition()
@@ -83,10 +133,10 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 		return false, fmt.Errorf("%w: Step before Start", ErrProtocol)
 	}
 	// S0 -> S1.
-	if err := s.e.Protect(s.quadrant, vm.PermRW); err != nil {
+	if err := s.protect(s.quadrant, vm.PermRW); err != nil {
 		return false, err
 	}
-	if err := s.e.Protect(s.block, 0); err != nil {
+	if err := s.protect(s.block, 0); err != nil {
 		return false, err
 	}
 	s.transition()
@@ -100,10 +150,10 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 	s.obs.s0s1.Inc()
 
 	// S1 -> S2.
-	if err := s.e.Protect(s.block, vm.PermRW); err != nil {
+	if err := s.protect(s.block, vm.PermRW); err != nil {
 		return false, err
 	}
-	if err := s.e.Protect(s.ftab, vm.PermRead); err != nil {
+	if err := s.protect(s.ftab, vm.PermRead); err != nil {
 		return false, err
 	}
 	s.transition()
@@ -125,10 +175,10 @@ func (s *Stepper) Step(prime func(ftabPage uint64), probe func()) (done bool, er
 	// own kernel footprint still pollutes the cache (the attacker "simply
 	// logs any noisy cache lines ... and will treat them as false
 	// positives", §V-C2), which is what frame selection compensates for.
-	if err := s.e.Protect(s.ftab, vm.PermRW); err != nil {
+	if err := s.protect(s.ftab, vm.PermRW); err != nil {
 		return false, err
 	}
-	if err := s.e.Protect(s.quadrant, vm.PermRead); err != nil {
+	if err := s.protect(s.quadrant, vm.PermRead); err != nil {
 		return false, err
 	}
 	s.transition()

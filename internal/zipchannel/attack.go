@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/cache"
+	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/recovery"
 	"github.com/zipchannel/zipchannel/internal/sgx"
@@ -80,6 +81,21 @@ type Config struct {
 	// nil the attack keeps a private registry, so Result counters still
 	// fill in.
 	Obs *obs.Registry `json:"-"`
+
+	// Faults is the chaos-run injection registry. The attack consults
+	// attacker.pp.timer (latency kind: jittered timer readings, filtered
+	// by the attacker's median-of-TimerSamples classifier),
+	// sgx.stepper.protect (error kind: failed permission flips, retried
+	// with extra kernel noise), and sgx.stepper.transition (latency kind:
+	// injected noise storms in the measurement window). Nil — the default
+	// — leaves every measurement path byte-identical to a fault-free
+	// build. Excluded from manifests: arming faults is a property of a
+	// chaos run, not of the attack configuration it perturbs.
+	Faults *fault.Registry `json:"-"`
+	// TimerSamples is the attacker's per-line timer-reading count for
+	// median filtering (default attacker.DefaultTimerSamples; consulted
+	// only when Faults arms attacker.pp.timer).
+	TimerSamples int `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +186,8 @@ func Attack(input []byte, cfg Config) (*Result, error) {
 	st := sgx.NewStepper(r.enc, "quadrant", "block", "ftab")
 	st.AttachObs(r.reg)
 	st.OnTransition = r.injectNoise
+	st.FaultProtect = cfg.Faults.Point("sgx.stepper.protect")
+	st.FaultTransition = cfg.Faults.Point("sgx.stepper.transition")
 	r.dryTransition = st.DryTransition
 
 	ftab := prog.MustSymbol("ftab")

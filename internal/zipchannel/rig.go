@@ -90,6 +90,14 @@ func newRig(prog *isa.Program, input []byte, cfg Config) (*rig, error) {
 	pp := attacker.NewPrimeProbe(c, actorAttacker, 1<<42, 1<<26)
 	pp.AttachObs(reg)
 	pp.Calibrate(128)
+	// Chaos wiring happens after calibration: the threshold is learned
+	// from clean probes (a real attacker calibrates offline), then every
+	// live measurement goes through the noisy timer + median filter.
+	if cfg.Faults != nil {
+		cfg.Faults.AttachObs(reg)
+		pp.TimerFault = cfg.Faults.Point("attacker.pp.timer")
+		pp.TimerSamples = cfg.TimerSamples
+	}
 
 	return &rig{
 		cfg:            cfg,
