@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server golden clean test-fuzz test-parallel test-chaos
+.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server smoke-obs golden clean test-fuzz test-parallel test-chaos
 
 all: build vet test
 
@@ -77,6 +77,34 @@ smoke-server:
 	[ -s $$tmp/addr ] || { echo "zipserverd never bound"; kill $$pid; exit 1; }; \
 	status=0; \
 	$$tmp/zipload -url http://$$(cat $$tmp/addr) -clients 8 -duration 2s || status=$$?; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	exit $$status
+
+# smoke-obs: end-to-end observability check. Boots zipserverd with tracing,
+# an access log, and a span sink; drives zipload; validates the Prometheus
+# exposition with promcheck (the repo's own parser) including the series CI
+# alerts on; and cross-checks zipstat -once -json against the run.
+smoke-obs:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
+	$(GO) build -o $$tmp/zipstat ./cmd/zipstat; \
+	$(GO) build -o $$tmp/promcheck ./cmd/promcheck; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		-access-log $$tmp/access.ndjson -trace-file $$tmp/spans.ndjson 2>$$tmp/server.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "zipserverd never bound"; kill $$pid; exit 1; }; \
+	status=0; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/zipload -url http://$$addr -clients 4 -duration 1s || status=$$?; \
+	$$tmp/promcheck -url "http://$$addr/metrics?format=prom" \
+		-require server_requests,server_request_latency_us_count,server_breaker_rejected,server_cache_hits \
+		|| status=$$?; \
+	$$tmp/zipstat -once -json http://$$addr || status=$$?; \
+	[ -s $$tmp/spans.ndjson ] || { echo "no span records emitted"; status=1; }; \
+	[ -s $$tmp/access.ndjson ] || { echo "no access-log records emitted"; status=1; }; \
 	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
 	exit $$status
 

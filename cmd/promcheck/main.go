@@ -1,0 +1,103 @@
+// Command promcheck validates Prometheus text exposition (format 0.0.4, as
+// produced by zipserverd's GET /metrics?format=prom) with the repository's
+// own minimal parser (internal/obs.ParseExposition): metric and label name
+// charsets, label-value escaping, TYPE declarations, cumulative histogram
+// bucket invariants, and exemplar syntax.
+//
+// Usage:
+//
+//	promcheck -url http://127.0.0.1:8321/metrics?format=prom
+//	promcheck exposition.txt
+//	curl -s '.../metrics?format=prom' | promcheck
+//
+// -require asserts named series are present (comma-separated), so CI can
+// check both "the output parses" and "the metrics we alert on exist". Exit
+// status is non-zero on any parse or requirement failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url     = flag.String("url", "", "fetch the exposition from this URL instead of a file/stdin")
+		require = flag.String("require", "", "comma-separated series names that must be present")
+	)
+	flag.Parse()
+
+	in, name, err := openInput(*url, flag.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	samples, err := obs.ParseExposition(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+
+	have := map[string]bool{}
+	for _, s := range samples {
+		have[s.Name] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want != "" && !have[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: valid exposition but missing required series: %s",
+			name, strings.Join(missing, ", "))
+	}
+	fmt.Printf("promcheck: %s OK (%d samples, %d series)\n", name, len(samples), len(have))
+	return nil
+}
+
+// openInput resolves the one input source: -url, a single file argument,
+// or stdin.
+func openInput(url string, args []string) (io.ReadCloser, string, error) {
+	switch {
+	case url != "":
+		if len(args) > 0 {
+			return nil, "", fmt.Errorf("-url and file arguments are mutually exclusive")
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return nil, "", fmt.Errorf("%s: status %d: %s", url, resp.StatusCode,
+				strings.TrimSpace(string(body)))
+		}
+		return resp.Body, url, nil
+	case len(args) == 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return f, args[0], nil
+	case len(args) == 0:
+		return io.NopCloser(os.Stdin), "stdin", nil
+	default:
+		return nil, "", fmt.Errorf("at most one input file (got %d)", len(args))
+	}
+}

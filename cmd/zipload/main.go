@@ -256,7 +256,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 			cr.firstErr = fmt.Sprintf(format, args...)
 		}
 	}
-	comp, err := postWithRetry(httpc, cfg, name, "compress", body, cr, rng)
+	comp, _, err := postWithRetry(httpc, cfg, name, "compress", body, cr, rng)
 	if err != nil {
 		fail("compress %s: %v", name, err)
 		return
@@ -264,14 +264,25 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 	if !cfg.Verify {
 		return
 	}
-	back, err := postWithRetry(httpc, cfg, name, "decompress", comp, cr, rng)
+	back, tp, err := postWithRetry(httpc, cfg, name, "decompress", comp, cr, rng)
 	if err != nil {
 		fail("decompress %s: %v", name, err)
 		return
 	}
 	if !bytes.Equal(back, body) {
-		fail("round trip %s: sent %d bytes, got %d back", name, len(body), len(back))
+		// Echo the server's traceparent so a verification failure can be
+		// joined against the server's span tree and access log.
+		fail("round trip %s: sent %d bytes, got %d back%s", name, len(body), len(back), traceSuffix(tp))
 	}
+}
+
+// traceSuffix renders the server-echoed traceparent for error messages
+// ("" when the server ran without tracing).
+func traceSuffix(tp string) string {
+	if tp == "" {
+		return ""
+	}
+	return " [traceparent " + tp + "]"
 }
 
 // postWithRetry wraps timedPost with the transient-failure retry loop:
@@ -279,11 +290,11 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 // only errors that say nothing about the request itself (5xx, connection
 // resets). Client errors surface immediately — retrying a 4xx is load,
 // not resilience.
-func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, error) {
+func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, string, error) {
 	for attempt := 0; ; attempt++ {
-		out, transient, err := timedPost(httpc, cfg, name, op, body, cr)
+		out, tp, transient, err := timedPost(httpc, cfg, name, op, body, cr)
 		if err == nil || !transient || attempt >= cfg.Retries {
-			return out, err
+			return out, tp, err
 		}
 		cr.reg.Counter("zipload.retries").Inc()
 		backoff := cfg.RetryBase << uint(attempt)
@@ -295,32 +306,38 @@ func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []b
 }
 
 // timedPost issues one POST, counting it as a request and observing its
-// latency into the client registry. transient reports whether a failure is
-// worth retrying (connection error or 5xx).
-func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) (out []byte, transient bool, err error) {
+// latency into the client registry (globally and per codec, so the report
+// can break quantiles down by codec). transient reports whether a failure
+// is worth retrying (connection error or 5xx). tp is the traceparent the
+// server echoed on the response ("" when tracing is off server-side).
+func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) (out []byte, tp string, transient bool, err error) {
 	cr.requests++
 	cr.reg.Counter("zipload.requests").Inc()
 	cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
 	start := time.Now()
 	resp, err := httpc.Post(cfg.BaseURL+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
-		return nil, true, err
+		return nil, "", true, err
 	}
+	tp = resp.Header.Get("Traceparent")
 	out, err = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return nil, true, err
+		return nil, tp, true, err
 	}
-	cr.reg.Histogram("zipload.latency_us").Observe(time.Since(start).Microseconds())
+	latUS := time.Since(start).Microseconds()
+	cr.reg.Histogram("zipload.latency_us").Observe(latUS)
+	cr.reg.Histogram("zipload.latency_us." + name).Observe(latUS)
 	if resp.StatusCode != http.StatusOK {
-		return nil, resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(out))
+		return nil, tp, resp.StatusCode >= 500,
+			fmt.Errorf("status %d: %s%s", resp.StatusCode, firstLine(out), traceSuffix(tp))
 	}
 	cr.reg.Counter("zipload.bytes_in").Add(uint64(len(body)))
 	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(out)))
 	if resp.Header.Get("X-Cache") == "HIT" {
 		cr.reg.Counter("zipload.cache_hits_seen").Inc()
 	}
-	return out, false, nil
+	return out, tp, false, nil
 }
 
 func firstLine(b []byte) string {
@@ -381,9 +398,19 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 	}
 	snap := r.Registry.Snapshot()
 	if h, ok := snap.Histograms["zipload.latency_us"]; ok && h.Count > 0 {
-		fmt.Fprintf(w, "  latency: n=%d mean=%.0fus min=%dus max=%dus\n",
-			h.Count, float64(h.Sum)/float64(h.Count), h.Min, h.Max)
+		q := h.Quantiles(0.5, 0.95, 0.99)
+		fmt.Fprintf(w, "  latency: n=%d mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus min=%dus max=%dus\n",
+			h.Count, float64(h.Sum)/float64(h.Count), q[0], q[1], q[2], h.Min, h.Max)
 		fmt.Fprintf(w, "  latency histogram (us): %s\n", bucketLine(h))
+		for _, name := range cfg.Codecs {
+			hc, ok := snap.Histograms["zipload.latency_us."+name]
+			if !ok || hc.Count == 0 {
+				continue
+			}
+			qc := hc.Quantiles(0.5, 0.95, 0.99)
+			fmt.Fprintf(w, "    %-6s n=%d mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus\n",
+				name, hc.Count, float64(hc.Sum)/float64(hc.Count), qc[0], qc[1], qc[2])
+		}
 	}
 }
 

@@ -1,16 +1,24 @@
 // Command zipserverd serves the repository's three from-scratch codecs over
 // HTTP (internal/server): POST /v1/{lz77|lzw|bwt}/{compress|decompress} with
 // a content-addressed LRU response cache, a bounded codec worker pool, and
-// live telemetry at GET /metrics (canonical obs snapshot). SIGINT/SIGTERM
-// trigger graceful shutdown: in-flight requests drain up to the -drain
-// deadline, after which remaining connections are cut; the final metrics
-// snapshot is written either way.
+// live telemetry at GET /metrics (canonical obs snapshot by default,
+// Prometheus text exposition with ?format=prom). Request tracing is on by
+// default: every /v1 request gets a span tree continuing any incoming
+// traceparent header, and the response echoes the request's traceparent.
+// SIGINT/SIGTERM trigger graceful shutdown: in-flight requests drain up to
+// the -drain deadline, after which remaining connections are cut; the final
+// metrics snapshot is written either way.
 //
 // Usage:
 //
 //	zipserverd -addr 127.0.0.1:8321 -workers 8 -cache-mb 64
 //	curl -s --data-binary @file http://127.0.0.1:8321/v1/bwt/compress -o file.bz
 //	curl -s http://127.0.0.1:8321/metrics
+//	curl -s 'http://127.0.0.1:8321/metrics?format=prom'
+//
+// Observability extras:
+//
+//	zipserverd -access-log access.ndjson -trace-file spans.ndjson -pprof
 //
 // For scripting (the Makefile smoke target), -addr supports port 0 and
 // -addr-file writes the actually-bound address once listening.
@@ -24,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/server"
 )
 
@@ -54,6 +64,13 @@ func run() error {
 		faults   = flag.String("faults", "", "deterministic fault injections, comma-separated point=kind:prob[:param] or point=kind@n[:param] (empty disables)")
 		fseed    = flag.Int64("fault-seed", 1, "root seed for the fault registry's per-point streams")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline before in-flight connections are cut")
+
+		trace     = flag.Bool("trace", true, "per-request span trees + traceparent propagation (false disables tracing entirely)")
+		traceSeed = flag.Int64("trace-seed", 1, "seed for trace/span ID generation (reproducible ID sequences under sequential load)")
+		traceFile = flag.String("trace-file", "", "append span NDJSON records to this file (- for stderr; empty = spans counted but not logged)")
+		accessLog = flag.String("access-log", "", "append one NDJSON access record per /v1 request to this file (- for stderr)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in profiling surface)")
+		slo       = flag.Duration("slo", 0, "per-request latency objective for server.slo.* counters (0 = default 500ms, negative disables latency breaches)")
 	)
 	flag.Parse()
 
@@ -68,11 +85,58 @@ func run() error {
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
+
+	// openSink maps a flag value to a writer: "-" is stderr (stdout stays
+	// clean for scripted output), anything else appends to the named file.
+	var sinks []*os.File
+	defer func() {
+		for _, f := range sinks {
+			f.Close()
+		}
+	}()
+	openSink := func(path string) (io.Writer, error) {
+		if path == "-" {
+			return os.Stderr, nil
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, f)
+		return f, nil
+	}
+
+	reg := obs.NewRegistry()
+	if *traceFile != "" {
+		w, err := openSink(*traceFile)
+		if err != nil {
+			return err
+		}
+		reg.SetTraceSink(obs.NewTraceSink(w))
+	}
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(reg, *traceSeed)
+	}
+	var accessW io.Writer
+	if *accessLog != "" {
+		w, err := openSink(*accessLog)
+		if err != nil {
+			return err
+		}
+		accessW = w
+	}
+
 	srv := server.New(server.Config{
 		MaxBodyBytes: *maxBody,
 		CacheBytes:   cacheBytes,
 		Workers:      *workers,
+		Registry:     reg,
 		Faults:       freg,
+		Tracer:       tracer,
+		AccessLog:    accessW,
+		EnablePprof:  *pprofOn,
+		SLOLatency:   *slo,
 	})
 	if freg != nil {
 		fmt.Fprintf(os.Stderr, "zipserverd: chaos armed (seed %d): %s\n", *fseed, strings.Join(freg.Armed(), " "))

@@ -20,6 +20,19 @@ type Histogram struct {
 	min     atomic.Int64
 	max     atomic.Int64
 	buckets [numBuckets]atomic.Uint64
+	// exemplars holds, per bucket, the most recent traced observation
+	// that landed there (ObserveExemplar). Exemplars link slow buckets to
+	// trace IDs for the Prometheus exposition and dashboards; they are
+	// deliberately absent from canonical snapshots — their presence
+	// depends on whether tracing is armed, and snapshots must stay
+	// byte-identical either way.
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
 }
 
 // NewHistogram creates a standalone histogram.
@@ -67,6 +80,38 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, remembers it as the bucket's exemplar (last writer wins).
+// With an empty traceID it is exactly Observe, so call sites can pass a
+// possibly-absent trace ID unconditionally.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplars[bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// Exemplars returns the buckets that currently hold an exemplar, keyed
+// by bucket index (see BucketLow). Nil-safe; returns nil when empty.
+func (h *Histogram) Exemplars() map[int]Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out map[int]Exemplar
+	for i := 0; i < numBuckets; i++ {
+		if e := h.exemplars[i].Load(); e != nil {
+			if out == nil {
+				out = map[int]Exemplar{}
+			}
+			out[i] = *e
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations (0 for nil).

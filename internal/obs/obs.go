@@ -218,6 +218,32 @@ func (r *Registry) WallTotals() map[string]uint64 {
 	return out
 }
 
+// DeclareCounters registers the named counters at zero without touching
+// them. Servers call this at startup so every operational counter is
+// present (at 0) from the very first scrape, instead of popping into
+// existence when its first event happens — a scraper computing rates
+// needs the zero point. Nil-safe.
+func (r *Registry) DeclareCounters(names ...string) {
+	for _, n := range names {
+		r.Counter(n)
+	}
+}
+
+// DeclareGauges registers the named gauges at zero (see DeclareCounters).
+func (r *Registry) DeclareGauges(names ...string) {
+	for _, n := range names {
+		r.Gauge(n)
+	}
+}
+
+// DeclareHistograms registers the named histograms empty (see
+// DeclareCounters).
+func (r *Registry) DeclareHistograms(names ...string) {
+	for _, n := range names {
+		r.Histogram(n)
+	}
+}
+
 // CounterNames returns the sorted names of all registered counters.
 func (r *Registry) CounterNames() []string {
 	if r == nil {

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"server.cache.hits":   "server_cache_hits",
+		"a-b c/d":             "a_b_c_d",
+		"9lives":              "_9lives",
+		"ok_name:with_colons": "ok_name:with_colons",
+		"":                    "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := EscapeLabelValue("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+// TestWritePrometheusValid renders a populated registry (with an
+// exemplar) and runs the repo's own exposition parser over it.
+func TestWritePrometheusValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server.requests").Add(7)
+	reg.Counter("server.cache.hits").Add(3)
+	reg.Gauge("server.cache.bytes").Set(1234.5)
+	h := reg.Histogram("server.request_latency_us")
+	h.Observe(3)
+	h.Observe(900)
+	h.ObserveExemplar(5000, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	samples, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition fails own parser: %v\n%s", err, out)
+	}
+	byName := map[string]float64{}
+	var infBucket float64
+	for _, s := range samples {
+		if s.Name == "server_request_latency_us_bucket" && s.Labels["le"] == "+Inf" {
+			infBucket = s.Value
+		}
+		byName[s.Name] = s.Value
+	}
+	if byName["server_requests"] != 7 || byName["server_cache_hits"] != 3 {
+		t.Fatalf("counter samples wrong: %v", byName)
+	}
+	if byName["server_cache_bytes"] != 1234.5 {
+		t.Fatalf("gauge sample = %v", byName["server_cache_bytes"])
+	}
+	if infBucket != 3 || byName["server_request_latency_us_count"] != 3 {
+		t.Fatalf("histogram totals: +Inf=%v count=%v", infBucket, byName["server_request_latency_us_count"])
+	}
+	if !strings.Contains(out, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 5000`) {
+		t.Fatalf("exemplar missing from exposition:\n%s", out)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	bad := []string{
+		"9bad_name 1",
+		"name{le=\"x} 1",
+		"name{bad-label=\"x\"} 1",
+		"name{l=\"a\\q\"} 1",
+		"name notafloat",
+		"# TYPE name wat\nname 1",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3",
+		"# TYPE h histogram\nh_sum 1\nh_count 0",
+	}
+	for _, in := range bad {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted invalid exposition %q", in)
+		}
+	}
+	good := "# HELP x something\n# TYPE x counter\nx 5 1700000000\n\nplain_untyped 1.5e3\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("rejected valid exposition: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations of 100 (bucket [64,128)) and 10 of 5000
+	// (bucket [4096,8192)).
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000)
+	}
+	var snap HistogramSnapshot
+	{
+		reg := NewRegistry()
+		reg.Histogram("x").Merge(h)
+		snap = reg.Snapshot().Histograms["x"]
+	}
+	p50 := snap.Quantile(0.50)
+	if p50 < 64 || p50 >= 128 {
+		t.Fatalf("p50 = %v, want inside [64,128)", p50)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 4096 || p99 > 5000 {
+		t.Fatalf("p99 = %v, want in [4096, 5000] (clamped to max)", p99)
+	}
+	if got := snap.Quantile(0); got != float64(snap.Min) {
+		t.Fatalf("q=0 -> %v, want min %d", got, snap.Min)
+	}
+	if got := snap.Quantile(1); got != float64(snap.Max) {
+		t.Fatalf("q=1 -> %v, want max %d", got, snap.Max)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	qs := snap.Quantiles(0.5, 0.95, 0.99)
+	if len(qs) != 3 || math.IsNaN(qs[1]) {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(100, "trace-a")
+	h.ObserveExemplar(120, "trace-b") // same bucket: last wins
+	h.ObserveExemplar(9000, "")       // no trace: observation only
+	ex := h.Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("exemplar buckets = %v, want exactly 1", ex)
+	}
+	for _, e := range ex {
+		if e.TraceID != "trace-b" || e.Value != 120 {
+			t.Fatalf("exemplar = %+v, want last-writer trace-b/120", e)
+		}
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (empty trace ID still observes)", h.Count())
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "t")
+	if nilH.Exemplars() != nil {
+		t.Fatal("nil histogram exemplars")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Quantile helpers over the log-bucketed histograms. The buckets are
+// power-of-two ranges, so a quantile is an estimate: the returned value
+// interpolates linearly inside the bucket that holds the target rank and
+// is clamped to the observed [Min, Max]. That is exactly the fidelity a
+// dashboard needs (p95 within one bucket's resolution) while keeping the
+// histogram itself deterministic and mergeable.
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the snapshot's
+// distribution. Returns 0 for an empty histogram. q <= 0 returns Min,
+// q >= 1 returns Max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	type bk struct {
+		low   uint64
+		count uint64
+	}
+	buckets := make([]bk, 0, len(s.Buckets))
+	for k, n := range s.Buckets {
+		low, err := strconv.ParseUint(k, 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		buckets = append(buckets, bk{low, n})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].low < buckets[j].low })
+
+	target := q * float64(s.Count)
+	cum := 0.0
+	for _, b := range buckets {
+		next := cum + float64(b.count)
+		if next >= target {
+			low := float64(b.low)
+			hi := 2 * low
+			if b.low == 0 {
+				// Non-positive bucket: no meaningful interpolation range.
+				low, hi = float64(s.Min), 1
+				if low > 0 {
+					low = 0
+				}
+			}
+			frac := (target - cum) / float64(b.count)
+			v := low + (hi-low)*frac
+			return clampF(v, float64(s.Min), float64(s.Max))
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
+// Quantiles evaluates several quantiles in one pass-per-q (convenience
+// for p50/p95/p99 reporting).
+func (s HistogramSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,6 +1,9 @@
 package par
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // Gate is a bounded-concurrency admission gate: at most Capacity callers
 // execute inside Do at any moment; the rest block until a slot frees. It is
@@ -47,17 +50,35 @@ func (g *Gate) Do(fn func()) {
 // hook (whose error aborts fn) and fn. The slot is released on every path,
 // including panics from the hook or fn.
 func (g *Gate) DoCtx(ctx context.Context, fn func()) error {
+	_, err := g.DoCtxWait(ctx, fn)
+	return err
+}
+
+// DoCtxWait is DoCtx additionally reporting how long admission blocked
+// (zero when a slot was free immediately). The wait is the queueing
+// delay a saturated pool imposes on this caller — the number a
+// request's trace wants as its "gate wait" span and the access log
+// wants per request, measured at the gate itself rather than guessed by
+// the caller. The fast path costs one time.Now read beyond DoCtx.
+func (g *Gate) DoCtxWait(ctx context.Context, fn func()) (wait time.Duration, err error) {
 	select {
 	case g.slots <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+		// Slot free: no queueing delay.
+	default:
+		start := time.Now()
+		select {
+		case g.slots <- struct{}{}:
+			wait = time.Since(start)
+		case <-ctx.Done():
+			return time.Since(start), ctx.Err()
+		}
 	}
 	defer func() { <-g.slots }()
 	if g.admit != nil {
 		if err := g.admit(); err != nil {
-			return err
+			return wait, err
 		}
 	}
 	fn()
-	return nil
+	return wait, nil
 }

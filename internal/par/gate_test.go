@@ -145,3 +145,40 @@ func TestGateAdmitPanicReleasesSlot(t *testing.T) {
 	go g.Do(func() { close(done) })
 	<-done
 }
+
+// TestGateDoCtxWait: an uncontended acquire reports zero wait; a caller
+// queued behind a held slot reports roughly the time it blocked.
+func TestGateDoCtxWait(t *testing.T) {
+	g := NewGate(1)
+	wait, err := g.DoCtxWait(context.Background(), func() {})
+	if err != nil || wait != 0 {
+		t.Fatalf("uncontended DoCtxWait: wait=%v err=%v, want 0/nil", wait, err)
+	}
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(func() { close(started); <-hold })
+	<-started
+	time.AfterFunc(30*time.Millisecond, func() { close(hold) })
+	wait, err = g.DoCtxWait(context.Background(), func() {})
+	if err != nil {
+		t.Fatalf("queued DoCtxWait: %v", err)
+	}
+	if wait < 10*time.Millisecond {
+		t.Fatalf("queued DoCtxWait reported wait %v, want >= 10ms of real blocking", wait)
+	}
+
+	// A caller whose context dies while queued gets the error and still a
+	// meaningful wait measurement.
+	hold2 := make(chan struct{})
+	started2 := make(chan struct{})
+	go g.Do(func() { close(started2); <-hold2 })
+	<-started2
+	t.Cleanup(func() { close(hold2) })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = g.DoCtxWait(ctx, func() { t.Fatal("fn must not run after ctx expiry") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired DoCtxWait err = %v", err)
+	}
+}

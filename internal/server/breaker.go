@@ -66,6 +66,36 @@ func (b *breaker) allow() bool {
 	}
 }
 
+// stateName reports the breaker's current state for health endpoints
+// and dashboards: "closed", "open", "trial", or "disabled" for a nil
+// breaker.
+func (b *breaker) stateName() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkOpen:
+		return "open"
+	case bkTrial:
+		return "trial"
+	default:
+		return "closed"
+	}
+}
+
+// stateCode is stateName as a gauge value: 0 closed, 1 open, 2 trial
+// (and 0 for disabled — a disabled breaker never impedes traffic).
+func (b *breaker) stateCode() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.state)
+}
+
 // record feeds one execution outcome back. ok=true means the codec
 // actually ran to completion (including returning a clean client error);
 // ok=false means a transient/injected failure. Returns true when this

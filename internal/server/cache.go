@@ -157,6 +157,17 @@ func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
 	c.entries.Set(float64(len(c.items)))
 }
 
+// stats reports the current entry count and stored bytes (0, 0 for a
+// nil/disabled cache) — the health endpoint's view of the cache.
+func (c *lruCache) stats() (entries int, bytes int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.size
+}
+
 // removeLocked unlinks one entry and updates the size accounting and
 // gauges. Callers hold c.mu.
 func (c *lruCache) removeLocked(el *list.Element, ent *cacheEntry) {

@@ -346,9 +346,21 @@ func TestDisarmedFaultsAreInvisible(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Fatalf("metric snapshots diverge with a disarmed fault registry:\n--- plain\n%s\n--- disarmed\n%s", a, b)
 	}
-	for name := range armedSnap.Counters {
-		if strings.HasPrefix(name, "fault.") || strings.HasPrefix(name, "server.breaker.") {
+	// Disarmed fault points stay invisible (AttachObs declares counters
+	// only for armed points); breaker counters are different — they are
+	// declared for every build so scrapers see them from zero — but a
+	// disarmed run must never actually count on them.
+	for name, v := range armedSnap.Counters {
+		if strings.HasPrefix(name, "fault.") {
 			t.Errorf("disarmed run leaked counter %s", name)
+		}
+		if strings.HasPrefix(name, "server.breaker.") && v != 0 {
+			t.Errorf("disarmed run incremented %s = %d, want 0", name, v)
+		}
+	}
+	for _, want := range []string{"server.breaker.rejected", "server.breaker.trips"} {
+		if _, ok := armedSnap.Counters[want]; !ok {
+			t.Errorf("declared-at-zero counter %s missing from snapshot", want)
 		}
 	}
 }

@@ -40,11 +40,16 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/compress/codec"
@@ -52,6 +57,10 @@ import (
 	"github.com/zipchannel/zipchannel/internal/obs"
 	"github.com/zipchannel/zipchannel/internal/par"
 )
+
+// Version identifies the server build in /healthz; bumped when the HTTP
+// surface changes shape.
+const Version = "0.7.0"
 
 // Default limits; all overridable via Config.
 const (
@@ -115,6 +124,23 @@ type Config struct {
 	// only reach clients as a 500, never as wrong bytes). Forced on when
 	// Faults is non-nil.
 	SelfCheck bool
+	// Tracer records a span tree per /v1 request (server.request plus
+	// gate/breaker/codec/cache children), honoring incoming traceparent
+	// headers and echoing the request's traceparent on responses. Nil
+	// disables tracing entirely — a nil tracer is a total no-op, so the
+	// registry and snapshots stay byte-identical to an untraced build.
+	Tracer *obs.Tracer
+	// AccessLog, when non-nil, receives one NDJSON record per /v1
+	// request (trace ID, codec, op, status, byte counts, sim steps, wall
+	// latency, cache tier, breaker state, gate wait).
+	AccessLog io.Writer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: profiling endpoints are opt-in on a production surface.
+	EnablePprof bool
+	// SLOLatency is the per-request wall-latency objective backing the
+	// server.slo.* counters; 0 means DefaultSLOLatency, negative
+	// disables latency-based breach counting (5xx still breaches).
+	SLOLatency time.Duration
 }
 
 // Server is the http.Handler. Create with New.
@@ -127,6 +153,15 @@ type Server struct {
 	reqTimeout time.Duration
 	retries    int
 	selfCheck  bool
+	tracer     *obs.Tracer
+	accessSink *obs.TraceSink
+	sloLatency time.Duration
+	started    time.Time
+	// simSteps is the server's simulation clock: one step per /v1
+	// request accepted. It stamps trace events, span sim durations, and
+	// the /healthz uptime — a logical clock that is a pure function of
+	// the request sequence, unlike wall time.
+	simSteps atomic.Uint64
 
 	// Fault points (nil when injection is disabled; nil points are clean).
 	fpCompress   *fault.Point
@@ -165,6 +200,9 @@ func New(cfg Config) *Server {
 	} else if cfg.CodecRetries < 0 {
 		cfg.CodecRetries = 0
 	}
+	if cfg.SLOLatency == 0 {
+		cfg.SLOLatency = DefaultSLOLatency
+	}
 	s := &Server{
 		maxBody:          cfg.MaxBodyBytes,
 		reg:              cfg.Registry,
@@ -174,9 +212,16 @@ func New(cfg Config) *Server {
 		reqTimeout:       cfg.RequestTimeout,
 		retries:          cfg.CodecRetries,
 		selfCheck:        cfg.SelfCheck || cfg.Faults != nil,
+		tracer:           cfg.Tracer,
+		sloLatency:       cfg.SLOLatency,
+		started:          time.Now(),
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerCooldown:  cfg.BreakerCooldown,
 		breakers:         map[string]*breaker{},
+	}
+	s.reg.SetSimClock(s.simSteps.Load)
+	if cfg.AccessLog != nil {
+		s.accessSink = obs.NewTraceSink(cfg.AccessLog)
 	}
 	if cfg.Faults != nil {
 		cfg.Faults.AttachObs(cfg.Registry)
@@ -198,14 +243,20 @@ func New(cfg Config) *Server {
 			return nil
 		})
 	}
-	// Touch the cache counters so /metrics shows them from the first
-	// request even before any cacheable traffic arrives.
-	s.reg.Counter("server.cache.hits")
-	s.reg.Counter("server.cache.misses")
-	s.reg.Counter("server.cache.evictions")
+	// Every operational series (cache, breaker, SLO, per-codec request
+	// counters) is declared up front so scrapers see zeros from the
+	// first scrape; armed fault points are declared by AttachObs above.
+	s.declareMetrics()
 	s.mux.HandleFunc("POST /v1/{codec}/{op}", s.handleCodec)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -216,10 +267,12 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Workers reports the codec-execution concurrency cap.
 func (s *Server) Workers() int { return s.gate.Capacity() }
 
-// ServeHTTP applies the resilience middleware — per-request deadline and
-// panic recovery — and dispatches to the server's routes. A panic anywhere
-// below (a codec worker, an injected fault, a bug) is converted into a 500
-// and a server.errors.panic counter; the process never dies with a request.
+// ServeHTTP applies the resilience and observability middleware — per-
+// request deadline, panic recovery, and (for /v1 codec requests) trace
+// context, access logging, and SLO accounting — then dispatches to the
+// server's routes. A panic anywhere below (a codec worker, an injected
+// fault, a bug) is converted into a 500 and a server.errors.panic
+// counter; the process never dies with a request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -232,7 +285,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	s.mux.ServeHTTP(w, r)
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		// Scrapes and probes stay outside the traced path: they advance
+		// no sim step, mint no trace, and write no access-log line.
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.serveTraced(w, r)
+}
+
+// serveTraced wraps one /v1 request in the observability envelope: one
+// sim step, a server.request root span continuing any incoming
+// traceparent (echoed back on the response), a status-recording writer,
+// and — via finishRequest — the latency histogram with trace exemplar,
+// SLO counters, and the access-log record. Panics are contained here so
+// the access log still records the 500.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
+	s.simSteps.Add(1)
+	start := time.Now()
+	ctx := r.Context()
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if sc, ok := obs.ParseTraceparent(tp); ok {
+			ctx = obs.ContextWithRemote(ctx, sc)
+		}
+	}
+	ctx, sp := s.tracer.StartSpan(ctx, "server.request")
+	ri := &reqInfo{span: sp}
+	if sp != nil {
+		w.Header().Set("Traceparent", sp.Context().Traceparent())
+	}
+	ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				s.reg.Counter("server.errors.panic").Inc()
+				http.Error(rec, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	}()
+	s.finishRequest(ri, rec, time.Since(start))
 }
 
 // breakerFor returns (creating if needed) the circuit breaker guarding one
@@ -259,9 +352,12 @@ func (s *Server) breakerFor(key string) *breaker {
 // registry that is merged into the server registry exactly once on the way
 // out.
 func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	name := r.PathValue("codec")
 	op := r.PathValue("op")
+	ri := reqInfoFrom(r.Context())
+	if ri == nil {
+		ri = &reqInfo{} // direct mux dispatch in tests: keep the path nil-safe
+	}
 
 	cd, ok := codec.Lookup(name)
 	if !ok {
@@ -284,6 +380,7 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ri.codec, ri.op = name, op
 	req := obs.NewRegistry()
 	defer s.reg.Merge(req)
 	req.Counter("server.requests").Inc()
@@ -294,6 +391,7 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Counter("server.bytes_in").Add(uint64(len(body)))
+	ri.bytesIn = len(body)
 
 	key := cacheKey(op, name, body)
 	useCache := s.cache != nil
@@ -307,17 +405,33 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 			// Cache backend unavailable: degrade to a full bypass for
 			// this request (no lookup, no store) instead of failing it.
 			useCache = false
+			ri.cacheTier = "bypass"
 			req.Counter("server.cache.bypass").Inc()
 		}
 	}
 	var out []byte
 	cached := false
 	if useCache {
+		_, csp := s.tracer.StartSpan(r.Context(), "server.cache.lookup")
 		out, cached = s.cache.get(key)
+		csp.SetAttr("hit", cached)
+		csp.End()
+		if cached {
+			ri.cacheTier = "hit"
+		} else {
+			ri.cacheTier = "miss"
+		}
 	}
 	if !cached {
 		bk := s.breakerFor(name + "/" + op)
-		if !bk.allow() {
+		_, bsp := s.tracer.StartSpan(r.Context(), "server.breaker.check")
+		allowed := bk.allow()
+		ri.breaker = bk.stateName()
+		bsp.SetAttr("state", ri.breaker)
+		bsp.SetAttr("allowed", allowed)
+		bsp.End()
+		s.updateBreakerGauge(name, op, bk)
+		if !allowed {
 			req.Counter("server.breaker.rejected").Inc()
 			http.Error(w, fmt.Sprintf("%s %s temporarily unavailable (circuit open)", name, op),
 				http.StatusServiceUnavailable)
@@ -336,6 +450,7 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 				if bk.record(false) {
 					req.Counter("server.breaker.trips").Inc()
 				}
+				s.updateBreakerGauge(name, op, bk)
 				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusInternalServerError)
 			default:
 				// Genuine codec error: the input is bad, the codec is
@@ -344,15 +459,21 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 				req.Counter("server.errors.codec").Inc()
 				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusBadRequest)
 			}
+			ri.breaker = bk.stateName()
 			return
 		}
 		bk.record(true)
+		ri.breaker = bk.stateName()
+		s.updateBreakerGauge(name, op, bk)
 		if useCache {
 			if in := s.fpCachePut.Hit(); in.Fired() {
 				// Store unavailable: serve the response uncached.
 				req.Counter("server.cache.bypass").Inc()
 			} else {
+				_, psp := s.tracer.StartSpan(r.Context(), "server.cache.store")
 				s.cache.put(key, out)
+				psp.SetAttr("bytes", len(out))
+				psp.End()
 			}
 		}
 	}
@@ -371,7 +492,6 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Counter("server.bytes_out").Add(uint64(len(out)))
-	req.Histogram("server.request_latency_us").Observe(time.Since(start).Microseconds())
 }
 
 // readBody streams in at most maxBody bytes, rejecting oversized requests
@@ -413,9 +533,19 @@ func (s *Server) runCodec(ctx context.Context, req *obs.Registry, cd codec.Codec
 	for attempt := 0; ; attempt++ {
 		var out []byte
 		var execErr error
-		gateErr := s.gate.DoCtx(ctx, func() {
-			out, execErr = s.execOnce(req, fp, run, body)
+		_, gsp := s.tracer.StartSpan(ctx, "server.gate.wait")
+		wait, gateErr := s.gate.DoCtxWait(ctx, func() {
+			gsp.End() // admission: the wait is over once fn starts
+			_, csp := s.tracer.StartSpan(ctx, "server.codec.run")
+			csp.SetAttr("op", op)
+			csp.SetAttr("attempt", attempt)
+			defer csp.End()
+			out, execErr = s.execOnce(req, fp, run, body, csp)
 		})
+		gsp.End() // idempotent: closes the span on the rejected path too
+		if ri := reqInfoFrom(ctx); ri != nil {
+			ri.gateWait += wait
+		}
 		switch {
 		case gateErr != nil:
 			lastErr = gateErr
@@ -441,8 +571,9 @@ func (s *Server) runCodec(ctx context.Context, req *obs.Registry, cd codec.Codec
 // execOnce runs the codec once inside a worker slot, applying the codec
 // fault point and containing panics — injected or genuine — as transient
 // errors so the retry loop and the breaker see them instead of the client.
+// A fired injection is recorded on the codec-run span (nil-safe).
 func (s *Server) execOnce(req *obs.Registry, fp *fault.Point,
-	run func([]byte) ([]byte, error), body []byte) (out []byte, err error) {
+	run func([]byte) ([]byte, error), body []byte, sp *obs.TraceSpan) (out []byte, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			req.Counter("server.errors.codec_panic").Inc()
@@ -450,6 +581,9 @@ func (s *Server) execOnce(req *obs.Registry, fp *fault.Point,
 		}
 	}()
 	in := fp.Hit()
+	if in.Fired() {
+		sp.SetAttr("fault", in.Kind.String())
+	}
 	switch in.Kind {
 	case fault.KindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %s", in.Point))
@@ -467,19 +601,81 @@ func (s *Server) execOnce(req *obs.Registry, fp *fault.Point,
 	return in.CorruptCopy(out), nil
 }
 
-// handleMetrics serves the canonical obs snapshot of the server registry.
+// handleMetrics serves the server registry: the canonical obs snapshot by
+// default (byte-identical to earlier builds), or Prometheus text
+// exposition with ?format=prom.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	b, err := s.reg.Snapshot().MarshalIndent()
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		b, err := s.reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.reg.Counter("server.errors.write_response").Inc()
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown metrics format %q (have json, prom)", f),
+			http.StatusBadRequest)
+	}
+}
+
+// healthResponse is the GET /healthz body: build identity, logical (sim
+// step) and wall uptime, per-codec/op breaker states, and cache occupancy.
+type healthResponse struct {
+	Status         string            `json:"status"`
+	Version        string            `json:"version"`
+	Go             string            `json:"go"`
+	Codecs         []string          `json:"codecs"`
+	Workers        int               `json:"workers"`
+	UptimeSimSteps uint64            `json:"uptime_sim_steps"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Breakers       map[string]string `json:"breakers"`
+	Cache          healthCache       `json:"cache"`
+}
+
+type healthCache struct {
+	Enabled bool  `json:"enabled"`
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// handleHealthz is the liveness probe: a structured JSON health report.
+// Breakers appear once their codec/op pair has seen traffic; states are
+// "closed", "open", or "trial".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	breakers := map[string]string{}
+	s.bkMu.Lock()
+	for key, b := range s.breakers {
+		breakers[key] = b.stateName()
+	}
+	s.bkMu.Unlock()
+	entries, storedBytes := s.cache.stats()
+	resp := healthResponse{
+		Status:         "ok",
+		Version:        Version,
+		Go:             runtime.Version(),
+		Codecs:         codec.Names(),
+		Workers:        s.gate.Capacity(),
+		UptimeSimSteps: s.simSteps.Load(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Breakers:       breakers,
+		Cache: healthCache{
+			Enabled: s.cache != nil,
+			Entries: entries,
+			Bytes:   storedBytes,
+		},
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(b)
-}
-
-// handleHealthz is the liveness probe.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	w.Write(append(b, '\n'))
 }

@@ -177,7 +177,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-// TestHealthz checks the liveness probe.
+// TestHealthz checks the liveness probe returns the structured JSON
+// health report: build identity, uptime counters, and cache occupancy.
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -186,8 +187,35 @@ func TestHealthz(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz: status %d body %q", resp.StatusCode, body)
+	}
+	var h struct {
+		Status         string            `json:"status"`
+		Version        string            `json:"version"`
+		Go             string            `json:"go"`
+		Codecs         []string          `json:"codecs"`
+		Workers        int               `json:"workers"`
+		UptimeSimSteps uint64            `json:"uptime_sim_steps"`
+		Breakers       map[string]string `json:"breakers"`
+		Cache          struct {
+			Enabled bool `json:"enabled"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Version == "" || h.Go == "" {
+		t.Fatalf("healthz identity fields: %+v", h)
+	}
+	if len(h.Codecs) == 0 || h.Workers < 1 || !h.Cache.Enabled {
+		t.Fatalf("healthz capacity fields: %+v", h)
+	}
+	if h.UptimeSimSteps != 0 {
+		t.Fatalf("healthz before traffic: uptime_sim_steps = %d, want 0 (probes advance no sim step)", h.UptimeSimSteps)
+	}
+	if len(h.Breakers) != 0 {
+		t.Fatalf("healthz before traffic: breakers = %v, want empty", h.Breakers)
 	}
 }
 

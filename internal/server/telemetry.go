@@ -1,0 +1,164 @@
+package server
+
+// This file is the server's request-scoped observability: the
+// per-request info carrier the middleware and handlers share, the
+// structured NDJSON access log, SLO accounting, and the startup metric
+// declarations that make every operational series visible (at zero)
+// from the first scrape.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// SLO defaults; overridable via Config.
+const (
+	// DefaultSLOLatency is the per-request wall-latency objective: a /v1
+	// request slower than this (or failing with a 5xx) is an SLO breach.
+	DefaultSLOLatency = 500 * time.Millisecond
+	// DefaultSLOBudget is the tolerated breach ratio (1%): the burn-rate
+	// gauge reports observed breach ratio divided by this budget, so
+	// burn rate > 1 means the error budget is being consumed faster than
+	// it refills.
+	DefaultSLOBudget = 0.01
+)
+
+// reqInfo is the per-request carrier threaded through the handler chain
+// via context: the middleware creates it, handlers fill it in, and the
+// middleware turns it into the access-log record, the SLO counters, and
+// the root span's attributes on the way out.
+type reqInfo struct {
+	span      *obs.TraceSpan // root server.request span (nil when tracing off)
+	codec     string
+	op        string
+	bytesIn   int
+	cacheTier string // "hit", "miss", "bypass", or "" before the cache decision
+	breaker   string // breaker state observed at the admission decision
+	gateWait  time.Duration
+}
+
+type reqInfoKey struct{}
+
+// reqInfoFrom returns the request's carrier, or nil outside the traced
+// path (so handler instrumentation is nil-safe by construction).
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// statusRecorder captures the status code and body bytes a handler
+// writes, for the access log and SLO accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// declareMetrics pre-registers every operational series the server can
+// emit, so counters appear at zero on the first scrape instead of
+// popping into existence mid-run (a rate() over a counter needs its
+// zero point). Fault counters are declared separately by
+// fault.Registry.AttachObs — but only for armed points, keeping
+// disarmed runs byte-identical.
+func (s *Server) declareMetrics() {
+	s.reg.DeclareCounters(
+		"server.requests",
+		"server.bytes_in",
+		"server.bytes_out",
+		"server.cache.hits",
+		"server.cache.misses",
+		"server.cache.evictions",
+		"server.breaker.rejected",
+		"server.breaker.trips",
+	)
+	s.reg.DeclareGauges("server.cache.bytes", "server.cache.entries")
+	s.reg.DeclareHistograms("server.request_latency_us")
+	for _, name := range codec.Names() {
+		for _, op := range []string{"compress", "decompress"} {
+			key := name + "." + op
+			s.reg.DeclareCounters(
+				"server.codec."+key,
+				"server.slo."+key+".good",
+				"server.slo."+key+".breach",
+			)
+			s.reg.DeclareGauges(
+				"server.slo."+key+".burn_rate",
+				"server.breaker."+name+"."+op+".state",
+			)
+		}
+	}
+}
+
+// updateBreakerGauge mirrors a breaker's state into its gauge (0 closed,
+// 1 open, 2 trial) after every decision that can move it.
+func (s *Server) updateBreakerGauge(name, op string, b *breaker) {
+	s.reg.Gauge("server.breaker." + name + "." + op + ".state").Set(float64(b.stateCode()))
+}
+
+// finishRequest closes out one /v1 request: latency histogram (with the
+// trace ID as exemplar), SLO counters and burn rate, root-span
+// attributes, and the access-log record. Runs for every /v1 request,
+// success or failure.
+func (s *Server) finishRequest(ri *reqInfo, rec *statusRecorder, lat time.Duration) {
+	latUS := lat.Microseconds()
+	s.reg.Histogram("server.request_latency_us").ObserveExemplar(latUS, ri.span.TraceIDString())
+
+	if ri.codec != "" && ri.op != "" {
+		key := ri.codec + "." + ri.op
+		breach := (s.sloLatency > 0 && lat > s.sloLatency) || rec.status >= 500
+		if breach {
+			s.reg.Counter("server.slo." + key + ".breach").Inc()
+		} else {
+			s.reg.Counter("server.slo." + key + ".good").Inc()
+		}
+		good := s.reg.Counter("server.slo." + key + ".good").Value()
+		bad := s.reg.Counter("server.slo." + key + ".breach").Value()
+		if total := good + bad; total > 0 {
+			ratio := float64(bad) / float64(total)
+			s.reg.Gauge("server.slo."+key+".burn_rate").Set(ratio / DefaultSLOBudget)
+		}
+	}
+
+	if sp := ri.span; sp != nil {
+		sp.SetAttr("codec", ri.codec)
+		sp.SetAttr("op", ri.op)
+		sp.SetAttr("status", rec.status)
+		sp.SetAttr("bytes_in", ri.bytesIn)
+		sp.SetAttr("bytes_out", rec.bytes)
+		if ri.cacheTier != "" {
+			sp.SetAttr("cache", ri.cacheTier)
+		}
+		sp.End()
+	}
+
+	if s.accessSink != nil {
+		s.accessSink.Emit("access", s.simSteps.Load(), map[string]any{
+			"trace":        ri.span.TraceIDString(),
+			"codec":        ri.codec,
+			"op":           ri.op,
+			"status":       rec.status,
+			"bytes_in":     ri.bytesIn,
+			"bytes_out":    rec.bytes,
+			"sim_steps":    s.simSteps.Load(),
+			"wall_us":      latUS,
+			"cache":        ri.cacheTier,
+			"breaker":      ri.breaker,
+			"gate_wait_us": ri.gateWait.Microseconds(),
+		})
+	}
+}
