@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-smoke smoke smoke-server smoke-obs golden clean test-fuzz test-parallel test-chaos
+.PHONY: all build vet test race bench bench-json bench-compare bench-cluster bench-smoke smoke smoke-server smoke-obs golden clean test-fuzz test-parallel test-chaos
 
 all: build vet test
 
@@ -29,6 +29,8 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/lzw/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/bwt/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/huffcoding/
+	$(GO) test -run '^$$' -fuzz FuzzParseCacheControl -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzParseIfNoneMatch -fuzztime $(FUZZTIME) ./internal/server/
 
 # The scheduler's determinism contract: the full quick suite must be
 # byte-identical at parallelism 1 and 8 (manifests and merged snapshot),
@@ -43,16 +45,64 @@ bench:
 
 # Machine-readable perf record for this PR (the repo's performance
 # trajectory; bump the filename each PR that re-measures).
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 
 # Per-benchmark speedups between two perf records:
 #   make bench-compare BASE=BENCH_PR3.json [BENCH_JSON=BENCH_PR4.json]
-BASE ?= BENCH_PR3.json
+BASE ?= BENCH_PR4.json
 bench-compare:
 	$(GO) run ./cmd/benchcmp -base $(BASE) -new $(BENCH_JSON)
+
+# Cluster bench (DESIGN.md §10): two zipserverd instances with tiered
+# hot/cold caches — the second mounting the first's cache as a peer tier
+# over /internal/cache — driven by zipload's consistent-hash router with
+# Zipf-skewed keys. Reports aggregate RPS, per-tier hit rates, and p99;
+# then replays the identical seeded stream against a single plain-LRU
+# instance and requires the XOR-of-SHA256 response digests to match
+# byte-for-byte (topology may move bytes around, never change them).
+CLUSTER_CLIENTS ?= 6
+CLUSTER_REQS ?= 30
+CLUSTER_SEED ?= 11
+bench-cluster:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr1 \
+		-cache-backend tiered -cache-mb 4 -cache-cold-mb 64 -cache-dir $$tmp/cold1 2>$$tmp/s1.log & \
+	pid1=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr1 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr1 ] || { echo "instance 1 never bound"; kill $$pid1; exit 1; }; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr2 \
+		-cache-backend tiered -cache-mb 4 -cache-cold-mb 64 -cache-dir $$tmp/cold2 \
+		-cache-peer http://$$(cat $$tmp/addr1) 2>$$tmp/s2.log & \
+	pid2=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr2 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr2 ] || { echo "instance 2 never bound"; kill $$pid1 $$pid2; exit 1; }; \
+	status=0; \
+	$$tmp/zipload -urls http://$$(cat $$tmp/addr1),http://$$(cat $$tmp/addr2) \
+		-clients $(CLUSTER_CLIENTS) -requests $(CLUSTER_REQS) -seed $(CLUSTER_SEED) \
+		-zipf 1.2 -digest | tee $$tmp/cluster.txt || status=$$?; \
+	kill -INT $$pid1 $$pid2 2>/dev/null; wait $$pid1 $$pid2 2>/dev/null || true; \
+	[ $$status -eq 0 ] || exit $$status; \
+	grep -q 'tier:' $$tmp/cluster.txt || { echo "no per-tier hit rates in the cluster report"; exit 1; }; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr3 -cache-backend lru 2>$$tmp/s3.log & \
+	pid3=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr3 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr3 ] || { echo "baseline instance never bound"; kill $$pid3; exit 1; }; \
+	$$tmp/zipload -url http://$$(cat $$tmp/addr3) \
+		-clients $(CLUSTER_CLIENTS) -requests $(CLUSTER_REQS) -seed $(CLUSTER_SEED) \
+		-zipf 1.2 -digest | tee $$tmp/single.txt || status=$$?; \
+	kill -INT $$pid3 2>/dev/null; wait $$pid3 2>/dev/null || true; \
+	[ $$status -eq 0 ] || exit $$status; \
+	d1=$$(grep 'response digest' $$tmp/cluster.txt | awk '{print $$3}'); \
+	d2=$$(grep 'response digest' $$tmp/single.txt | awk '{print $$3}'); \
+	[ -n "$$d1" ] || { echo "cluster run produced no digest"; exit 1; }; \
+	[ "$$d1" = "$$d2" ] || { echo "cluster digest $$d1 != single-LRU digest $$d2"; exit 1; }; \
+	echo "bench-cluster: 2-instance tiered cluster byte-identical to single-LRU baseline ($$d1)"
 
 # One-iteration hot-path smoke (CI runs this so compile or gross perf
 # regressions on the taint/LZ77 paths surface in PRs).
@@ -120,7 +170,7 @@ smoke-obs:
 #      the drain bound, and the final metrics snapshot proves faults fired.
 #   3. Determinism: with faults disarmed, the full quick experiment suite
 #      is byte-identical at -parallel 1, 2, and 4.
-CHAOS_FAULTS = server.codec.compress=error:0.04,server.codec.compress=panic:0.02,server.codec.compress=corrupt:0.02,server.codec.decompress=error:0.05,server.codec.decompress=panic:0.02,server.cache.get=corrupt:0.03,server.gate.acquire=latency:0.05:300
+CHAOS_FAULTS = server.codec.compress=error:0.04,server.codec.compress=panic:0.02,server.codec.compress=corrupt:0.02,server.codec.decompress=error:0.05,server.codec.decompress=panic:0.02,server.cache.get=corrupt:0.03,server.gate.acquire=latency:0.05:300,server.cache.disk.write=error:0.05,server.cache.disk.read=error:0.05
 test-chaos:
 	ZIPCHAOS_FULL=1 $(GO) test -race -count=1 \
 		-run 'TestChaos|TestDisarmedFaultsAreInvisible|TestRunLoadRetriesRecoverInjectedFaults' \
@@ -130,6 +180,7 @@ test-chaos:
 	$(GO) build -race -o $$tmp/zipserverd ./cmd/zipserverd; \
 	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
 	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		-cache-backend tiered -cache-mb 8 -cache-cold-mb 32 \
 		-faults '$(CHAOS_FAULTS)' -fault-seed 7 -drain 5s -metrics $$tmp/metrics.json & \
 	pid=$$!; \
 	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \

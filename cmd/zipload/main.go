@@ -19,6 +19,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +50,9 @@ func main() {
 func run() error {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:8321", "zipserverd base URL")
+		urls     = flag.String("urls", "", "comma-separated zipserverd base URLs (cluster mode: consistent-hash routing; overrides -url)")
+		zipfS    = flag.Float64("zipf", 0, "Zipf skew s for body selection (> 1; 0 = uniform) — hot-key traffic for cache-tier benchmarks")
+		digest   = flag.Bool("digest", false, "print the order-insensitive XOR-of-SHA256 digest over all response bodies (byte-identity comparisons across runs)")
 		clients  = flag.Int("clients", 8, "concurrent client workers")
 		duration = flag.Duration("duration", 2*time.Second, "how long to generate load")
 		requests = flag.Int("requests", 0, "requests per client (overrides -duration when > 0)")
@@ -67,6 +72,8 @@ func run() error {
 	}
 	cfg := loadConfig{
 		BaseURL:   strings.TrimRight(*url, "/"),
+		ZipfS:     *zipfS,
+		Digest:    *digest,
 		Clients:   *clients,
 		Duration:  *duration,
 		Requests:  *requests,
@@ -76,6 +83,13 @@ func run() error {
 		BodyCap:   *bodyCap,
 		Retries:   *retries,
 		RetryBase: *rbase,
+	}
+	if *urls != "" {
+		for _, part := range strings.Split(*urls, ",") {
+			if u := strings.TrimRight(strings.TrimSpace(part), "/"); u != "" {
+				cfg.URLs = append(cfg.URLs, u)
+			}
+		}
 	}
 	res, err := runLoad(cfg)
 	if err != nil {
@@ -114,7 +128,19 @@ func parseCodecs(s string) ([]string, error) {
 
 // loadConfig parameterizes one load run.
 type loadConfig struct {
-	BaseURL  string
+	BaseURL string
+	// URLs enables cluster mode: requests are routed across these
+	// instances by a consistent hash of (codec, body). Empty = single
+	// instance at BaseURL.
+	URLs []string
+	// ZipfS skews body selection toward hot keys with a Zipf(s)
+	// distribution (s > 1; 0 = uniform). Hot keys are what make cache
+	// tiers earn their keep, so the cluster bench runs skewed.
+	ZipfS float64
+	// Digest accumulates the XOR of per-response SHA-256 digests —
+	// order-insensitive, so comparable across runs with different
+	// concurrency interleavings and cluster shapes.
+	Digest   bool
 	Clients  int
 	Duration time.Duration
 	Requests int // per client; 0 = run until Duration elapses
@@ -142,8 +168,17 @@ type loadResult struct {
 	BytesOut   uint64 // response bytes received
 	Elapsed    time.Duration
 	FirstError string
+	Digest     string // hex XOR-of-SHA256 over response bodies ("" unless cfg.Digest)
 	Registry   *obs.Registry
 	ServerSnap *obs.Snapshot
+}
+
+// allURLs is the instance list a run actually targets.
+func (cfg loadConfig) allURLs() []string {
+	if len(cfg.URLs) > 0 {
+		return cfg.URLs
+	}
+	return []string{cfg.BaseURL}
 }
 
 // clientResult is one worker's slot (par.ForEach contract: each client
@@ -152,6 +187,7 @@ type clientResult struct {
 	requests uint64
 	errors   uint64
 	firstErr string
+	digest   [sha256.Size]byte
 	reg      *obs.Registry
 }
 
@@ -177,7 +213,12 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("-zipf skew must be > 1 (got %g)", cfg.ZipfS)
+	}
 	pool := bodyPool(cfg.Seed, cfg.BodyCap)
+	urls := cfg.allURLs()
+	rt := newRing(urls)
 	httpc := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        cfg.Clients * 2,
@@ -186,8 +227,10 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	}
 
 	// Liveness check before unleashing the fleet.
-	if err := checkHealth(httpc, cfg.BaseURL); err != nil {
-		return nil, err
+	for _, u := range urls {
+		if err := checkHealth(httpc, u); err != nil {
+			return nil, err
+		}
 	}
 
 	results := make([]clientResult, cfg.Clients)
@@ -197,6 +240,13 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		cr := &results[i]
 		cr.reg = obs.NewRegistry()
 		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, fmt.Sprintf("client-%d", i))))
+		// Zipf over pool *indices*: rank 0 (the first corpus body) is the
+		// hottest key. Same seed → same sequence, so skewed runs stay
+		// reproducible.
+		var zipf *rand.Zipf
+		if cfg.ZipfS > 1 {
+			zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+		}
 		for n := 0; ; n++ {
 			if cfg.Requests > 0 {
 				if n >= cfg.Requests {
@@ -206,8 +256,13 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 				return nil
 			}
 			name := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
-			body := pool[rng.Intn(len(pool))]
-			oneRequest(httpc, cfg, name, body, cr, rng)
+			var body []byte
+			if zipf != nil {
+				body = pool[zipf.Uint64()]
+			} else {
+				body = pool[rng.Intn(len(pool))]
+			}
+			oneRequest(httpc, cfg, rt, name, body, cr, rng)
 		}
 	})
 	if err != nil {
@@ -215,6 +270,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	}
 
 	res := &loadResult{Elapsed: time.Since(start), Registry: obs.NewRegistry()}
+	var acc [sha256.Size]byte
 	for i := range results {
 		cr := &results[i]
 		res.Requests += cr.requests
@@ -222,13 +278,49 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		if res.FirstError == "" && cr.firstErr != "" {
 			res.FirstError = cr.firstErr
 		}
+		for b := range acc {
+			acc[b] ^= cr.digest[b]
+		}
 		res.Registry.Merge(cr.reg) // client order: deterministic merge
+	}
+	if cfg.Digest {
+		res.Digest = hex.EncodeToString(acc[:])
 	}
 	snap := res.Registry.Snapshot()
 	res.BytesIn = snap.Counters["zipload.bytes_in"]
 	res.BytesOut = snap.Counters["zipload.bytes_out"]
-	res.ServerSnap = fetchMetrics(httpc, cfg.BaseURL)
+	res.ServerSnap = fetchClusterMetrics(httpc, urls)
 	return res, nil
+}
+
+// fetchClusterMetrics sums counter and gauge snapshots across all
+// instances, so the report's hit-rate math sees cluster-wide totals. Any
+// unreachable instance is skipped; nil only when none answered.
+func fetchClusterMetrics(httpc *http.Client, urls []string) *obs.Snapshot {
+	var agg *obs.Snapshot
+	for _, u := range urls {
+		snap := fetchMetrics(httpc, u)
+		if snap == nil {
+			continue
+		}
+		if agg == nil {
+			agg = snap // freshly decoded: safe to accumulate into
+			if agg.Counters == nil {
+				agg.Counters = map[string]uint64{}
+			}
+			if agg.Gauges == nil {
+				agg.Gauges = map[string]float64{}
+			}
+			continue
+		}
+		for k, v := range snap.Counters {
+			agg.Counters[k] += v
+		}
+		for k, v := range snap.Gauges {
+			agg.Gauges[k] += v
+		}
+	}
+	return agg
 }
 
 // checkHealth probes /healthz so a dead server is one clear error instead
@@ -248,7 +340,7 @@ func checkHealth(httpc *http.Client, base string) error {
 
 // oneRequest performs one compress (optionally + decompress verify)
 // exchange, recording into the client's slot and registry.
-func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr *clientResult, rng *rand.Rand) {
+func oneRequest(httpc *http.Client, cfg loadConfig, rt *ring, name string, body []byte, cr *clientResult, rng *rand.Rand) {
 	fail := func(format string, args ...any) {
 		cr.errors++
 		cr.reg.Counter("zipload.errors").Inc()
@@ -256,7 +348,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 			cr.firstErr = fmt.Sprintf(format, args...)
 		}
 	}
-	comp, _, err := postWithRetry(httpc, cfg, name, "compress", body, cr, rng)
+	comp, _, err := postWithRetry(httpc, cfg, rt, name, "compress", body, cr, rng)
 	if err != nil {
 		fail("compress %s: %v", name, err)
 		return
@@ -264,7 +356,10 @@ func oneRequest(httpc *http.Client, cfg loadConfig, name string, body []byte, cr
 	if !cfg.Verify {
 		return
 	}
-	back, tp, err := postWithRetry(httpc, cfg, name, "decompress", comp, cr, rng)
+	// The decompress verify routes by its own body (the compressed
+	// bytes), so in a cluster it usually lands on a different instance
+	// than the compress did — cross-instance verification for free.
+	back, tp, err := postWithRetry(httpc, cfg, rt, name, "decompress", comp, cr, rng)
 	if err != nil {
 		fail("decompress %s: %v", name, err)
 		return
@@ -290,9 +385,14 @@ func traceSuffix(tp string) string {
 // only errors that say nothing about the request itself (5xx, connection
 // resets). Client errors surface immediately — retrying a 4xx is load,
 // not resilience.
-func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, string, error) {
+func postWithRetry(httpc *http.Client, cfg loadConfig, rt *ring, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, string, error) {
+	idx := rt.pick(name, body)
+	base := rt.urls[idx]
+	if len(rt.urls) > 1 {
+		cr.reg.Counter("zipload.route." + strconv.Itoa(idx)).Inc()
+	}
 	for attempt := 0; ; attempt++ {
-		out, tp, transient, err := timedPost(httpc, cfg, name, op, body, cr)
+		out, tp, transient, err := timedPost(httpc, cfg, base, name, op, body, cr)
 		if err == nil || !transient || attempt >= cfg.Retries {
 			return out, tp, err
 		}
@@ -310,12 +410,12 @@ func postWithRetry(httpc *http.Client, cfg loadConfig, name, op string, body []b
 // can break quantiles down by codec). transient reports whether a failure
 // is worth retrying (connection error or 5xx). tp is the traceparent the
 // server echoed on the response ("" when tracing is off server-side).
-func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte, cr *clientResult) (out []byte, tp string, transient bool, err error) {
+func timedPost(httpc *http.Client, cfg loadConfig, base, name, op string, body []byte, cr *clientResult) (out []byte, tp string, transient bool, err error) {
 	cr.requests++
 	cr.reg.Counter("zipload.requests").Inc()
 	cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
 	start := time.Now()
-	resp, err := httpc.Post(cfg.BaseURL+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
+	resp, err := httpc.Post(base+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
 		return nil, "", true, err
 	}
@@ -334,6 +434,9 @@ func timedPost(httpc *http.Client, cfg loadConfig, name, op string, body []byte,
 	}
 	cr.reg.Counter("zipload.bytes_in").Add(uint64(len(body)))
 	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(out)))
+	if cfg.Digest {
+		xorDigest(&cr.digest, out)
+	}
 	if resp.Header.Get("X-Cache") == "HIT" {
 		cr.reg.Counter("zipload.cache_hits_seen").Inc()
 	}
@@ -381,8 +484,16 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 	fmt.Fprintf(w, "  codecs %s | clients %d | seed %d | verify %v\n",
 		strings.Join(cfg.Codecs, ","), cfg.Clients, cfg.Seed, cfg.Verify)
 	fmt.Fprintf(w, "  bytes: %d sent, %d received\n", r.BytesIn, r.BytesOut)
-	if retries := r.Registry.Snapshot().Counters["zipload.retries"]; retries > 0 {
+	snap := r.Registry.Snapshot()
+	if retries := snap.Counters["zipload.retries"]; retries > 0 {
 		fmt.Fprintf(w, "  retries: %d transient failures recovered by backoff\n", retries)
+	}
+	if n := len(cfg.URLs); n > 1 {
+		parts := make([]string, n)
+		for i := range cfg.URLs {
+			parts[i] = fmt.Sprintf("#%d:%d", i, snap.Counters["zipload.route."+strconv.Itoa(i)])
+		}
+		fmt.Fprintf(w, "  cluster: %d instances, consistent-hash routed (%s)\n", n, strings.Join(parts, " "))
 	}
 	if r.ServerSnap != nil {
 		hits := r.ServerSnap.Counters["server.cache.hits"]
@@ -393,10 +504,23 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 		}
 		fmt.Fprintf(w, "  server cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			hits, misses, rate, r.ServerSnap.Counters["server.cache.evictions"])
+		// Tier breakdown, present only when instances run composed
+		// backends (zeros are elided — a plain LRU prints nothing here).
+		for _, tier := range []string{"hot", "cold", "local", "peer"} {
+			th := r.ServerSnap.Counters["server.cache."+tier+".hits"]
+			tm := r.ServerSnap.Counters["server.cache."+tier+".misses"]
+			if th+tm == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "    %-5s tier: %d hits / %d misses (%.1f%% hit rate)\n",
+				tier, th, tm, 100*float64(th)/float64(th+tm))
+		}
 	} else {
 		fmt.Fprintf(w, "  server cache: /metrics not available\n")
 	}
-	snap := r.Registry.Snapshot()
+	if r.Digest != "" {
+		fmt.Fprintf(w, "  response digest: %s\n", r.Digest)
+	}
 	if h, ok := snap.Histograms["zipload.latency_us"]; ok && h.Count > 0 {
 		q := h.Quantiles(0.5, 0.95, 0.99)
 		fmt.Fprintf(w, "  latency: n=%d mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus min=%dus max=%dus\n",

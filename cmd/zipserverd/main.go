@@ -53,13 +53,124 @@ func main() {
 	}
 }
 
+// cacheConfig collects the -cache-* flags that shape the backend
+// hierarchy.
+type cacheConfig struct {
+	Backend     string
+	HotBytes    int64 // in-memory budget (also the plain lru/sharded budget)
+	ColdBytes   int64 // disk budget
+	Shards      int
+	Dir         string
+	Peer        string
+	PeerTimeout time.Duration
+}
+
+// buildCache composes the configured backend hierarchy (DESIGN.md §10).
+// It returns the full lookup chain, the local view served to peers on
+// /internal/cache (never includes the peer tier, so two instances peered
+// at each other terminate), and a cleanup for any temp dir it created.
+//
+// Metric prefixes: a single-backend setup keeps the classic server.cache
+// series; a hierarchy puts the aggregate there and per-tier series under
+// server.cache.{hot,cold,local,peer}.
+func buildCache(cc cacheConfig, reg *obs.Registry, freg *fault.Registry) (cache, peerView server.CacheBackend, cleanup func(), err error) {
+	cleanup = func() {}
+	if cc.HotBytes <= 0 && cc.Backend != "disk" {
+		return nil, nil, cleanup, nil // caching disabled; "lru" default also lands here when budget <= 0
+	}
+	// A disk tier needs a directory; default to a disposable temp dir.
+	ensureDir := func() (string, error) {
+		if cc.Dir != "" {
+			return cc.Dir, nil
+		}
+		dir, err := os.MkdirTemp("", "zipserverd-cache-*")
+		if err != nil {
+			return "", err
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		return dir, nil
+	}
+	// localPrefix is where the innermost composition hangs its aggregate
+	// counters: the classic name when it IS the whole cache, a sub-name
+	// when a peer tier wraps it.
+	localPrefix := "server.cache"
+	if cc.Peer != "" {
+		localPrefix = "server.cache.local"
+	}
+
+	var local server.CacheBackend
+	switch cc.Backend {
+	case "lru":
+		if lru := server.NewLRUBackend(cc.HotBytes, reg, localPrefix); lru != nil {
+			local = lru
+		}
+	case "sharded":
+		if sh := server.NewShardedBackend(cc.HotBytes, cc.Shards, reg, localPrefix); sh != nil {
+			local = sh
+		}
+	case "disk":
+		dir, derr := ensureDir()
+		if derr != nil {
+			return nil, nil, cleanup, derr
+		}
+		budget := cc.ColdBytes
+		if budget <= 0 {
+			budget = cc.HotBytes
+		}
+		d, derr := server.NewDiskBackend(dir, budget, reg, localPrefix, freg)
+		if derr != nil {
+			return nil, nil, cleanup, derr
+		}
+		if d != nil {
+			local = d
+		}
+	case "tiered":
+		dir, derr := ensureDir()
+		if derr != nil {
+			return nil, nil, cleanup, derr
+		}
+		hot := server.NewLRUBackend(cc.HotBytes, reg, "server.cache.hot")
+		cold, derr := server.NewDiskBackend(dir, cc.ColdBytes, reg, "server.cache.cold", freg)
+		if derr != nil {
+			return nil, nil, cleanup, derr
+		}
+		var hotB, coldB server.CacheBackend
+		if hot != nil {
+			hotB = hot
+		}
+		if cold != nil {
+			coldB = cold
+		}
+		if t := server.NewTiered(hotB, coldB, reg, localPrefix); t != nil {
+			local = t
+		}
+	default:
+		return nil, nil, cleanup, fmt.Errorf("unknown -cache-backend %q (have lru, sharded, disk, tiered)", cc.Backend)
+	}
+
+	if cc.Peer == "" || local == nil {
+		return local, local, cleanup, nil
+	}
+	peer := server.NewPeerBackend(cc.Peer, cc.PeerTimeout, reg, "server.cache.peer", freg)
+	full := server.NewTiered(local, peer, reg, "server.cache")
+	return full, local, cleanup, nil
+}
+
 func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
 		workers  = flag.Int("workers", 0, "max concurrent codec executions (0 = GOMAXPROCS)")
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "per-request body cap in bytes")
-		cacheMB  = flag.Int64("cache-mb", 64, "response cache budget in MiB (negative disables)")
+		cacheMB  = flag.Int64("cache-mb", 64, "response cache budget in MiB (negative disables; the hot tier for -cache-backend tiered)")
+
+		cacheBackend = flag.String("cache-backend", "lru", "cache backend: lru, sharded, disk, or tiered (in-memory hot over disk cold)")
+		cacheShards  = flag.Int("cache-shards", 16, "shard count for -cache-backend sharded")
+		cacheDir     = flag.String("cache-dir", "", "directory for the disk tier (empty = private temp dir, removed on exit)")
+		cacheColdMB  = flag.Int64("cache-cold-mb", 256, "disk (cold) tier budget in MiB for -cache-backend disk/tiered")
+		cachePeer    = flag.String("cache-peer", "", "base URL of a peer zipserverd whose cache becomes this instance's outermost cold tier")
+		peerTimeout  = flag.Duration("cache-peer-timeout", server.DefaultPeerTimeout, "per-exchange deadline for the peer tier")
+		cacheMaxAge  = flag.Int("cache-max-age", 0, "max-age seconds advertised in Cache-Control on /v1 responses (0 = default, negative disables)")
 		metrics  = flag.String("metrics", "", "write a final obs snapshot to this file on shutdown")
 		faults   = flag.String("faults", "", "deterministic fault injections, comma-separated point=kind:prob[:param] or point=kind@n[:param] (empty disables)")
 		fseed    = flag.Int64("fault-seed", 1, "root seed for the fault registry's per-point streams")
@@ -84,6 +195,10 @@ func run() error {
 	cacheBytes := *cacheMB
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
+	}
+	coldBytes := *cacheColdMB
+	if coldBytes > 0 {
+		coldBytes <<= 20
 	}
 
 	// openSink maps a flag value to a writer: "-" is stderr (stdout stays
@@ -127,9 +242,26 @@ func run() error {
 		accessW = w
 	}
 
+	cache, peerView, cleanup, err := buildCache(cacheConfig{
+		Backend:     *cacheBackend,
+		HotBytes:    cacheBytes,
+		ColdBytes:   coldBytes,
+		Shards:      *cacheShards,
+		Dir:         *cacheDir,
+		Peer:        *cachePeer,
+		PeerTimeout: *peerTimeout,
+	}, reg, freg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
 	srv := server.New(server.Config{
 		MaxBodyBytes: *maxBody,
 		CacheBytes:   cacheBytes,
+		Cache:        cache,
+		PeerView:     peerView,
+		CacheMaxAge:  *cacheMaxAge,
 		Workers:      *workers,
 		Registry:     reg,
 		Faults:       freg,

@@ -9,82 +9,94 @@ import (
 	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
-// cacheKey addresses a response by content: SHA-256 over (op, codec, body)
-// with NUL separators so ("compress","lz77x") and ("compressx","lz77") can
-// never collide. Identical bodies through the same codec+op always map to
-// the same entry regardless of which client sent them — the
-// content-addressed sharing that makes the cache a realistic stage for
-// cross-request compression side channels (see PAPERS.md: Schwarzl et al.,
-// Debreach).
-func cacheKey(op, codecName string, body []byte) [sha256.Size]byte {
+// cacheKey addresses a response by content: SHA-256 over (op, codec,
+// level, body) with NUL separators so ("compress","lz77x") and
+// ("compressx","lz77") can never collide. Identical bodies through the
+// same codec+op+level always map to the same entry regardless of which
+// client sent them — the content-addressed sharing that makes the cache a
+// realistic stage for cross-request compression side channels (see
+// PAPERS.md: Schwarzl et al., Debreach). The level dimension backs the
+// Vary: X-Zip-Level HTTP semantics: a level-partitioned entry can never
+// be served for a different level.
+func cacheKey(op, codecName, level string, body []byte) Key {
 	h := sha256.New()
 	h.Write([]byte(op))
 	h.Write([]byte{0})
 	h.Write([]byte(codecName))
 	h.Write([]byte{0})
+	h.Write([]byte(level))
+	h.Write([]byte{0})
 	h.Write(body)
-	var k [sha256.Size]byte
+	var k Key
 	h.Sum(k[:0])
 	return k
 }
 
-// lruCache is a byte-budgeted LRU of codec responses, modeled on the
-// MemoryCache of the httpcache reference repo but with strict size
+// LRUBackend is a byte-budgeted in-memory LRU of codec responses, modeled
+// on the MemoryCache of the httpcache reference repo but with strict size
 // accounting, obs counters, and end-to-end integrity: every entry stores a
 // SHA-256 of its value, verified on each hit, so a corrupted stored
 // response (a flipped bit in "storage", injected via internal/fault in
 // chaos runs) is detected and re-fetched instead of served — a cache can
-// degrade to a miss but never to wrong bytes. A nil *lruCache is a valid
-// always-miss cache, so the server can run with caching disabled without
-// conditionals.
-type lruCache struct {
+// degrade to a miss but never to wrong bytes. It is the reference
+// CacheBackend implementation and the hot tier of the default hierarchy.
+type LRUBackend struct {
 	mu    sync.Mutex
 	max   int64      // byte budget for stored values
 	size  int64      // current stored bytes
 	order *list.List // front = most recently used
-	items map[[sha256.Size]byte]*list.Element
+	items map[Key]*list.Element
 
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
 	bytes     *obs.Gauge
 	entries   *obs.Gauge
-	// reg backs the lazily-registered corruption counter, so a run that
-	// never sees corruption keeps its metrics snapshot byte-identical to
-	// a pre-integrity build.
-	reg *obs.Registry
+	// reg and prefix back the lazily-registered corruption counter, so a
+	// run that never sees corruption keeps its metrics snapshot
+	// byte-identical to a pre-integrity build.
+	reg    *obs.Registry
+	prefix string
 }
 
 type cacheEntry struct {
-	key [sha256.Size]byte
+	key Key
 	val []byte
 	sum [sha256.Size]byte // integrity checksum of val, fixed at put time
 }
 
-// newLRUCache creates a cache holding at most maxBytes of values, hanging
-// its counters off reg. maxBytes <= 0 returns nil (caching disabled).
-func newLRUCache(maxBytes int64, reg *obs.Registry) *lruCache {
+// NewLRUBackend creates a cache holding at most maxBytes of values,
+// hanging its counters off reg under prefix (e.g. "server.cache" →
+// server.cache.hits; the single-backend default keeps the metric names
+// every earlier build used). maxBytes <= 0 returns nil (caching
+// disabled); note New wraps the nil in a nil CacheBackend interface, not
+// a typed nil.
+func NewLRUBackend(maxBytes int64, reg *obs.Registry, prefix string) *LRUBackend {
 	if maxBytes <= 0 {
 		return nil
 	}
-	return &lruCache{
+	return &LRUBackend{
 		max:       maxBytes,
 		order:     list.New(),
-		items:     map[[sha256.Size]byte]*list.Element{},
-		hits:      reg.Counter("server.cache.hits"),
-		misses:    reg.Counter("server.cache.misses"),
-		evictions: reg.Counter("server.cache.evictions"),
-		bytes:     reg.Gauge("server.cache.bytes"),
-		entries:   reg.Gauge("server.cache.entries"),
+		items:     map[Key]*list.Element{},
+		hits:      reg.Counter(prefix + ".hits"),
+		misses:    reg.Counter(prefix + ".misses"),
+		evictions: reg.Counter(prefix + ".evictions"),
+		bytes:     reg.Gauge(prefix + ".bytes"),
+		entries:   reg.Gauge(prefix + ".entries"),
 		reg:       reg,
+		prefix:    prefix,
 	}
 }
 
-// get returns the cached value and marks the entry most recently used. A
+// Name implements CacheBackend.
+func (c *LRUBackend) Name() string { return "lru" }
+
+// Get returns the cached value and marks the entry most recently used. A
 // stored value that fails its integrity check is dropped and counted as a
 // corruption plus a miss — the caller recomputes and re-puts. The returned
 // slice is shared; callers must not mutate it.
-func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
+func (c *LRUBackend) Get(key Key) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -98,7 +110,7 @@ func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
 	ent := el.Value.(*cacheEntry)
 	if sha256.Sum256(ent.val) != ent.sum {
 		c.removeLocked(el, ent)
-		c.reg.Counter("server.cache.corruptions_detected").Inc()
+		c.reg.Counter(c.prefix + ".corruptions_detected").Inc()
 		c.misses.Inc()
 		return nil, false
 	}
@@ -107,13 +119,13 @@ func (c *lruCache) get(key [sha256.Size]byte) ([]byte, bool) {
 	return ent.val, true
 }
 
-// corruptStored simulates a storage bit-flip on the entry under key (the
+// CorruptStored simulates a storage bit-flip on the entry under key (the
 // server.cache.get KindCorrupt fault): the stored value is replaced with a
 // corrupted copy while its checksum keeps the original digest, so the next
-// get detects the damage. In-flight responses holding the old slice are
+// Get detects the damage. In-flight responses holding the old slice are
 // unaffected (the flip lands in storage, not in buffers already handed
 // out). No-op when the key is absent.
-func (c *lruCache) corruptStored(key [sha256.Size]byte, in fault.Injection) {
+func (c *LRUBackend) CorruptStored(key Key, in fault.Injection) {
 	if c == nil {
 		return
 	}
@@ -127,23 +139,26 @@ func (c *lruCache) corruptStored(key [sha256.Size]byte, in fault.Injection) {
 	ent.val = in.CorruptCopy(ent.val)
 }
 
-// put inserts val under key, evicting least-recently-used entries until the
+// Put inserts val under key, evicting least-recently-used entries until the
 // byte budget holds. Values larger than the whole budget are not cached.
 // Re-putting an existing key refreshes its recency and heals its stored
 // bytes (the value is correct by construction: the key hashes the full
 // input, and a corrupted entry was just recomputed by the caller).
-func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
+func (c *LRUBackend) Put(key Key, val []byte) {
 	if c == nil || int64(len(val)) > c.max {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.size += int64(len(val)) - int64(len(ent.val))
+		ent.val, ent.sum = val, sha256.Sum256(val)
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, sum: sha256.Sum256(val)})
+		c.size += int64(len(val))
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, sum: sha256.Sum256(val)})
-	c.size += int64(len(val))
 	for c.size > c.max {
 		back := c.order.Back()
 		if back == nil {
@@ -157,9 +172,9 @@ func (c *lruCache) put(key [sha256.Size]byte, val []byte) {
 	c.entries.Set(float64(len(c.items)))
 }
 
-// stats reports the current entry count and stored bytes (0, 0 for a
+// Stats reports the current entry count and stored bytes (0, 0 for a
 // nil/disabled cache) — the health endpoint's view of the cache.
-func (c *lruCache) stats() (entries int, bytes int64) {
+func (c *LRUBackend) Stats() (entries int, bytes int64) {
 	if c == nil {
 		return 0, 0
 	}
@@ -168,9 +183,28 @@ func (c *lruCache) stats() (entries int, bytes int64) {
 	return len(c.items), c.size
 }
 
+// Keys returns stored keys most- to least-recently used — the
+// deterministic iteration order the conformance suite and snapshot
+// tooling rely on.
+func (c *LRUBackend) Keys() []Key {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.items))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}
+
+// Close implements CacheBackend; an in-memory store has nothing to release.
+func (c *LRUBackend) Close() error { return nil }
+
 // removeLocked unlinks one entry and updates the size accounting and
 // gauges. Callers hold c.mu.
-func (c *lruCache) removeLocked(el *list.Element, ent *cacheEntry) {
+func (c *LRUBackend) removeLocked(el *list.Element, ent *cacheEntry) {
 	c.order.Remove(el)
 	delete(c.items, ent.key)
 	c.size -= int64(len(ent.val))

@@ -8,18 +8,18 @@ import (
 	"github.com/zipchannel/zipchannel/internal/obs"
 )
 
-func key(s string) [32]byte { return cacheKey("compress", "lz77", []byte(s)) }
+func key(s string) Key { return cacheKey("compress", "lz77", "", []byte(s)) }
 
 // TestCacheKeySeparation guards the NUL-separated domain: op/codec/body
 // boundaries must not be ambiguous.
 func TestCacheKeySeparation(t *testing.T) {
-	a := cacheKey("compress", "lz77", []byte("x"))
-	b := cacheKey("compres", "slz77", []byte("x"))
-	c := cacheKey("compress", "lz77x", []byte(""))
+	a := cacheKey("compress", "lz77", "", []byte("x"))
+	b := cacheKey("compres", "slz77", "", []byte("x"))
+	c := cacheKey("compress", "lz77x", "", []byte(""))
 	if a == b || a == c || b == c {
 		t.Fatal("cache keys collide across field boundaries")
 	}
-	if a != cacheKey("compress", "lz77", []byte("x")) {
+	if a != cacheKey("compress", "lz77", "", []byte("x")) {
 		t.Fatal("cache key not deterministic")
 	}
 }
@@ -28,22 +28,22 @@ func TestCacheKeySeparation(t *testing.T) {
 // least-recently-used entry goes first, with counters tracking.
 func TestLRUEviction(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newLRUCache(100, reg)
+	c := NewLRUBackend(100, reg, "server.cache")
 
 	val := bytes.Repeat([]byte("v"), 40)
-	c.put(key("a"), val)
-	c.put(key("b"), val)
+	c.Put(key("a"), val)
+	c.Put(key("b"), val)
 	// Touch "a" so "b" is now least recently used.
-	if _, ok := c.get(key("a")); !ok {
+	if _, ok := c.Get(key("a")); !ok {
 		t.Fatal("a should be cached")
 	}
 	// 40 more bytes pushes size to 120 > 100: "b" must be evicted.
-	c.put(key("c"), val)
-	if _, ok := c.get(key("b")); ok {
+	c.Put(key("c"), val)
+	if _, ok := c.Get(key("b")); ok {
 		t.Fatal("b should have been evicted (LRU)")
 	}
 	for _, k := range []string{"a", "c"} {
-		if _, ok := c.get(key(k)); !ok {
+		if _, ok := c.Get(key(k)); !ok {
 			t.Fatalf("%s should still be cached", k)
 		}
 	}
@@ -63,22 +63,22 @@ func TestLRUEviction(t *testing.T) {
 // passed through without evicting everything else.
 func TestOversizedValueNotCached(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newLRUCache(100, reg)
-	c.put(key("small"), []byte("tiny"))
-	c.put(key("huge"), bytes.Repeat([]byte("h"), 200))
-	if _, ok := c.get(key("huge")); ok {
+	c := NewLRUBackend(100, reg, "server.cache")
+	c.Put(key("small"), []byte("tiny"))
+	c.Put(key("huge"), bytes.Repeat([]byte("h"), 200))
+	if _, ok := c.Get(key("huge")); ok {
 		t.Fatal("oversized value should not be cached")
 	}
-	if _, ok := c.get(key("small")); !ok {
+	if _, ok := c.Get(key("small")); !ok {
 		t.Fatal("small value should have survived the oversized put")
 	}
 }
 
 // TestNilCacheIsAlwaysMiss: disabled caching must be safe to call.
 func TestNilCacheIsAlwaysMiss(t *testing.T) {
-	var c *lruCache
-	c.put(key("x"), []byte("y"))
-	if _, ok := c.get(key("x")); ok {
+	var c *LRUBackend
+	c.Put(key("x"), []byte("y"))
+	if _, ok := c.Get(key("x")); ok {
 		t.Fatal("nil cache returned a hit")
 	}
 }
@@ -87,19 +87,19 @@ func TestNilCacheIsAlwaysMiss(t *testing.T) {
 // its size, and must move it to the front.
 func TestRePutRefreshesRecency(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newLRUCache(100, reg)
+	c := NewLRUBackend(100, reg, "server.cache")
 	val := bytes.Repeat([]byte("v"), 40)
-	c.put(key("a"), val)
-	c.put(key("b"), val)
-	c.put(key("a"), val) // refresh, no size change
+	c.Put(key("a"), val)
+	c.Put(key("b"), val)
+	c.Put(key("a"), val) // refresh, no size change
 	if c.size != 80 {
 		t.Fatalf("size = %d after re-put, want 80", c.size)
 	}
-	c.put(key("c"), val) // evicts b, not a
-	if _, ok := c.get(key("a")); !ok {
+	c.Put(key("c"), val) // evicts b, not a
+	if _, ok := c.Get(key("a")); !ok {
 		t.Fatal("a should have been refreshed by re-put")
 	}
-	if _, ok := c.get(key("b")); ok {
+	if _, ok := c.Get(key("b")); ok {
 		t.Fatal("b should have been evicted")
 	}
 }
@@ -108,9 +108,9 @@ func TestRePutRefreshesRecency(t *testing.T) {
 // the budget invariant.
 func TestManyEntries(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newLRUCache(1000, reg)
+	c := NewLRUBackend(1000, reg, "server.cache")
 	for i := 0; i < 200; i++ {
-		c.put(key(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("x"), 90))
+		c.Put(key(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("x"), 90))
 	}
 	if c.size > 1000 {
 		t.Fatalf("cache size %d exceeds budget 1000", c.size)

@@ -1,0 +1,74 @@
+package cachetest_test
+
+// The backend roster: every CacheBackend implementation the server
+// ships, plus the two-tier composite, run through the full conformance
+// battery. Adding a future backend to the suite is one Factory literal
+// in this table.
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/server"
+	"github.com/zipchannel/zipchannel/internal/server/cachetest"
+)
+
+func TestBackendConformance(t *testing.T) {
+	factories := []cachetest.Factory{
+		{Name: "lru", Prefix: "server.cache", New: newLRU},
+		{Name: "sharded", Prefix: "server.cache", New: newSharded},
+		{Name: "disk", Prefix: "server.cache", New: newDisk},
+		{Name: "peer", Prefix: "server.cache", New: newPeer},
+		{Name: "tiered", Prefix: "server.cache", New: newTiered},
+	}
+	for _, f := range factories {
+		t.Run(f.Name, func(t *testing.T) { cachetest.Run(t, f) })
+	}
+}
+
+func newLRU(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
+	return server.NewLRUBackend(budget, reg, "server.cache")
+}
+
+func newSharded(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
+	return server.NewShardedBackend(budget, 8, reg, "server.cache")
+}
+
+func newDisk(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
+	d, err := server.NewDiskBackend(t.TempDir(), budget, reg, "server.cache", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// newPeer boots a real zipserverd core whose cache surface the
+// PeerBackend fronts — the remote store is an LRU on the shared
+// registry (under its own prefix), and the peer process runs with a
+// fault registry so its chaos corrupt hook is mounted.
+func newPeer(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
+	remote := server.NewLRUBackend(budget, reg, "remote.cache")
+	srv := server.New(server.Config{
+		Registry: reg,
+		Cache:    remote,
+		PeerView: remote,
+		Faults:   fault.NewRegistry(99),
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return server.NewPeerBackend(ts.URL, 0, reg, "server.cache", nil)
+}
+
+// newTiered composes the default hierarchy: in-memory hot quarter over a
+// disk cold remainder, budget split so the composite's total stays
+// within what the harness asked for.
+func newTiered(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
+	hot := server.NewLRUBackend(budget/4, reg, "server.cache.hot")
+	cold, err := server.NewDiskBackend(t.TempDir(), budget-budget/4, reg, "server.cache.cold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.NewTiered(hot, cold, reg, "server.cache")
+}

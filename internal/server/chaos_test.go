@@ -208,7 +208,7 @@ func TestChaosBreakerServesCachedWhileOpen(t *testing.T) {
 	// not the cache, so this entry must stay servable throughout.
 	cachedBody := []byte("the body that was compressed before the outage")
 	cachedOut := []byte("previously-computed compressed bytes")
-	s.cache.put(cacheKey("compress", "lz77", cachedBody), cachedOut)
+	s.cache.Put(cacheKey("compress", "lz77", "", cachedBody), cachedOut)
 
 	postStatus := func(body []byte) (int, []byte, string) {
 		resp, err := http.Post(ts.URL+"/v1/lz77/compress", "application/octet-stream", bytes.NewReader(body))

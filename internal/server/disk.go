@@ -1,0 +1,273 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// Fault-point names the disk backend consults (armed via the same -faults
+// DSL as every other point; disarmed points cost one nil/len check).
+const (
+	// FaultDiskWrite fires on Put: an error injection makes the write
+	// fail, which the backend absorbs as a skipped store (degrade to
+	// uncached, never to a broken entry).
+	FaultDiskWrite = "server.cache.disk.write"
+	// FaultDiskRead fires on Get: an error injection makes the read
+	// fail, which the backend absorbs as a miss.
+	FaultDiskRead = "server.cache.disk.read"
+)
+
+// DiskBackend spills codec responses to files under a directory — the
+// cold tier of the default hierarchy: slower and bigger than the
+// in-memory LRU, surviving entry churn above it. Each entry is one file
+// (hex key + ".zc") laid out as a 32-byte SHA-256 of the value followed
+// by the value, so integrity survives the process: a Get re-hashes what
+// it read and a mismatch (torn write, chaos bit-flip) is a detected
+// corruption + miss, never wrong bytes. An in-memory index (map + LRU
+// list) keeps recency and strict byte accounting; eviction unlinks files.
+type DiskBackend struct {
+	mu    sync.Mutex
+	dir   string
+	max   int64
+	size  int64
+	order *list.List // front = most recently used; values are *diskEntry
+	items map[Key]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	bytes     *obs.Gauge
+	entries   *obs.Gauge
+	reg       *obs.Registry
+	prefix    string
+
+	fpWrite *fault.Point
+	fpRead  *fault.Point
+}
+
+type diskEntry struct {
+	key Key
+	len int64
+}
+
+// NewDiskBackend creates (mkdir -p) a disk cache rooted at dir with a
+// maxBytes value budget, counters under prefix, and fault points
+// registered on faults (nil disables injection). Pre-existing files in
+// dir are ignored: the index starts empty, so a fresh process starts from
+// a cold (but consistent) cache.
+func NewDiskBackend(dir string, maxBytes int64, reg *obs.Registry, prefix string, faults *fault.Registry) (*DiskBackend, error) {
+	if maxBytes <= 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskBackend{
+		dir:       dir,
+		max:       maxBytes,
+		order:     list.New(),
+		items:     map[Key]*list.Element{},
+		hits:      reg.Counter(prefix + ".hits"),
+		misses:    reg.Counter(prefix + ".misses"),
+		evictions: reg.Counter(prefix + ".evictions"),
+		bytes:     reg.Gauge(prefix + ".bytes"),
+		entries:   reg.Gauge(prefix + ".entries"),
+		reg:       reg,
+		prefix:    prefix,
+		fpWrite:   faults.Point(FaultDiskWrite),
+		fpRead:    faults.Point(FaultDiskRead),
+	}, nil
+}
+
+func (d *DiskBackend) path(key Key) string {
+	return filepath.Join(d.dir, hex.EncodeToString(key[:])+".zc")
+}
+
+// Name implements CacheBackend.
+func (d *DiskBackend) Name() string { return "disk" }
+
+// Get implements CacheBackend: an indexed entry is read back from its
+// file and integrity-checked. A read error (ENOENT after external
+// tampering, injected fault) is a miss; a checksum mismatch additionally
+// counts a detected corruption. Either way the entry is dropped so the
+// caller's re-put heals it.
+func (d *DiskBackend) Get(key Key) ([]byte, bool) {
+	if d == nil {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.items[key]
+	if !ok {
+		d.misses.Inc()
+		return nil, false
+	}
+	ent := el.Value.(*diskEntry)
+	if in := d.fpRead.Hit(); in.Kind == fault.KindError {
+		d.reg.Counter(d.prefix + ".read_errors").Inc()
+		d.misses.Inc()
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil || len(raw) < sha256.Size {
+		d.removeLocked(el, ent)
+		d.reg.Counter(d.prefix + ".read_errors").Inc()
+		d.misses.Inc()
+		return nil, false
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], raw[:sha256.Size])
+	val := raw[sha256.Size:]
+	if sha256.Sum256(val) != sum {
+		d.removeLocked(el, ent)
+		d.reg.Counter(d.prefix + ".corruptions_detected").Inc()
+		d.misses.Inc()
+		return nil, false
+	}
+	d.order.MoveToFront(el)
+	d.hits.Inc()
+	return val, true
+}
+
+// Put implements CacheBackend: value written as sum||val via a temp file
+// + rename so a crash mid-write can never leave a half entry under a
+// valid name. A failed write (disk full, injected fault) skips the store
+// — the response was already computed, so the degradation is "uncached",
+// never "broken".
+func (d *DiskBackend) Put(key Key, val []byte) {
+	if d == nil || int64(len(val)) > d.max {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if in := d.fpWrite.Hit(); in.Kind == fault.KindError {
+		d.reg.Counter(d.prefix + ".write_errors").Inc()
+		return
+	}
+	if err := d.writeEntry(key, val); err != nil {
+		d.reg.Counter(d.prefix + ".write_errors").Inc()
+		return
+	}
+	if el, ok := d.items[key]; ok {
+		ent := el.Value.(*diskEntry)
+		d.size += int64(len(val)) - ent.len
+		ent.len = int64(len(val))
+		d.order.MoveToFront(el)
+	} else {
+		d.items[key] = d.order.PushFront(&diskEntry{key: key, len: int64(len(val))})
+		d.size += int64(len(val))
+	}
+	for d.size > d.max {
+		back := d.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*diskEntry)
+		d.removeLocked(back, ent)
+		d.evictions.Inc()
+	}
+	d.bytes.Set(float64(d.size))
+	d.entries.Set(float64(len(d.items)))
+}
+
+func (d *DiskBackend) writeEntry(key Key, val []byte) error {
+	sum := sha256.Sum256(val)
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write(sum[:]); err == nil {
+		_, err = tmp.Write(val)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}
+
+// CorruptStored implements CacheBackend: the file's value region is
+// damaged while the stored checksum keeps the original digest — the next
+// Get must detect it.
+func (d *DiskBackend) CorruptStored(key Key, in fault.Injection) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.items[key]; !ok {
+		return
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil || len(raw) <= sha256.Size {
+		return
+	}
+	bad := append(raw[:sha256.Size:sha256.Size], in.CorruptCopy(raw[sha256.Size:])...)
+	os.WriteFile(d.path(key), bad, 0o644)
+}
+
+// Stats implements CacheBackend.
+func (d *DiskBackend) Stats() (entries int, bytes int64) {
+	if d == nil {
+		return 0, 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items), d.size
+}
+
+// Keys implements CacheBackend (MRU→LRU).
+func (d *DiskBackend) Keys() []Key {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]Key, 0, len(d.items))
+	for el := d.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*diskEntry).key)
+	}
+	return keys
+}
+
+// Close implements CacheBackend: drops the index and deletes the entry
+// files (the cache directory is disposable state, usually a temp dir).
+func (d *DiskBackend) Close() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for el := d.order.Front(); el != nil; el = el.Next() {
+		if err := os.Remove(d.path(el.Value.(*diskEntry).key)); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.order.Init()
+	d.items = map[Key]*list.Element{}
+	d.size = 0
+	d.bytes.Set(0)
+	d.entries.Set(0)
+	return first
+}
+
+// removeLocked unlinks one entry (index + file) and updates accounting.
+func (d *DiskBackend) removeLocked(el *list.Element, ent *diskEntry) {
+	d.order.Remove(el)
+	delete(d.items, ent.key)
+	d.size -= ent.len
+	os.Remove(d.path(ent.key))
+	d.bytes.Set(float64(d.size))
+	d.entries.Set(float64(len(d.items)))
+}

@@ -1,0 +1,76 @@
+package server
+
+// Fuzz targets for the request-header parsers. These parse
+// attacker-controlled input on every /v1 request, so the bar is total
+// robustness: no panic on any input, and the structural invariants below
+// hold unconditionally. Seeds cover quoted tags, weak validators, comma
+// lists, wildcard, quoted directive values, and malformed junk.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseCacheControl(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"no-cache",
+		"no-store, max-age=60",
+		`max-age="30"`,
+		"NO-CACHE,Max-Age=0",
+		"max-age=99999999999999999999",
+		"max-age=-1",
+		"=,,=;===",
+		"private, immutable, stale-while-revalidate=7",
+		"no-cache=\"field\", no-store",
+		strings.Repeat("a,", 100),
+		"max-age=\xc3\xa9\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cc := parseCacheControl(s)
+		if cc.MaxAge < -1 {
+			t.Fatalf("MaxAge = %d, below the -1 'absent' sentinel", cc.MaxAge)
+		}
+		if again := parseCacheControl(s); again != cc {
+			t.Fatal("parseCacheControl is not deterministic")
+		}
+	})
+}
+
+func FuzzParseIfNoneMatch(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		`"abc"`,
+		`W/"abc", "def"`,
+		`w/"x"`,
+		"*",
+		`"a", *, "b"`,
+		`"unterminated`,
+		`W/`,
+		`garbage, "ok", more garbage`,
+		`""`,
+		strings.Repeat(`W/"t",`, 50),
+		"\"\x00\xff\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tags, wildcard := parseIfNoneMatch(s)
+		for i, tag := range tags {
+			if strings.ContainsRune(tag, '"') {
+				t.Fatalf("tag %d %q contains a quote — quotes must be stripped", i, tag)
+			}
+		}
+		// etagMatches must be total over the same input space and agree
+		// with its own parser: a wildcard matches anything.
+		if m := etagMatches(s, `"deadbeef"`); wildcard && !m {
+			t.Fatal("wildcard header did not match")
+		}
+		tags2, wc2 := parseIfNoneMatch(s)
+		if wc2 != wildcard || len(tags2) != len(tags) {
+			t.Fatal("parseIfNoneMatch is not deterministic")
+		}
+	})
+}

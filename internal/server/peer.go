@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// FaultPeerGet fires on PeerBackend.Get: error injections skip the
+// network call entirely (peer down), latency injections delay it (slow
+// peer; combined with a short client timeout this is the peer-timeout
+// chaos scenario). Either degradation is a miss, never a failure.
+const FaultPeerGet = "server.cache.peer.get"
+
+// DefaultPeerTimeout bounds every peer cache exchange: a cold-tier
+// lookup that is slower than recomputing the response is worse than a
+// miss.
+const DefaultPeerTimeout = 2 * time.Second
+
+// PeerBackend fronts another zipserverd instance's cache over HTTP (the
+// /internal/cache surface served by every Server), making a fleet
+// member's cache a cold tier of this one — the cross-instance sharing
+// that turns N processes into one logical cache, and (deliberately,
+// for this repo's research goal) extends the shared-compression-state
+// attack surface across tenants on different machines: a content-
+// addressed hit is observable fleet-wide.
+//
+// Every value read from a peer is integrity-checked against the
+// X-Content-SHA256 trailer the peer computed at store time; a mismatch
+// (peer corruption, transport damage) is a detected corruption + miss.
+// Network failures and timeouts degrade to misses and a counter.
+type PeerBackend struct {
+	base   string
+	client *http.Client
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	errors  *obs.Counter
+	reg     *obs.Registry
+	prefix  string
+	fpGet   *fault.Point
+	timeout time.Duration
+}
+
+// NewPeerBackend creates a backend fronting the zipserverd instance at
+// baseURL (scheme://host:port, no trailing slash needed). timeout <= 0
+// means DefaultPeerTimeout.
+func NewPeerBackend(baseURL string, timeout time.Duration, reg *obs.Registry, prefix string, faults *fault.Registry) *PeerBackend {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &PeerBackend{
+		base:    baseURL,
+		client:  &http.Client{Timeout: timeout},
+		hits:    reg.Counter(prefix + ".hits"),
+		misses:  reg.Counter(prefix + ".misses"),
+		errors:  reg.Counter(prefix + ".errors"),
+		reg:     reg,
+		prefix:  prefix,
+		fpGet:   faults.Point(FaultPeerGet),
+		timeout: timeout,
+	}
+}
+
+func (p *PeerBackend) url(key Key) string {
+	return p.base + "/internal/cache/" + hex.EncodeToString(key[:])
+}
+
+// Name implements CacheBackend.
+func (p *PeerBackend) Name() string { return "peer" }
+
+// Get implements CacheBackend: one GET against the peer's cache surface.
+// Anything short of a verified 200 — connection refused, timeout, 404,
+// checksum mismatch, injected fault — is a miss.
+func (p *PeerBackend) Get(key Key) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	switch in := p.fpGet.Hit(); in.Kind {
+	case fault.KindError:
+		p.errors.Inc()
+		p.misses.Inc()
+		return nil, false
+	case fault.KindLatency:
+		time.Sleep(time.Duration(in.Param) * time.Microsecond)
+	}
+	resp, err := p.client.Get(p.url(key))
+	if err != nil {
+		p.errors.Inc()
+		p.misses.Inc()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound {
+			p.errors.Inc()
+		}
+		p.misses.Inc()
+		return nil, false
+	}
+	val, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.errors.Inc()
+		p.misses.Inc()
+		return nil, false
+	}
+	sum := sha256.Sum256(val)
+	if hex.EncodeToString(sum[:]) != resp.Header.Get("X-Content-SHA256") {
+		p.reg.Counter(p.prefix + ".corruptions_detected").Inc()
+		p.misses.Inc()
+		return nil, false
+	}
+	p.hits.Inc()
+	return val, true
+}
+
+// Put implements CacheBackend: one PUT against the peer. Store failures
+// degrade to "uncached on the peer" plus a counter.
+func (p *PeerBackend) Put(key Key, val []byte) {
+	if p == nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, p.url(key), bytes.NewReader(val))
+	if err != nil {
+		p.errors.Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errors.Inc()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		p.errors.Inc()
+	}
+}
+
+// CorruptStored implements CacheBackend by asking the peer to damage its
+// stored entry (the peer's chaos surface; enabled there only when the
+// peer runs with a fault registry). Chaos-only, like every
+// CorruptStored.
+func (p *PeerBackend) CorruptStored(key Key, in fault.Injection) {
+	if p == nil || in.Kind != fault.KindCorrupt {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		p.url(key)+"/corrupt?rand="+fmt.Sprint(in.Rand), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := p.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// peerIndex is the GET /internal/cache listing: occupancy plus keys in
+// the peer's deterministic MRU→LRU order.
+type peerIndex struct {
+	Backend string   `json:"backend"`
+	Entries int      `json:"entries"`
+	Bytes   int64    `json:"bytes"`
+	Keys    []string `json:"keys"`
+}
+
+func (p *PeerBackend) index() (peerIndex, bool) {
+	var idx peerIndex
+	resp, err := p.client.Get(p.base + "/internal/cache")
+	if err != nil {
+		p.errors.Inc()
+		return idx, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.errors.Inc()
+		return idx, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		p.errors.Inc()
+		return idx, false
+	}
+	return idx, true
+}
+
+// Stats implements CacheBackend (zeros when the peer is unreachable).
+func (p *PeerBackend) Stats() (entries int, bytes int64) {
+	if p == nil {
+		return 0, 0
+	}
+	idx, ok := p.index()
+	if !ok {
+		return 0, 0
+	}
+	return idx.Entries, idx.Bytes
+}
+
+// Keys implements CacheBackend: the peer's own deterministic order (nil
+// when unreachable).
+func (p *PeerBackend) Keys() []Key {
+	if p == nil {
+		return nil
+	}
+	idx, ok := p.index()
+	if !ok {
+		return nil
+	}
+	keys := make([]Key, 0, len(idx.Keys))
+	for _, s := range idx.Keys {
+		raw, err := hex.DecodeString(s)
+		if err != nil || len(raw) != sha256.Size {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Close implements CacheBackend.
+func (p *PeerBackend) Close() error {
+	if p != nil {
+		p.client.CloseIdleConnections()
+	}
+	return nil
+}

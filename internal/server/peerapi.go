@@ -1,0 +1,137 @@
+package server
+
+// The /internal/cache surface: what one zipserverd instance exposes so
+// another instance's PeerBackend can mount it as a cold tier. Deliberately
+// minimal — content-addressed GET/PUT plus an index — and served from
+// Config.PeerView, which a tiered instance points at its *local* tiers
+// only, so two instances peered at each other terminate instead of
+// recursing. The chaos corrupt hook is mounted only when the process runs
+// with a fault registry.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+)
+
+// parseCacheKeyPath decodes the {key} path value (64 hex chars).
+func parseCacheKeyPath(r *http.Request) (Key, bool) {
+	var key Key
+	raw, err := hex.DecodeString(r.PathValue("key"))
+	if err != nil || len(raw) != sha256.Size {
+		return key, false
+	}
+	copy(key[:], raw)
+	return key, true
+}
+
+// handleCacheFetch serves GET /internal/cache/{key}: the stored value
+// with its SHA-256 in X-Content-SHA256 (computed over the integrity-
+// verified bytes, so the caller can detect transport damage), or 404.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	key, ok := parseCacheKeyPath(r)
+	if !ok {
+		http.Error(w, "bad cache key (want 64 hex chars)", http.StatusBadRequest)
+		return
+	}
+	if s.peerView == nil {
+		http.Error(w, "cache disabled", http.StatusNotFound)
+		return
+	}
+	val, ok := s.peerView.Get(key)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.reg.Counter("server.peerapi.served").Inc()
+	sum := sha256.Sum256(val)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Content-SHA256", hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Length", fmt.Sprint(len(val)))
+	w.Write(val)
+}
+
+// handleCacheStore serves PUT /internal/cache/{key}: stores the body
+// under the key. The key hashes the *request* that produced the value,
+// not the value itself, so the store cannot verify the binding — it
+// enforces only the size cap. A peer storing garbage poisons only
+// entries it alone addresses, and every read path re-verifies integrity
+// before serving.
+func (s *Server) handleCacheStore(w http.ResponseWriter, r *http.Request) {
+	key, ok := parseCacheKeyPath(r)
+	if !ok {
+		http.Error(w, "bad cache key (want 64 hex chars)", http.StatusBadRequest)
+		return
+	}
+	if s.peerView == nil {
+		http.Error(w, "cache disabled", http.StatusServiceUnavailable)
+		return
+	}
+	val, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody*2+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(val)) > s.maxBody*2 {
+		// Compressed responses can exceed the request cap (incompressible
+		// input + framing), but never by 2x.
+		http.Error(w, "entry exceeds peer store cap", http.StatusRequestEntityTooLarge)
+		return
+	}
+	s.peerView.Put(key, val)
+	s.reg.Counter("server.peerapi.stored").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCacheIndex serves GET /internal/cache: occupancy and the
+// deterministic MRU→LRU key listing (the peer Stats/Keys view).
+func (s *Server) handleCacheIndex(w http.ResponseWriter, r *http.Request) {
+	idx := peerIndex{Backend: "disabled"}
+	if s.peerView != nil {
+		idx.Backend = s.peerView.Name()
+		idx.Entries, idx.Bytes = s.peerView.Stats()
+		keys := s.peerView.Keys()
+		idx.Keys = make([]string, len(keys))
+		for i, k := range keys {
+			idx.Keys[i] = hex.EncodeToString(k[:])
+		}
+	}
+	b, err := json.Marshal(idx)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// handleCacheCorrupt serves POST /internal/cache/{key}/corrupt — the
+// chaos hook behind PeerBackend.CorruptStored, mounted only when this
+// process runs with a fault registry. The rand query parameter carries
+// the injection's deterministic payload so the flipped byte is
+// reproducible across runs.
+func (s *Server) handleCacheCorrupt(w http.ResponseWriter, r *http.Request) {
+	key, ok := parseCacheKeyPath(r)
+	if !ok {
+		http.Error(w, "bad cache key (want 64 hex chars)", http.StatusBadRequest)
+		return
+	}
+	if s.peerView == nil {
+		http.Error(w, "cache disabled", http.StatusServiceUnavailable)
+		return
+	}
+	rnd, err := strconv.ParseUint(r.URL.Query().Get("rand"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad rand parameter", http.StatusBadRequest)
+		return
+	}
+	s.peerView.CorruptStored(key, fault.Injection{Kind: fault.KindCorrupt, Point: "peerapi", Rand: rnd})
+	s.reg.Counter("server.peerapi.corruptions_injected").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -87,6 +87,11 @@ const (
 // breaker failures) rather than 400s.
 var errTransient = errors.New("transient codec failure")
 
+// errBreakerOpen marks a request rejected by an open circuit breaker, so
+// a singleflight follower sharing the leader's outcome maps it to the
+// same 503 the leader sent.
+var errBreakerOpen = errors.New("circuit open")
+
 // Config parameterizes a Server. The zero value is fully usable: default
 // caps, GOMAXPROCS workers, a fresh registry, no fault injection.
 type Config struct {
@@ -94,8 +99,21 @@ type Config struct {
 	// Oversized requests get 413.
 	MaxBodyBytes int64
 	// CacheBytes budgets the response cache; 0 means DefaultCacheBytes,
-	// negative disables caching entirely.
+	// negative disables caching entirely. Ignored when Cache is set.
 	CacheBytes int64
+	// Cache overrides the default single-LRU backend with any
+	// CacheBackend composition (sharded, disk, tiered, peer — see
+	// DESIGN.md §10). Nil means a byte-budgeted LRU of CacheBytes.
+	Cache CacheBackend
+	// PeerView is the backend served to other zipserverd instances on
+	// GET/PUT /internal/cache/{key}. Nil means Cache. A tiered setup
+	// whose cold tier is a remote peer MUST set PeerView to its local
+	// tiers only, or two instances peered at each other would recurse.
+	PeerView CacheBackend
+	// CacheMaxAge is the max-age (seconds) advertised in the
+	// Cache-Control response header on /v1 responses; 0 means
+	// DefaultCacheMaxAge, negative disables the header.
+	CacheMaxAge int
 	// Workers caps concurrent codec executions; <= 0 means GOMAXPROCS.
 	Workers int
 	// Registry receives merged per-request metrics and serves /metrics.
@@ -148,7 +166,10 @@ type Server struct {
 	maxBody    int64
 	reg        *obs.Registry
 	gate       *par.Gate
-	cache      *lruCache
+	cache      CacheBackend
+	peerView   CacheBackend
+	flight     flightGroup
+	maxAge     int
 	mux        *http.ServeMux
 	reqTimeout time.Duration
 	retries    int
@@ -203,11 +224,31 @@ func New(cfg Config) *Server {
 	if cfg.SLOLatency == 0 {
 		cfg.SLOLatency = DefaultSLOLatency
 	}
+	if cfg.CacheMaxAge == 0 {
+		cfg.CacheMaxAge = DefaultCacheMaxAge
+	} else if cfg.CacheMaxAge < 0 {
+		cfg.CacheMaxAge = 0
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		// The typed-nil guard matters: a disabled LRU is a nil
+		// *LRUBackend, which must become a nil interface, not a non-nil
+		// interface wrapping nil.
+		if lru := NewLRUBackend(cfg.CacheBytes, cfg.Registry, "server.cache"); lru != nil {
+			cache = lru
+		}
+	}
+	peerView := cfg.PeerView
+	if peerView == nil {
+		peerView = cache
+	}
 	s := &Server{
 		maxBody:          cfg.MaxBodyBytes,
 		reg:              cfg.Registry,
 		gate:             par.NewGate(cfg.Workers),
-		cache:            newLRUCache(cfg.CacheBytes, cfg.Registry),
+		cache:            cache,
+		peerView:         peerView,
+		maxAge:           cfg.CacheMaxAge,
 		mux:              http.NewServeMux(),
 		reqTimeout:       cfg.RequestTimeout,
 		retries:          cfg.CodecRetries,
@@ -250,6 +291,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/{codec}/{op}", s.handleCodec)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The peer cache surface: other zipserverd instances mount this
+	// server's cache as their cold tier (PeerBackend). Stays outside the
+	// traced /v1 path — peer exchanges advance no sim step.
+	s.mux.HandleFunc("GET /internal/cache", s.handleCacheIndex)
+	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleCacheFetch)
+	s.mux.HandleFunc("PUT /internal/cache/{key}", s.handleCacheStore)
+	if cfg.Faults != nil {
+		// The chaos surface: lets a chaos driver (or a PeerBackend's
+		// CorruptStored) flip a byte in this instance's stored entry.
+		// Mounted only when the process opted into fault injection.
+		s.mux.HandleFunc("POST /internal/cache/{key}/corrupt", s.handleCacheCorrupt)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -386,6 +439,13 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 	req.Counter("server.requests").Inc()
 	req.Counter("server.codec." + name + "." + op).Inc()
 
+	level, err := parseLevel(r.Header.Get(LevelHeader))
+	if err != nil {
+		req.Counter("server.errors.bad_level").Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	body, ok := s.readBody(w, r, req)
 	if !ok {
 		return
@@ -393,27 +453,43 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 	req.Counter("server.bytes_in").Add(uint64(len(body)))
 	ri.bytesIn = len(body)
 
-	key := cacheKey(op, name, body)
-	useCache := s.cache != nil
+	// The content address doubles as the strong ETag: a deterministic
+	// codec makes the hash of the request a validator of the response,
+	// so If-None-Match revalidation costs zero codec work.
+	key := cacheKey(op, name, level, body)
+	etag := etagFor(key)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		req.Counter("server.http.not_modified").Inc()
+		ri.cacheTier = "revalidated"
+		s.setCacheHeaders(w.Header(), name, etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	reqCC := parseCacheControl(r.Header.Get("Cache-Control"))
+	useCache := s.cache != nil && !reqCC.NoStore
+	lookup := useCache && !reqCC.NoCache
 	if in := s.fpCacheGet.Hit(); in.Fired() {
 		switch in.Kind {
 		case fault.KindCorrupt:
 			// A storage bit-flip lands on this key's entry; the integrity
 			// check below turns it into a detected corruption + miss.
-			s.cache.corruptStored(key, in)
+			if s.cache != nil {
+				s.cache.CorruptStored(key, in)
+			}
 		default:
 			// Cache backend unavailable: degrade to a full bypass for
 			// this request (no lookup, no store) instead of failing it.
-			useCache = false
+			useCache, lookup = false, false
 			ri.cacheTier = "bypass"
 			req.Counter("server.cache.bypass").Inc()
 		}
 	}
 	var out []byte
 	cached := false
-	if useCache {
+	if lookup {
 		_, csp := s.tracer.StartSpan(r.Context(), "server.cache.lookup")
-		out, cached = s.cache.get(key)
+		out, cached = s.cache.Get(key)
 		csp.SetAttr("hit", cached)
 		csp.End()
 		if cached {
@@ -423,67 +499,49 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !cached {
-		bk := s.breakerFor(name + "/" + op)
-		_, bsp := s.tracer.StartSpan(r.Context(), "server.breaker.check")
-		allowed := bk.allow()
-		ri.breaker = bk.stateName()
-		bsp.SetAttr("state", ri.breaker)
-		bsp.SetAttr("allowed", allowed)
-		bsp.End()
-		s.updateBreakerGauge(name, op, bk)
-		if !allowed {
-			req.Counter("server.breaker.rejected").Inc()
-			http.Error(w, fmt.Sprintf("%s %s temporarily unavailable (circuit open)", name, op),
-				http.StatusServiceUnavailable)
-			return
+		// Miss path: coalesce concurrent misses on this key so a storm
+		// costs one codec execution; the leader runs breaker + codec +
+		// store, followers share the outcome (including failure).
+		flightOut, shared, codecErr := s.flight.do(key, func() ([]byte, error) {
+			return s.missOnce(r, req, ri, cd, name, op, fp, run, body, key, useCache)
+		})
+		if shared {
+			req.Counter("server.flight.shared").Inc()
+			ri.cacheTier = "coalesced"
 		}
-		var codecErr error
-		out, codecErr = s.runCodec(r.Context(), req, cd, op, fp, run, body)
+		out = flightOut
 		if codecErr != nil {
 			switch {
+			case errors.Is(codecErr, errBreakerOpen):
+				req.Counter("server.breaker.rejected").Inc()
+				http.Error(w, fmt.Sprintf("%s %s temporarily unavailable (circuit open)", name, op),
+					http.StatusServiceUnavailable)
 			case errors.Is(codecErr, context.DeadlineExceeded) || errors.Is(codecErr, context.Canceled):
 				// Load, not codec health: no breaker record.
 				req.Counter("server.errors.deadline").Inc()
 				http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
 			case errors.Is(codecErr, errTransient):
 				req.Counter("server.errors.transient").Inc()
-				if bk.record(false) {
-					req.Counter("server.breaker.trips").Inc()
-				}
-				s.updateBreakerGauge(name, op, bk)
 				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusInternalServerError)
 			default:
 				// Genuine codec error: the input is bad, the codec is
 				// healthy.
-				bk.record(true)
 				req.Counter("server.errors.codec").Inc()
 				http.Error(w, fmt.Sprintf("%s %s: %v", name, op, codecErr), http.StatusBadRequest)
 			}
-			ri.breaker = bk.stateName()
 			return
-		}
-		bk.record(true)
-		ri.breaker = bk.stateName()
-		s.updateBreakerGauge(name, op, bk)
-		if useCache {
-			if in := s.fpCachePut.Hit(); in.Fired() {
-				// Store unavailable: serve the response uncached.
-				req.Counter("server.cache.bypass").Inc()
-			} else {
-				_, psp := s.tracer.StartSpan(r.Context(), "server.cache.store")
-				s.cache.put(key, out)
-				psp.SetAttr("bytes", len(out))
-				psp.End()
-			}
 		}
 	}
 
 	hdr := w.Header()
 	hdr.Set("Content-Type", "application/octet-stream")
-	hdr.Set("X-Codec", name)
-	if cached {
+	s.setCacheHeaders(hdr, name, etag)
+	switch {
+	case cached:
 		hdr.Set("X-Cache", "HIT")
-	} else {
+	case ri.cacheTier == "coalesced":
+		hdr.Set("X-Cache", "COALESCED")
+	default:
 		hdr.Set("X-Cache", "MISS")
 	}
 	hdr.Set("Content-Length", fmt.Sprint(len(out)))
@@ -492,6 +550,68 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Counter("server.bytes_out").Add(uint64(len(out)))
+}
+
+// setCacheHeaders stamps the HTTP cache envelope on a cacheable /v1
+// response: the strong ETag, the freshness lifetime, and the Vary
+// partition (the codec level header; the codec itself is in the URL, so
+// the URL already partitions on it).
+func (s *Server) setCacheHeaders(hdr http.Header, name, etag string) {
+	hdr.Set("X-Codec", name)
+	hdr.Set("ETag", etag)
+	hdr.Set("Vary", LevelHeader)
+	if s.maxAge > 0 {
+		hdr.Set("Cache-Control", fmt.Sprintf("public, max-age=%d", s.maxAge))
+	}
+}
+
+// missOnce is the singleflight leader's path for one cache miss: breaker
+// admission, codec execution with retries, breaker bookkeeping, and the
+// write-back to the cache hierarchy. Followers coalesced onto this call
+// share its return value verbatim.
+func (s *Server) missOnce(r *http.Request, req *obs.Registry, ri *reqInfo, cd codec.Codec,
+	name, op string, fp *fault.Point, run func([]byte) ([]byte, error), body []byte,
+	key Key, store bool) ([]byte, error) {
+	bk := s.breakerFor(name + "/" + op)
+	_, bsp := s.tracer.StartSpan(r.Context(), "server.breaker.check")
+	allowed := bk.allow()
+	ri.breaker = bk.stateName()
+	bsp.SetAttr("state", ri.breaker)
+	bsp.SetAttr("allowed", allowed)
+	bsp.End()
+	s.updateBreakerGauge(name, op, bk)
+	if !allowed {
+		return nil, errBreakerOpen
+	}
+	out, codecErr := s.runCodec(r.Context(), req, cd, op, fp, run, body)
+	if codecErr != nil {
+		if errors.Is(codecErr, errTransient) {
+			if bk.record(false) {
+				req.Counter("server.breaker.trips").Inc()
+			}
+		} else if !errors.Is(codecErr, context.DeadlineExceeded) && !errors.Is(codecErr, context.Canceled) {
+			// Genuine codec error (bad input): the codec is healthy.
+			bk.record(true)
+		}
+		ri.breaker = bk.stateName()
+		s.updateBreakerGauge(name, op, bk)
+		return nil, codecErr
+	}
+	bk.record(true)
+	ri.breaker = bk.stateName()
+	s.updateBreakerGauge(name, op, bk)
+	if store {
+		if in := s.fpCachePut.Hit(); in.Fired() {
+			// Store unavailable: serve the response uncached.
+			req.Counter("server.cache.bypass").Inc()
+		} else {
+			_, psp := s.tracer.StartSpan(r.Context(), "server.cache.store")
+			s.cache.Put(key, out)
+			psp.SetAttr("bytes", len(out))
+			psp.End()
+		}
+	}
+	return out, nil
 }
 
 // readBody streams in at most maxBody bytes, rejecting oversized requests
@@ -580,6 +700,7 @@ func (s *Server) execOnce(req *obs.Registry, fp *fault.Point,
 			out, err = nil, fmt.Errorf("%w: codec panic: %v", errTransient, v)
 		}
 	}()
+	req.Counter("server.codec.executions").Inc()
 	in := fp.Hit()
 	if in.Fired() {
 		sp.SetAttr("fault", in.Kind.String())
@@ -640,9 +761,10 @@ type healthResponse struct {
 }
 
 type healthCache struct {
-	Enabled bool  `json:"enabled"`
-	Entries int   `json:"entries"`
-	Bytes   int64 `json:"bytes"`
+	Enabled bool   `json:"enabled"`
+	Backend string `json:"backend,omitempty"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
 }
 
 // handleHealthz is the liveness probe: a structured JSON health report.
@@ -655,7 +777,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		breakers[key] = b.stateName()
 	}
 	s.bkMu.Unlock()
-	entries, storedBytes := s.cache.stats()
+	cacheHealth := healthCache{}
+	if s.cache != nil {
+		entries, storedBytes := s.cache.Stats()
+		cacheHealth = healthCache{
+			Enabled: true,
+			Backend: s.cache.Name(),
+			Entries: entries,
+			Bytes:   storedBytes,
+		}
+	}
 	resp := healthResponse{
 		Status:         "ok",
 		Version:        Version,
@@ -665,11 +796,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSimSteps: s.simSteps.Load(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Breakers:       breakers,
-		Cache: healthCache{
-			Enabled: s.cache != nil,
-			Entries: entries,
-			Bytes:   storedBytes,
-		},
+		Cache:          cacheHealth,
 	}
 	b, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {

@@ -85,6 +85,9 @@ func (s *Server) declareMetrics() {
 		"server.cache.evictions",
 		"server.breaker.rejected",
 		"server.breaker.trips",
+		"server.codec.executions",
+		"server.flight.shared",
+		"server.http.not_modified",
 	)
 	s.reg.DeclareGauges("server.cache.bytes", "server.cache.entries")
 	s.reg.DeclareHistograms("server.request_latency_us")

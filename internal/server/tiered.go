@@ -1,0 +1,151 @@
+package server
+
+import (
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// TieredBackend composes a small fast hot tier over a large slow cold
+// tier (in the default hierarchy: in-memory LRU over disk; in a cluster:
+// local tiers over a remote peer). Semantics:
+//
+//   - Get: hot hit wins; a cold hit is promoted into the hot tier on its
+//     way out (so a re-hit is cheap); a double miss is a miss.
+//   - Put: write-through to both tiers, so hot evictions never lose a
+//     still-warm entry that the cold tier can hold.
+//   - Integrity: each tier carries its own SHA-256 verification. A
+//     corrupt hot entry degrades to the cold tier; a corrupt cold entry
+//     degrades to a miss. Corrupt bytes can never cross a tier boundary
+//     because promotion re-verifies on the cold tier's Get.
+//
+// The composite maintains the aggregate hits/misses series under its own
+// prefix (the classic "server.cache" names, so single-LRU dashboards and
+// zipload's hit-rate report keep working unchanged), while each tier
+// keeps its per-tier series (server.cache.hot.*, server.cache.cold.*) —
+// the per-tier hit rates the cluster bench reports.
+type TieredBackend struct {
+	hot, cold CacheBackend
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	promotions *obs.Counter
+}
+
+// NewTiered composes hot over cold with aggregate counters under prefix.
+// Either tier may be nil (the composite degrades to the other); both nil
+// yields a nil composite (caching disabled).
+func NewTiered(hot, cold CacheBackend, reg *obs.Registry, prefix string) *TieredBackend {
+	if hot == nil && cold == nil {
+		return nil
+	}
+	return &TieredBackend{
+		hot:        hot,
+		cold:       cold,
+		hits:       reg.Counter(prefix + ".hits"),
+		misses:     reg.Counter(prefix + ".misses"),
+		promotions: reg.Counter(prefix + ".promotions"),
+	}
+}
+
+// Name implements CacheBackend.
+func (t *TieredBackend) Name() string {
+	n := "tiered("
+	if t.hot != nil {
+		n += t.hot.Name()
+	}
+	n += "/"
+	if t.cold != nil {
+		n += t.cold.Name()
+	}
+	return n + ")"
+}
+
+// Get implements CacheBackend: hot, then cold with promotion.
+func (t *TieredBackend) Get(key Key) ([]byte, bool) {
+	if t.hot != nil {
+		if val, ok := t.hot.Get(key); ok {
+			t.hits.Inc()
+			return val, true
+		}
+	}
+	if t.cold != nil {
+		if val, ok := t.cold.Get(key); ok {
+			if t.hot != nil {
+				t.hot.Put(key, val)
+				t.promotions.Inc()
+			}
+			t.hits.Inc()
+			return val, true
+		}
+	}
+	t.misses.Inc()
+	return nil, false
+}
+
+// Put implements CacheBackend (write-through).
+func (t *TieredBackend) Put(key Key, val []byte) {
+	if t.hot != nil {
+		t.hot.Put(key, val)
+	}
+	if t.cold != nil {
+		t.cold.Put(key, val)
+	}
+}
+
+// CorruptStored implements CacheBackend. The chaos target is the cold
+// tier when present ("corrupt cold-tier entry" is the scenario the
+// hierarchy must absorb: the hot copy — if any — still serves, and once
+// it evicts, the cold read must detect the damage rather than serve it).
+func (t *TieredBackend) CorruptStored(key Key, in fault.Injection) {
+	if t.cold != nil {
+		t.cold.CorruptStored(key, in)
+		return
+	}
+	t.hot.CorruptStored(key, in)
+}
+
+// Stats implements CacheBackend: occupancy summed over tiers (a
+// write-through entry counts in each tier holding it, matching what the
+// tiers' own gauges report).
+func (t *TieredBackend) Stats() (entries int, bytes int64) {
+	for _, b := range []CacheBackend{t.hot, t.cold} {
+		if b != nil {
+			e, n := b.Stats()
+			entries += e
+			bytes += n
+		}
+	}
+	return entries, bytes
+}
+
+// Keys implements CacheBackend: hot tier MRU→LRU, then cold-tier keys not
+// already listed — one deterministic view of the hierarchy.
+func (t *TieredBackend) Keys() []Key {
+	var keys []Key
+	seen := map[Key]bool{}
+	for _, b := range []CacheBackend{t.hot, t.cold} {
+		if b == nil {
+			continue
+		}
+		for _, k := range b.Keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// Close implements CacheBackend.
+func (t *TieredBackend) Close() error {
+	var first error
+	for _, b := range []CacheBackend{t.hot, t.cold} {
+		if b != nil {
+			if err := b.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
