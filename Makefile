@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-cluster bench-smoke smoke smoke-server smoke-obs golden clean test-fuzz test-parallel test-chaos
+.PHONY: all build vet test race bench bench-json bench-compare bench-cluster bench-smoke smoke smoke-server smoke-obs smoke-pages golden clean test-fuzz test-parallel test-chaos
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 # HTTP compression service, and the experiment scheduler (fake-runner +
 # cheap real-runner tests).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/server/...
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/pagestore/...
 	$(GO) test -race -run 'TestRunAll' ./internal/experiments/
 
 # Short round-trip fuzz pass over every from-scratch compressor (the
@@ -31,6 +31,7 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/compress/huffcoding/
 	$(GO) test -run '^$$' -fuzz FuzzParseCacheControl -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzParseIfNoneMatch -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzPageRoundTrip -fuzztime $(FUZZTIME) ./internal/pagestore/
 
 # The scheduler's determinism contract: the full quick suite must be
 # byte-identical at parallelism 1 and 8 (manifests and merged snapshot),
@@ -45,7 +46,7 @@ bench:
 
 # Machine-readable perf record for this PR (the repo's performance
 # trajectory; bump the filename each PR that re-measures).
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
@@ -158,6 +159,30 @@ smoke-obs:
 	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
 	exit $$status
 
+# smoke-pages: the remote compression-time oracle end to end (DESIGN.md
+# §11). Boots zipserverd with the compressed page store mounted and a
+# secret planted next to a 64-byte attacker region, then runs zippages
+# over plain HTTP and requires it to recover the full secret from
+# X-Page-Steps store costs alone.
+smoke-pages:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zippages ./cmd/zippages; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		-pagestore -pagestore-plant 'victim=64:key=HUNTER2SECRET000' 2>$$tmp/server.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "zipserverd never bound"; kill $$pid; exit 1; }; \
+	status=0; \
+	$$tmp/zippages -server http://$$(cat $$tmp/addr) -page victim \
+		-prefix key= -len 16 | tee $$tmp/pages.txt || status=$$?; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	[ $$status -eq 0 ] || exit $$status; \
+	grep -q 'HUNTER2SECRET000' $$tmp/pages.txt || \
+		{ echo "zippages did not recover the planted secret"; exit 1; }; \
+	echo "smoke-pages: remote oracle recovered the planted secret over HTTP"
+
 # Chaos suite (DESIGN.md §8). Three layers:
 #   1. In-process chaos tests under -race: concurrent faulted server load
 #      (zero round-trip corruption), breaker/deadline/disarmed-invisibility
@@ -173,8 +198,8 @@ smoke-obs:
 CHAOS_FAULTS = server.codec.compress=error:0.04,server.codec.compress=panic:0.02,server.codec.compress=corrupt:0.02,server.codec.decompress=error:0.05,server.codec.decompress=panic:0.02,server.cache.get=corrupt:0.03,server.gate.acquire=latency:0.05:300,server.cache.disk.write=error:0.05,server.cache.disk.read=error:0.05
 test-chaos:
 	ZIPCHAOS_FULL=1 $(GO) test -race -count=1 \
-		-run 'TestChaos|TestDisarmedFaultsAreInvisible|TestRunLoadRetriesRecoverInjectedFaults' \
-		./internal/server/ ./internal/zipchannel/ ./cmd/zipload/
+		-run 'TestChaos|TestDisarmedFaultsAreInvisible|TestRunLoadRetriesRecoverInjectedFaults|TestPageTrafficRecoversFromTransientCorruption' \
+		./internal/server/ ./internal/zipchannel/ ./cmd/zipload/ ./internal/pagestore/
 	@set -e; \
 	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -race -o $$tmp/zipserverd ./cmd/zipserverd; \

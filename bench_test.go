@@ -85,6 +85,31 @@ func BenchmarkFig7Fingerprint(b *testing.B) { benchExperiment(b, "fig7", "testAc
 // BenchmarkFig8Lipsum regenerates the repetitiveness matrix (E9).
 func BenchmarkFig8Lipsum(b *testing.B) { benchExperiment(b, "fig8", "testAcc", "file1Diag") }
 
+// BenchmarkPageStoreAttack regenerates the compressed-page-store oracle
+// (E12): recovery accuracy clean and under timer jitter, oracle queries
+// per recovered byte, and page-store throughput (pages/sec is wall
+// clock, the rest are deterministic).
+func BenchmarkPageStoreAttack(b *testing.B) {
+	r, ok := experiments.Lookup("pagestore")
+	if !ok {
+		b.Fatal("pagestore experiment not registered")
+	}
+	var last map[string]float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(&experiments.Ctx{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Metrics
+	}
+	for _, k := range []string{"byteAcc", "jitterAcc", "queriesPerByte", "fpAcc"} {
+		b.ReportMetric(last[k], k)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(last["pageStores"]*float64(b.N)/secs, "pages/sec")
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkCacheAccess measures the simulated LLC's access throughput.

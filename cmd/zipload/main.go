@@ -61,6 +61,9 @@ func run() error {
 		verify   = flag.Bool("verify", true, "round-trip every compression through decompress")
 		bodyCap  = flag.Int("body-bytes", 4096, "truncate corpus bodies to this many bytes")
 		metrics  = flag.String("metrics", "", "write the merged client obs snapshot to this file")
+		pageFrac = flag.Float64("pagestore", 0, "fraction of iterations that drive PUT/GET /v1/pages/{id} (0 disables; requires zipserverd -pagestore)")
+		pageIDs  = flag.Int("page-ids", 4, "distinct page ids per client for -pagestore traffic")
+		pageB    = flag.Int("page-bytes", 4096, "page payload cap; match the server's -page-size")
 		retries  = flag.Int("retries", 3, "retry attempts per request on 5xx/connection errors (0 disables)")
 		rbase    = flag.Duration("retry-base", 5*time.Millisecond, "exponential-backoff base; jitter in [0,base) is drawn from the client's seeded RNG")
 	)
@@ -81,6 +84,9 @@ func run() error {
 		Seed:      *seed,
 		Verify:    *verify,
 		BodyCap:   *bodyCap,
+		PageFrac:  *pageFrac,
+		PageIDs:   *pageIDs,
+		PageBytes: *pageB,
 		Retries:   *retries,
 		RetryBase: *rbase,
 	}
@@ -148,6 +154,15 @@ type loadConfig struct {
 	Seed     int64
 	Verify   bool
 	BodyCap  int
+	// PageFrac > 0 makes that fraction of each client's iterations page
+	// traffic (see pages.go). Strictly opt-in: 0 draws nothing from the
+	// page RNG stream and folds no page response into the digest, so
+	// baselines are byte-identical whether or not the servers mount a
+	// page store.
+	PageFrac  float64
+	PageIDs   int
+	PageBytes int
+	pagePool  [][]byte // set by runLoad when PageFrac > 0
 	// Retries is the per-request retry budget against transient failures
 	// (5xx and connection errors; 4xx are never retried). Backoff is
 	// RetryBase·2^attempt plus a jitter in [0, RetryBase) drawn from the
@@ -216,7 +231,21 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
 		return nil, fmt.Errorf("-zipf skew must be > 1 (got %g)", cfg.ZipfS)
 	}
+	if cfg.PageFrac < 0 || cfg.PageFrac > 1 {
+		return nil, fmt.Errorf("-pagestore fraction must be in [0,1] (got %g)", cfg.PageFrac)
+	}
 	pool := bodyPool(cfg.Seed, cfg.BodyCap)
+	if cfg.PageFrac > 0 {
+		if cfg.PageIDs <= 0 {
+			cfg.PageIDs = 4
+		}
+		if cfg.PageBytes <= 0 {
+			cfg.PageBytes = 4096
+		}
+		// The page pool caps at the page size, independent of -body-bytes:
+		// a page PUT larger than the server's page is a 413, not load.
+		cfg.pagePool = bodyPool(cfg.Seed, cfg.PageBytes)
+	}
 	urls := cfg.allURLs()
 	rt := newRing(urls)
 	httpc := &http.Client{
@@ -240,6 +269,13 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		cr := &results[i]
 		cr.reg = obs.NewRegistry()
 		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, fmt.Sprintf("client-%d", i))))
+		// Page traffic owns a separate RNG stream: when PageFrac is 0 it
+		// is never created, so the codec request sequence (and every byte
+		// of the digest) is identical to a pagestore-free build.
+		var pageRng *rand.Rand
+		if cfg.PageFrac > 0 {
+			pageRng = rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, fmt.Sprintf("pages-client-%d", i))))
+		}
 		// Zipf over pool *indices*: rank 0 (the first corpus body) is the
 		// hottest key. Same seed → same sequence, so skewed runs stay
 		// reproducible.
@@ -254,6 +290,10 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 				}
 			} else if !time.Now().Before(deadline) {
 				return nil
+			}
+			if pageRng != nil && pageRng.Float64() < cfg.PageFrac {
+				onePageRequest(httpc, cfg, rt, i, cr, pageRng)
+				continue
 			}
 			name := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
 			var body []byte
@@ -487,6 +527,10 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 	snap := r.Registry.Snapshot()
 	if retries := snap.Counters["zipload.retries"]; retries > 0 {
 		fmt.Fprintf(w, "  retries: %d transient failures recovered by backoff\n", retries)
+	}
+	if puts := snap.Counters["zipload.pages.put"]; puts > 0 {
+		fmt.Fprintf(w, "  pagestore: %d puts / %d verified gets\n",
+			puts, snap.Counters["zipload.pages.get"])
 	}
 	if n := len(cfg.URLs); n > 1 {
 		parts := make([]string, n)

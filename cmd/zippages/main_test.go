@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+	"github.com/zipchannel/zipchannel/internal/server"
+	"github.com/zipchannel/zipchannel/internal/zipchannel"
+)
+
+// plantServer boots the same server shape `zipserverd -pagestore
+// -pagestore-plant victim=64:key=<secret>` serves, in process.
+func plantServer(t *testing.T, secret string) *httptest.Server {
+	t.Helper()
+	ps := pagestore.New(pagestore.Config{})
+	if _, err := ps.Plant("victim", 64, []byte("key="+secret)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{PageStore: ps}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteRecoveryEndToEnd runs the whole chain — HTTP oracle, header
+// parse, byte-by-byte recovery — against a live server and checks the
+// exact planted secret comes back out of the text report.
+func TestRemoteRecoveryEndToEnd(t *testing.T) {
+	const secret = "HUNTER2SECRET000"
+	ts := plantServer(t, secret)
+	var out bytes.Buffer
+	err := run(&out, []string{"-server", ts.URL, "-len", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "key="+secret) {
+		t.Fatalf("report did not recover the secret:\n%s", out.String())
+	}
+}
+
+// TestRemoteRecoveryUnderTimerNoise is the remote acceptance run: the
+// attacker's own timer is jittered (25%, ±2000 steps) and the recovery
+// still lands every byte via median filtering.
+func TestRemoteRecoveryUnderTimerNoise(t *testing.T) {
+	const secret = "JITTERPROOFKEY42"
+	ts := plantServer(t, secret)
+	freg := fault.NewRegistry(42)
+	if err := freg.ArmAll("attacker.oracle.timer=latency:0.25:2000"); err != nil {
+		t.Fatal(err)
+	}
+	oracle := &httpOracle{client: ts.Client(), base: ts.URL, page: "victim"}
+	res, err := zipchannel.RecoverPageSecret(oracle, zipchannel.PageAttackConfig{
+		KnownPrefix:  "key=",
+		SecretLen:    16,
+		Faults:       freg,
+		TimerSamples: 27,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoisyReads == 0 {
+		t.Fatal("timer noise armed but never fired")
+	}
+	if acc := res.Accuracy([]byte(secret)); acc <= 0.99 {
+		t.Fatalf("remote recovery accuracy %.4f under jitter, want > 0.99 (got %q)", acc, res.Recovered)
+	}
+}
+
+// TestOracleErrorsSurface checks a dead page id turns into a clean error,
+// not a zero-length "success".
+func TestOracleErrorsSurface(t *testing.T) {
+	ts := plantServer(t, "HUNTER2SECRET000")
+	var out bytes.Buffer
+	if err := run(&out, []string{"-server", ts.URL, "-page", "nope", "-len", "4"}); err == nil {
+		t.Fatal("attack against a missing page should error")
+	}
+}

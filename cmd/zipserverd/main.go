@@ -26,6 +26,13 @@
 // Chaos runs (make test-chaos) arm deterministic fault injection:
 //
 //	zipserverd -faults 'server.codec.compress=error:0.05,server.cache.get=corrupt:0.05' -fault-seed 7
+//
+// The compressed page store (internal/pagestore) mounts on PUT/GET
+// /v1/pages/{id} with -pagestore; -pagestore-plant co-locates a secret
+// with an attacker-writable region in one page, the target cmd/zippages
+// recovers remotely from X-Page-Steps alone:
+//
+//	zipserverd -pagestore -page-size 4096 -pool-mb 1 -pagestore-plant 'victim=64:key=HUNTER2SECRET000'
 package main
 
 import (
@@ -37,12 +44,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
 	"github.com/zipchannel/zipchannel/internal/server"
 )
 
@@ -156,6 +165,27 @@ func buildCache(cc cacheConfig, reg *obs.Registry, freg *fault.Registry) (cache,
 	return full, local, cleanup, nil
 }
 
+// parsePlant decodes -pagestore-plant's "id=attackerLen:secret" form.
+// The secret may itself contain '=' and ':' — only the first '=' and the
+// first ':' after it delimit.
+func parsePlant(s string) (id string, attackerLen int, secret []byte, err error) {
+	eq := strings.Index(s, "=")
+	if eq <= 0 {
+		return "", 0, nil, fmt.Errorf("-pagestore-plant %q: want id=attackerLen:secret", s)
+	}
+	id = s[:eq]
+	rest := s[eq+1:]
+	colon := strings.Index(rest, ":")
+	if colon <= 0 {
+		return "", 0, nil, fmt.Errorf("-pagestore-plant %q: want id=attackerLen:secret", s)
+	}
+	attackerLen, err = strconv.Atoi(rest[:colon])
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("-pagestore-plant %q: bad attacker region size: %w", s, err)
+	}
+	return id, attackerLen, []byte(rest[colon+1:]), nil
+}
+
 func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
@@ -175,6 +205,12 @@ func run() error {
 		faults   = flag.String("faults", "", "deterministic fault injections, comma-separated point=kind:prob[:param] or point=kind@n[:param] (empty disables)")
 		fseed    = flag.Int64("fault-seed", 1, "root seed for the fault registry's per-point streams")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline before in-flight connections are cut")
+
+		pagestoreOn = flag.Bool("pagestore", false, "mount the compressed page store on PUT/GET /v1/pages/{id}")
+		pageSize    = flag.Int("page-size", pagestore.DefaultPageSize, "page size in bytes for -pagestore")
+		poolMB      = flag.Int64("pool-mb", 1, "compressed page pool budget in MiB for -pagestore (LRU writeback past it)")
+		pageCodec   = flag.String("page-codec", pagestore.DefaultCodec, "registry codec pages compress with")
+		pagePlant   = flag.String("pagestore-plant", "", "plant a co-located page: id=attackerLen:secret (e.g. 'victim=64:key=HUNTER2') — the attack target cmd/zippages recovers")
 
 		trace     = flag.Bool("trace", true, "per-request span trees + traceparent propagation (false disables tracing entirely)")
 		traceSeed = flag.Int64("trace-seed", 1, "seed for trace/span ID generation (reproducible ID sequences under sequential load)")
@@ -256,6 +292,30 @@ func run() error {
 	}
 	defer cleanup()
 
+	var pages *pagestore.Store
+	if *pagestoreOn {
+		pages = pagestore.New(pagestore.Config{
+			PageSize:  *pageSize,
+			PoolBytes: *poolMB << 20,
+			Codec:     *pageCodec,
+			Obs:       reg,
+			Faults:    freg,
+		})
+		if *pagePlant != "" {
+			id, attackerLen, secret, perr := parsePlant(*pagePlant)
+			if perr != nil {
+				return perr
+			}
+			if _, perr := pages.Plant(id, attackerLen, secret); perr != nil {
+				return perr
+			}
+			fmt.Fprintf(os.Stderr, "zipserverd: planted page %q (attacker region %d, %d secret bytes co-located)\n",
+				id, attackerLen, len(secret))
+		}
+	} else if *pagePlant != "" {
+		return fmt.Errorf("-pagestore-plant requires -pagestore")
+	}
+
 	srv := server.New(server.Config{
 		MaxBodyBytes: *maxBody,
 		CacheBytes:   cacheBytes,
@@ -269,6 +329,7 @@ func run() error {
 		AccessLog:    accessW,
 		EnablePprof:  *pprofOn,
 		SLOLatency:   *slo,
+		PageStore:    pages,
 	})
 	if freg != nil {
 		fmt.Fprintf(os.Stderr, "zipserverd: chaos armed (seed %d): %s\n", *fseed, strings.Join(freg.Armed(), " "))

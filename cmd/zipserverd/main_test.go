@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParsePlant(t *testing.T) {
+	id, n, secret, err := parsePlant("victim=64:key=HUNTER2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "victim" || n != 64 || !bytes.Equal(secret, []byte("key=HUNTER2")) {
+		t.Fatalf("parsePlant: got (%q, %d, %q)", id, n, secret)
+	}
+	// The secret keeps every '=' and ':' after the first delimiters.
+	_, _, secret, err = parsePlant("p=8:a=b:c")
+	if err != nil || string(secret) != "a=b:c" {
+		t.Fatalf("parsePlant with delimiters in secret: %q, %v", secret, err)
+	}
+	for _, bad := range []string{"", "victim", "victim=", "victim=:s", "victim=x:s", "=64:s"} {
+		if _, _, _, err := parsePlant(bad); err == nil {
+			t.Fatalf("parsePlant(%q) should fail", bad)
+		}
+	}
+}

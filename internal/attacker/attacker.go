@@ -73,40 +73,22 @@ func (p *PrimeProbe) AttachObs(reg *obs.Registry) {
 // destructive — reading a line's latency refills it — so a noisy timer
 // cannot be beaten by re-probing. Instead, when TimerFault is armed, the
 // single architectural latency is read TimerSamples times through the
-// fault-injected timer and the median of the readings is returned: with
-// per-reading jitter probability q, a line is misread only when a majority
-// of its readings jitter past the threshold (~C(k,⌈k/2⌉)·q^⌈k/2⌉), the
-// repeated-measurement amplification of Schwarzl et al.'s remote timing
-// attacks. With no timer fault this is exactly one clean probe.
+// fault-injected timer and the median of the readings is returned
+// (FilteredReading): with per-reading jitter probability q, a line is
+// misread only when a majority of its readings jitter past the threshold
+// (~C(k,⌈k/2⌉)·q^⌈k/2⌉), the repeated-measurement amplification of
+// Schwarzl et al.'s remote timing attacks. With no timer fault this is
+// exactly one clean probe.
 func (p *PrimeProbe) measure(addr uint64) int {
 	lat := p.c.Probe(p.actor, addr)
-	if p.TimerFault == nil {
-		return lat
-	}
-	k := p.TimerSamples
-	if k <= 0 {
-		k = DefaultTimerSamples
-	}
-	reads := make([]int, k)
-	noisy := 0
-	for i := range reads {
-		reads[i] = lat
-		if in := p.TimerFault.Hit(); in.Kind == fault.KindLatency {
-			reads[i] += int(in.Jitter())
-			noisy++
-		}
-	}
-	if noisy == 0 {
-		return lat
-	}
-	if p.reg != nil {
+	val, noisy := FilteredReading(lat, p.TimerSamples, p.TimerFault)
+	if noisy > 0 && p.reg != nil {
 		if p.noisyReads == nil {
 			p.noisyReads = p.reg.Counter("pp.noisy_reads")
 		}
 		p.noisyReads.Add(uint64(noisy))
 	}
-	sort.Ints(reads)
-	return reads[k/2]
+	return val
 }
 
 // NewPrimeProbe creates the attacker with a contiguous physical buffer of

@@ -1,0 +1,106 @@
+package attacker
+
+import (
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+)
+
+func TestSampleMedianOdd(t *testing.T) {
+	if got := SampleMedian([]int{5, 1, 9}); got != 5 {
+		t.Fatalf("median of {5,1,9} = %d, want 5", got)
+	}
+	if got := SampleMedian([]int{7}); got != 7 {
+		t.Fatalf("median of {7} = %d, want 7", got)
+	}
+}
+
+// Even sample counts must return the UPPER median (reads[k/2]) — the
+// exact semantics PrimeProbe.measure has always had; the shared helper
+// must not silently change them to an average or lower median.
+func TestSampleMedianEvenUsesUpperMedian(t *testing.T) {
+	if got := SampleMedian([]int{1, 2, 3, 4}); got != 3 {
+		t.Fatalf("median of {1,2,3,4} = %d, want 3 (upper median)", got)
+	}
+	if got := SampleMedian([]int{10, 20}); got != 20 {
+		t.Fatalf("median of {10,20} = %d, want 20 (upper median)", got)
+	}
+}
+
+func TestSampleMedianEmpty(t *testing.T) {
+	if got := SampleMedian(nil); got != 0 {
+		t.Fatalf("median of empty = %d, want 0", got)
+	}
+}
+
+// A minority of jitter outliers — however large — must not move the
+// median off the clean value.
+func TestSampleMedianRejectsMinorityOutliers(t *testing.T) {
+	reads := []int{100, 100, 100_000, 100, -50_000, 100, 100, 100, 99_999}
+	if got := SampleMedian(reads); got != 100 {
+		t.Fatalf("median with 3/9 outliers = %d, want 100", got)
+	}
+}
+
+func TestFilteredReadingNilPointIsClean(t *testing.T) {
+	val, noisy := FilteredReading(42, 9, nil)
+	if val != 42 || noisy != 0 {
+		t.Fatalf("nil point: got (%d, %d), want (42, 0)", val, noisy)
+	}
+}
+
+func TestFilteredReadingDisarmedPointIsClean(t *testing.T) {
+	reg := fault.NewRegistry(1)
+	p := reg.Point("test.timer")
+	val, noisy := FilteredReading(42, 9, p)
+	if val != 42 || noisy != 0 {
+		t.Fatalf("disarmed point: got (%d, %d), want (42, 0)", val, noisy)
+	}
+}
+
+// With every reading jittered by a zero-centered bounded amount, the
+// filtered value stays within the jitter bound of the clean value, and
+// the noisy count equals the sample count.
+func TestFilteredReadingAllNoisyStaysBounded(t *testing.T) {
+	reg := fault.NewRegistry(7)
+	reg.Arm("test.timer", fault.Spec{Kind: fault.KindLatency, Prob: 1, Param: 50})
+	p := reg.Point("test.timer")
+	const clean, k = 1000, 9
+	val, noisy := FilteredReading(clean, k, p)
+	if noisy != k {
+		t.Fatalf("noisy = %d, want %d", noisy, k)
+	}
+	if val < clean-50 || val > clean+50 {
+		t.Fatalf("filtered value %d outside [%d, %d]", val, clean-50, clean+50)
+	}
+}
+
+// Minority jitter probability: the median filter should return the
+// clean value on the overwhelming majority of measurements. Also checks
+// k <= 0 falls back to DefaultTimerSamples and that replays are
+// deterministic (same seed, same sequence of filtered values).
+func TestFilteredReadingMedianRejectsJitter(t *testing.T) {
+	run := func() (vals []int, exact int) {
+		reg := fault.NewRegistry(99)
+		reg.Arm("test.timer", fault.Spec{Kind: fault.KindLatency, Prob: 0.25, Param: 5000})
+		p := reg.Point("test.timer")
+		for i := 0; i < 200; i++ {
+			v, _ := FilteredReading(777, 0, p)
+			vals = append(vals, v)
+			if v == 777 {
+				exact++
+			}
+		}
+		return vals, exact
+	}
+	vals1, exact := run()
+	vals2, _ := run()
+	if exact < 190 { // q=0.25, k=9: majority-jitter probability ~1%
+		t.Fatalf("only %d/200 measurements survived jitter, want >= 190", exact)
+	}
+	for i := range vals1 {
+		if vals1[i] != vals2[i] {
+			t.Fatalf("replay diverged at %d: %d != %d", i, vals1[i], vals2[i])
+		}
+	}
+}

@@ -43,12 +43,58 @@ type Tracer interface {
 	HeadInsert(insH uint32, pos int)
 }
 
+// MatchStats accumulates the matcher's actual work during one Compress
+// call: every counter below is incremented by real control flow in the
+// hash-chain walk, so a cost model built on top of them inherits the
+// same input dependence that makes compression time a side channel
+// (Schwarzl et al.) — it is measured work, not a synthetic estimate.
+// Counts reflect whichever matcher variant ran (the fast matcher skips
+// extensions the reference one performs; selection stays identical).
+type MatchStats struct {
+	// Inserts is the number of INSERT_STRING executions (head/prev
+	// updates) — one per position the matcher visited.
+	Inserts int64
+	// ChainFollows is the number of hash-chain candidates examined
+	// across all match attempts.
+	ChainFollows int64
+	// MatchCmps is the number of bytes confirmed equal while extending
+	// candidates (the matchLen walk).
+	MatchCmps int64
+	// Tokens is the number of literal + match tokens emitted.
+	Tokens int64
+	// MatchBytes is the number of input bytes covered by match tokens.
+	MatchBytes int64
+}
+
+// nil-safe increment helpers so the hot path stays branch-cheap.
+func (s *MatchStats) insert() {
+	if s != nil {
+		s.Inserts++
+	}
+}
+
+func (s *MatchStats) follow() {
+	if s != nil {
+		s.ChainFollows++
+	}
+}
+
+func (s *MatchStats) cmp(n int) {
+	if s != nil {
+		s.MatchCmps += int64(n)
+	}
+}
+
 // Options tunes compression.
 type Options struct {
 	// Lazy enables zlib's deflate_slow lazy matching.
 	Lazy bool
 	// Tracer, if non-nil, receives gadget events.
 	Tracer Tracer
+	// Stats, if non-nil, accumulates the matcher's work counters (see
+	// MatchStats). Purely additive: enabling it never changes the token
+	// stream or output bytes.
+	Stats *MatchStats
 	// useRefMatcher selects the reference (byte-at-a-time) longest-match
 	// scan instead of the optimized one. The two are selection-identical
 	// by construction (see bestMatch); the differential test keeps that
@@ -155,6 +201,12 @@ type token struct {
 // are stored flat — documented divergence, see DESIGN.md.)
 func Compress(src []byte, opts Options) ([]byte, error) {
 	tokens := tokenize(src, opts)
+	if s := opts.Stats; s != nil {
+		s.Tokens += int64(len(tokens))
+		for _, t := range tokens {
+			s.MatchBytes += int64(t.length)
+		}
+	}
 
 	// Frequencies for the two trees.
 	litFreq := make([]int64, numLitLen)
@@ -251,6 +303,7 @@ func tokenize(src []byte, opts Options) []token {
 		if opts.Tracer != nil {
 			opts.Tracer.HeadInsert(insH, pos)
 		}
+		opts.Stats.insert()
 		h := head[insH]
 		prev[pos] = h
 		head[insH] = int32(pos)
@@ -269,7 +322,7 @@ func tokenize(src []byte, opts Options) []token {
 		var length, dist int
 		if pos+MinMatch <= len(src) && pos+2 < len(src) {
 			chain := insert(pos)
-			length, dist = bestMatch(src, prev, pos, chain)
+			length, dist = bestMatch(src, prev, pos, chain, opts.Stats)
 		}
 		if !opts.Lazy {
 			if length >= MinMatch {
@@ -323,7 +376,7 @@ func tokenize(src []byte, opts Options) []token {
 // newest to oldest, extend each candidate byte by byte, keep the first
 // candidate that achieves each strictly greater length. Retained for the
 // differential test (Options.useRefMatcher).
-func bestMatchRef(src []byte, prev []int32, pos int, chain int32) (length, dist int) {
+func bestMatchRef(src []byte, prev []int32, pos int, chain int32, stats *MatchStats) (length, dist int) {
 	limit := pos - WindowSize
 	maxLen := len(src) - pos
 	if maxLen > MaxMatch {
@@ -334,10 +387,12 @@ func bestMatchRef(src []byte, prev []int32, pos int, chain int32) (length, dist 
 	}
 	for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
 		cand := int(chain)
+		stats.follow()
 		l := 0
 		for l < maxLen && src[cand+l] == src[pos+l] {
 			l++
 		}
+		stats.cmp(l)
 		if l > length {
 			length, dist = l, pos-cand
 			if l == maxLen {
@@ -370,7 +425,7 @@ func bestMatchRef(src []byte, prev []int32, pos int, chain int32) (length, dist 
 // The chain walk itself (start, order, try budget, window limit, early
 // break at maxLen) is byte-for-byte the reference loop, so both variants
 // also touch prev[] identically.
-func bestMatchFast(src []byte, prev []int32, pos int, chain int32) (length, dist int) {
+func bestMatchFast(src []byte, prev []int32, pos int, chain int32, stats *MatchStats) (length, dist int) {
 	limit := pos - WindowSize
 	maxLen := len(src) - pos
 	if maxLen > MaxMatch {
@@ -381,6 +436,7 @@ func bestMatchFast(src []byte, prev []int32, pos int, chain int32) (length, dist
 	}
 	for tries := 0; chain >= 0 && int(chain) > limit && tries < maxChainLen; tries++ {
 		cand := int(chain)
+		stats.follow()
 		// Scan-end rejection. length < maxLen here (a best of maxLen breaks
 		// out below), so pos+length is in bounds.
 		if length > 0 && src[cand+length] != src[pos+length] {
@@ -388,6 +444,7 @@ func bestMatchFast(src []byte, prev []int32, pos int, chain int32) (length, dist
 			continue
 		}
 		l := matchLen(src, cand, pos, maxLen)
+		stats.cmp(l)
 		if l > length {
 			length, dist = l, pos-cand
 			if l == maxLen {
@@ -423,6 +480,10 @@ func matchLen(src []byte, cand, pos, maxLen int) int {
 // ErrCorrupt reports a malformed compressed stream.
 var ErrCorrupt = errors.New("lz77: corrupt stream")
 
+// maxPrealloc bounds how much output buffer the decoder reserves on the
+// word of the stream's (attacker-controlled) size header alone.
+const maxPrealloc = 1 << 20
+
 // Decompress inverts Compress.
 func Decompress(data []byte) ([]byte, error) {
 	r := huffcoding.NewBitReader(data)
@@ -455,7 +516,15 @@ func Decompress(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	out := make([]byte, 0, size)
+	// size is untrusted header data: clamp the pre-allocation so a
+	// corrupted stream cannot demand gigabytes up front. The appends
+	// below grow as needed and the EOB size check still enforces the
+	// exact length, so valid streams are unaffected.
+	capHint := int64(size)
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	out := make([]byte, 0, capHint)
 	for {
 		sym, err := litDec.Decode(r)
 		if err != nil {

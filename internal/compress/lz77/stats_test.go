@@ -1,0 +1,57 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMatchStatsAdditive pins the two properties the pagestore cost
+// model depends on: enabling Stats never changes the output bytes, and
+// the counters reflect real matcher work (non-zero on compressible
+// input, tokens bounded by input length).
+func TestMatchStatsAdditive(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 40)
+	plain, err := Compress(src, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MatchStats
+	counted, err := Compress(src, Options{Lazy: true, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, counted) {
+		t.Fatal("enabling Stats changed the output bytes")
+	}
+	if st.Inserts == 0 || st.ChainFollows == 0 || st.MatchCmps == 0 || st.Tokens == 0 || st.MatchBytes == 0 {
+		t.Fatalf("expected all counters non-zero on repetitive input, got %+v", st)
+	}
+	if st.Tokens > int64(len(src)) {
+		t.Fatalf("tokens %d exceeds input length %d", st.Tokens, len(src))
+	}
+	if st.MatchBytes > int64(len(src)) {
+		t.Fatalf("match bytes %d exceeds input length %d", st.MatchBytes, len(src))
+	}
+	if st.Inserts > int64(len(src)) {
+		t.Fatalf("inserts %d exceeds input length %d", st.Inserts, len(src))
+	}
+}
+
+// TestMatchStatsAccumulates checks a reused MatchStats keeps summing
+// across calls (the pagestore accumulates one struct per store op).
+func TestMatchStatsAccumulates(t *testing.T) {
+	src := bytes.Repeat([]byte("abcabcabc"), 30)
+	var once MatchStats
+	if _, err := Compress(src, Options{Lazy: true, Stats: &once}); err != nil {
+		t.Fatal(err)
+	}
+	var twice MatchStats
+	for i := 0; i < 2; i++ {
+		if _, err := Compress(src, Options{Lazy: true, Stats: &twice}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if twice.Inserts != 2*once.Inserts || twice.Tokens != 2*once.Tokens {
+		t.Fatalf("stats did not accumulate: once=%+v twice=%+v", once, twice)
+	}
+}

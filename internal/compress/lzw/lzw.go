@@ -159,6 +159,10 @@ func Compress(src []byte, tracer Tracer) ([]byte, error) {
 // ErrCorrupt reports a malformed stream.
 var ErrCorrupt = errors.New("lzw: corrupt stream")
 
+// maxPrealloc bounds how much output buffer the decoder reserves on the
+// word of the stream's (attacker-controlled) size header alone.
+const maxPrealloc = 1 << 20
+
 // Decompress inverts Compress.
 func Decompress(data []byte) ([]byte, error) {
 	r := huffcoding.NewBitReader(data)
@@ -166,7 +170,14 @@ func Decompress(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	out := make([]byte, 0, size)
+	// size is untrusted header data: clamp the pre-allocation so a
+	// corrupted stream cannot demand gigabytes up front (the decode
+	// loop appends and re-checks the exact size at the end).
+	capHint := int64(size)
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	out := make([]byte, 0, capHint)
 	if size == 0 {
 		return out, nil
 	}

@@ -117,6 +117,7 @@ func All() []Runner {
 		{"fig6", Fig6},
 		{"fig7", Fig7},
 		{"fig8", Fig8},
+		{"pagestore", PageStoreAttack},
 	}
 }
 

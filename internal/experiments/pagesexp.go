@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/nn"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+	"github.com/zipchannel/zipchannel/internal/par"
+	"github.com/zipchannel/zipchannel/internal/zipchannel"
+)
+
+// PageStoreAttack regenerates the memory-compression channel against
+// internal/pagestore (the Schwarzl et al. remote attacks, PAPERS.md):
+//
+//  1. secret recovery — attacker bytes co-located with a secret in one
+//     compressed page, recovered byte by byte from store-time alone,
+//     across several independently seeded trials (fanned over
+//     ctx.Parallelism; slot-isolated, so results are byte-identical at
+//     any worker count);
+//  2. the same recovery under a 25%/±2000-step jittered timer, beaten
+//     by median filtering over 27 readings per query;
+//  3. dataset fingerprinting — an MLP classifying which corpus file a
+//     page trace came from, with no co-located attacker bytes at all.
+func PageStoreAttack(ctx *Ctx) (*Result, error) {
+	quick := ctx.Quick
+	trials, secretLen := 4, 16
+	if quick {
+		trials, secretLen = 2, 12
+	}
+	seed := ctx.taskSeed(23, "pages")
+	res := newResult("E14/Pages", "compressed page store: remote compression-time oracle + fingerprinting")
+	res.Seed = seed
+
+	// 1. Clean recovery trials.
+	type trial struct {
+		acc     float64
+		queries int
+		bytes   int
+		stores  int64
+	}
+	outs := make([]trial, trials)
+	err := par.ForEach(ctx.Parallelism, trials, func(i int) error {
+		s := pagestore.New(pagestore.Config{Obs: ctx.Obs})
+		secret := pageTrialSecret(par.SplitSeed(seed, fmt.Sprintf("secret%d", i)), secretLen)
+		if _, err := s.Plant("victim", 64, append([]byte("key="), secret...)); err != nil {
+			return err
+		}
+		r, err := zipchannel.RecoverPageSecret(zipchannel.NewStoreOracle(s, "victim"),
+			zipchannel.PageAttackConfig{KnownPrefix: "key=", SecretLen: secretLen, Obs: ctx.Obs})
+		if err != nil {
+			return err
+		}
+		outs[i] = trial{acc: r.Accuracy(secret), queries: r.Queries, bytes: secretLen, stores: int64(r.Queries) + 1}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var accSum, qpbSum float64
+	var pageStores int64
+	for _, o := range outs {
+		accSum += o.acc
+		qpbSum += float64(o.queries) / float64(o.bytes)
+		pageStores += o.stores
+	}
+	byteAcc := accSum / float64(trials)
+	queriesPerByte := qpbSum / float64(trials)
+	res.addf("clean recovery: %d trials x %d bytes, byte accuracy %.3f, %.1f oracle queries/byte",
+		trials, secretLen, byteAcc, queriesPerByte)
+
+	// 2. Recovery under a jittered timer (the amplification headline).
+	freg := fault.NewRegistry(par.SplitSeed(seed, "jitter"))
+	if err := freg.ArmAll("attacker.oracle.timer=latency:0.25:2000"); err != nil {
+		return nil, err
+	}
+	s := pagestore.New(pagestore.Config{Obs: ctx.Obs})
+	secret := pageTrialSecret(par.SplitSeed(seed, "jitter-secret"), secretLen)
+	if _, err := s.Plant("victim", 64, append([]byte("key="), secret...)); err != nil {
+		return nil, err
+	}
+	jr, err := zipchannel.RecoverPageSecret(zipchannel.NewStoreOracle(s, "victim"),
+		zipchannel.PageAttackConfig{KnownPrefix: "key=", SecretLen: secretLen,
+			Obs: ctx.Obs, Faults: freg, TimerSamples: 27})
+	if err != nil {
+		return nil, err
+	}
+	jitterAcc := jr.Accuracy(secret)
+	pageStores += int64(jr.Queries) + 1
+	res.addf("jittered timer (25%%, +/-2000 steps): byte accuracy %.3f over median-of-27 filtering (%d noisy readings)",
+		jitterAcc, jr.NoisyReads)
+
+	// 3. Timing-trace fingerprinting (no co-located attacker bytes).
+	files := zipchannel.PageFingerprintFiles(1, 6)
+	ds, err := zipchannel.BuildPageTimingDataset(files, zipchannel.PageFingerprintConfig{
+		Seed:        par.SplitSeed(seed, "fingerprint"),
+		Parallelism: ctx.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pageStores += int64(len(files)) * 8 // PagesPerFile stores per file
+	train, _, test := nn.Split(ds, 0.8, 0.1, seed+1)
+	m, err := nn.New(5, len(ds[0].X), 64, len(files))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Train(train, nn.TrainConfig{Epochs: 200, LR: 0.1, LRDecay: 0.99}); err != nil {
+		return nil, err
+	}
+	fpAcc, err := m.Accuracy(test)
+	if err != nil {
+		return nil, err
+	}
+	chance := 1.0 / float64(len(files))
+	res.addf("page-timing fingerprint: %d files, test accuracy %.3f (chance %.3f)", len(files), fpAcc, chance)
+
+	res.Metrics["byteAcc"] = byteAcc
+	res.Metrics["jitterAcc"] = jitterAcc
+	res.Metrics["queriesPerByte"] = queriesPerByte
+	res.Metrics["fpAcc"] = fpAcc
+	res.Metrics["pageStores"] = float64(pageStores)
+
+	if byteAcc < 1.0 {
+		return nil, fmt.Errorf("pagestore: clean recovery accuracy %.3f, want 1.0", byteAcc)
+	}
+	if jitterAcc <= 0.99 {
+		return nil, fmt.Errorf("pagestore: jittered recovery accuracy %.3f, want > 0.99", jitterAcc)
+	}
+	if fpAcc < 2*chance {
+		return nil, fmt.Errorf("pagestore: fingerprint accuracy %.3f not meaningfully above chance %.3f", fpAcc, chance)
+	}
+	return res, nil
+}
+
+// pageTrialSecret draws a charset-only secret for one trial.
+func pageTrialSecret(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = zipchannel.DefaultPageCharset[rng.Intn(len(zipchannel.DefaultPageCharset))]
+	}
+	return out
+}

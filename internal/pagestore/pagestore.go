@@ -1,0 +1,484 @@
+// Package pagestore is a simulated compressed-RAM page store — the
+// ZRAM/zswap-shaped tier the memory-compression timing attacks of
+// Schwarzl et al. (PAPERS.md) target. Pages are fixed-size, stored
+// compressed in a byte-budgeted pool, and every store/load is charged a
+// sim-step cost derived from the compressor's actual matcher work (see
+// cost.go), so "how long did storing this page take" carries the same
+// data-dependent signal a wall-clock timer sees against real kernel
+// memory compression.
+//
+// The threat model is co-location: a page may hold bytes from more than
+// one tenant (Plant), the attacker can rewrite only its own region and
+// read back only its own region, but the page is compressed as one
+// unit — so the *time* to store it depends on cross-tenant redundancy
+// between the attacker's bytes and the secret. internal/zipchannel
+// turns that into byte-by-byte secret recovery.
+//
+// Determinism contract (matching the rest of the repo): identical call
+// sequences produce identical pages, identical step counts, and
+// identical metric snapshots; fault points (pagestore.store,
+// pagestore.load, pagestore.writeback) are invisible when disarmed.
+package pagestore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// Defaults.
+const (
+	DefaultPageSize  = 4096
+	DefaultPoolBytes = 1 << 20
+	DefaultCodec     = "lz77"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound reports a load of a page never stored.
+	ErrNotFound = errors.New("pagestore: page not found")
+	// ErrTooLarge reports a write larger than the page (or, for a
+	// planted page, larger than the attacker-owned region).
+	ErrTooLarge = errors.New("pagestore: data exceeds page capacity")
+	// ErrCorrupt reports that a page failed integrity verification on
+	// load — the compressed bytes no longer decompress to the plaintext
+	// whose SHA-256 was recorded at store time.
+	ErrCorrupt = errors.New("pagestore: corrupt page")
+	// ErrUnknownCodec reports a codec name outside the registry.
+	ErrUnknownCodec = errors.New("pagestore: unknown codec")
+	// ErrBadPlant reports an invalid Plant layout.
+	ErrBadPlant = errors.New("pagestore: invalid plant layout")
+)
+
+// Config configures a Store. Zero values take the defaults above.
+type Config struct {
+	// PageSize is the fixed plaintext page size in bytes.
+	PageSize int
+	// PoolBytes is the compressed pool's byte budget; pages beyond it
+	// are written back (LRU) to the backing tier.
+	PoolBytes int64
+	// Codec names the registry codec new pages compress with.
+	Codec string
+	// Obs, if non-nil, receives the store's metrics under pagestore.*.
+	Obs *obs.Registry
+	// Faults, if non-nil, provides the pagestore.store / pagestore.load
+	// / pagestore.writeback injection points.
+	Faults *fault.Registry
+}
+
+// PageInfo describes one page after a store or load — notably Steps,
+// the sim-step cost of the operation, which is the quantity the
+// compression-time oracle observes remotely.
+type PageInfo struct {
+	Codec         string
+	PlainLen      int // always the page size
+	CompressedLen int
+	Steps         int64
+	Ratio         float64 // PlainLen / CompressedLen
+	Dirty         bool
+	WrittenBack   bool
+}
+
+// page is one page-table entry.
+type page struct {
+	id          string
+	codec       string
+	comp        []byte // compressed bytes; nil while written back
+	sum         [sha256.Size]byte
+	compLen     int
+	dirty       bool // modified since last writeback
+	writtenBack bool // compressed bytes live in backing, not the pool
+	storeSteps  int64
+	loadSteps   int64
+	// Co-location (Plant): attacker-writable prefix length and the
+	// secret bytes that share the page. attackerLen == 0 means the
+	// whole page is the caller's.
+	attackerLen int
+	secret      []byte
+	elem        *list.Element // position in the pool LRU; nil when written back
+}
+
+// Store is the page store. All methods are safe for concurrent use;
+// operations are serialized, so a fixed sequence of calls is
+// deterministic regardless of the HTTP-level concurrency above it.
+type Store struct {
+	mu       sync.Mutex
+	pageSize int
+	poolMax  int64
+	codec    string
+
+	pages   map[string]*page
+	lru     *list.List // front = most recent; values are *page
+	poolUse int64
+	backing map[string][]byte // written-back compressed pages
+	steps   int64             // total sim steps charged
+
+	storeFault     *fault.Point
+	loadFault      *fault.Point
+	writebackFault *fault.Point
+
+	stores      *obs.Counter
+	loads       *obs.Counter
+	storeSteps  *obs.Counter
+	loadSteps   *obs.Counter
+	writebacks  *obs.Counter
+	faultIns    *obs.Counter
+	corrupt     *obs.Counter
+	wbFailures  *obs.Counter
+	poolBytesG  *obs.Gauge
+	poolPagesG  *obs.Gauge
+	totalPagesG *obs.Gauge
+	ratioG      *obs.Gauge
+	plainTotal  int64
+	compTotal   int64
+}
+
+// New creates a Store. An unknown cfg.Codec is reported on first use,
+// not here, matching the registry's lazy validation elsewhere.
+func New(cfg Config) *Store {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.PoolBytes <= 0 {
+		cfg.PoolBytes = DefaultPoolBytes
+	}
+	if cfg.Codec == "" {
+		cfg.Codec = DefaultCodec
+	}
+	s := &Store{
+		pageSize: cfg.PageSize,
+		poolMax:  cfg.PoolBytes,
+		codec:    cfg.Codec,
+		pages:    map[string]*page{},
+		lru:      list.New(),
+		backing:  map[string][]byte{},
+
+		storeFault:     cfg.Faults.Point("pagestore.store"),
+		loadFault:      cfg.Faults.Point("pagestore.load"),
+		writebackFault: cfg.Faults.Point("pagestore.writeback"),
+
+		stores:      cfg.Obs.Counter("pagestore.stores"),
+		loads:       cfg.Obs.Counter("pagestore.loads"),
+		storeSteps:  cfg.Obs.Counter("pagestore.store_steps"),
+		loadSteps:   cfg.Obs.Counter("pagestore.load_steps"),
+		writebacks:  cfg.Obs.Counter("pagestore.writebacks"),
+		faultIns:    cfg.Obs.Counter("pagestore.faultins"),
+		corrupt:     cfg.Obs.Counter("pagestore.corrupt_detected"),
+		wbFailures:  cfg.Obs.Counter("pagestore.writeback_failures"),
+		poolBytesG:  cfg.Obs.Gauge("pagestore.pool_bytes"),
+		poolPagesG:  cfg.Obs.Gauge("pagestore.pool_pages"),
+		totalPagesG: cfg.Obs.Gauge("pagestore.pages"),
+		ratioG:      cfg.Obs.Gauge("pagestore.ratio"),
+	}
+	return s
+}
+
+// PageSize returns the fixed plaintext page size.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Steps returns the total sim steps charged across all operations —
+// the store's deterministic clock, used by replay checks.
+func (s *Store) Steps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Pages returns the number of page-table entries.
+func (s *Store) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// PoolBytes returns the compressed pool's current occupancy.
+func (s *Store) PoolBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poolUse
+}
+
+// Write stores data into the page, creating it on first use. For a
+// planted page only the attacker-owned prefix is writable: data
+// replaces that region, the co-located secret and padding are
+// preserved, and the whole page is recompressed as one unit — the
+// co-location gadget. Returns the page's post-store info; info.Steps is
+// the store's cost, the remote oracle's reading.
+func (s *Store) Write(id string, data []byte) (PageInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	p := s.pages[id]
+	capacity := s.pageSize
+	if p != nil && p.attackerLen > 0 {
+		capacity = p.attackerLen
+	}
+	if len(data) > capacity {
+		return PageInfo{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), capacity)
+	}
+
+	in := s.storeFault.Hit()
+	switch in.Kind {
+	case fault.KindError:
+		return PageInfo{}, in.Error()
+	case fault.KindPanic:
+		panic(fmt.Sprintf("pagestore: injected panic at %s", in.Point))
+	case fault.KindLatency:
+		s.steps += int64(in.Param)
+	}
+
+	if p == nil {
+		p = &page{id: id, codec: s.codec}
+		s.pages[id] = p
+	}
+
+	plain := s.assemble(p, data)
+	comp, steps, err := compressPage(p.codec, plain)
+	if err != nil {
+		return PageInfo{}, err
+	}
+	p.sum = sha256.Sum256(plain)
+	// A store-time corruption damages the compressed bytes as they land
+	// in the pool; the recorded sum is of the true plaintext, so the
+	// damage is caught on the next load.
+	if in.Kind == fault.KindCorrupt {
+		comp = in.CorruptCopy(comp)
+	}
+	s.replaceComp(p, comp)
+	p.dirty = true
+	p.storeSteps = steps
+	s.steps += steps
+	s.plainTotal += int64(s.pageSize)
+	s.compTotal += int64(len(comp))
+
+	s.stores.Inc()
+	s.storeSteps.Add(uint64(steps))
+	s.evictOver()
+	s.refreshGauges()
+	return s.infoLocked(p, steps), nil
+}
+
+// Read returns the page's caller-visible bytes: the full page for a
+// normal page, only the attacker-owned prefix for a planted one (the
+// co-located secret never crosses the API). The page is decompressed,
+// verified against its stored SHA-256, and faulted back into the pool
+// if it had been written back.
+func (s *Store) Read(id string) ([]byte, PageInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	p := s.pages[id]
+	if p == nil {
+		return nil, PageInfo{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+
+	comp := p.comp
+	if p.writtenBack {
+		comp = s.backing[id]
+		s.faultIns.Inc()
+	}
+
+	extra := int64(0)
+	if in := s.loadFault.Hit(); in.Fired() {
+		switch in.Kind {
+		case fault.KindError:
+			return nil, PageInfo{}, in.Error()
+		case fault.KindPanic:
+			panic(fmt.Sprintf("pagestore: injected panic at %s", in.Point))
+		case fault.KindLatency:
+			extra = int64(in.Param)
+		case fault.KindCorrupt:
+			// Transient read-path corruption (a bad DMA, a bit flip on
+			// the swap bus): this read sees damaged bytes, the stored
+			// copy is intact, so a retry can succeed.
+			comp = in.CorruptCopy(comp)
+		}
+	}
+
+	plain, steps, err := decompressPage(p.codec, comp)
+	if err == nil && sha256.Sum256(plain) != p.sum {
+		err = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			s.corrupt.Inc()
+		}
+		return nil, PageInfo{}, err
+	}
+
+	// Fault the page back into the pool and refresh recency.
+	if p.writtenBack {
+		p.writtenBack = false
+		delete(s.backing, id)
+		s.replaceComp(p, comp)
+		p.dirty = false // pool copy matches what backing held
+		s.evictOver()
+	} else if p.elem != nil {
+		s.lru.MoveToFront(p.elem)
+	}
+
+	steps += extra
+	p.loadSteps = steps
+	s.steps += steps
+	s.loads.Inc()
+	s.loadSteps.Add(uint64(steps))
+	s.refreshGauges()
+
+	out := plain
+	if p.attackerLen > 0 {
+		out = plain[:p.attackerLen]
+	}
+	return out, s.infoLocked(p, steps), nil
+}
+
+// Plant creates a co-located page: the first attackerLen bytes are the
+// attacker-writable region (initially zero), immediately followed by
+// the victim's secret, then zero padding. This is the deliberately
+// adversarial page layout of the Schwarzl et al. attacks — two tenants'
+// bytes inside one compression unit.
+func (s *Store) Plant(id string, attackerLen int, secret []byte) (PageInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if attackerLen <= 0 || attackerLen+len(secret) > s.pageSize {
+		return PageInfo{}, fmt.Errorf("%w: attackerLen %d + secret %d vs page %d",
+			ErrBadPlant, attackerLen, len(secret), s.pageSize)
+	}
+	if _, exists := s.pages[id]; exists {
+		return PageInfo{}, fmt.Errorf("%w: page %q already exists", ErrBadPlant, id)
+	}
+	p := &page{
+		id:          id,
+		codec:       s.codec,
+		attackerLen: attackerLen,
+		secret:      append([]byte(nil), secret...),
+	}
+	s.pages[id] = p
+
+	plain := s.assemble(p, nil)
+	comp, steps, err := compressPage(p.codec, plain)
+	if err != nil {
+		delete(s.pages, id)
+		return PageInfo{}, err
+	}
+	p.sum = sha256.Sum256(plain)
+	s.replaceComp(p, comp)
+	p.dirty = true
+	p.storeSteps = steps
+	s.steps += steps
+	s.plainTotal += int64(s.pageSize)
+	s.compTotal += int64(len(comp))
+	s.stores.Inc()
+	s.storeSteps.Add(uint64(steps))
+	s.evictOver()
+	s.refreshGauges()
+	return s.infoLocked(p, steps), nil
+}
+
+// Info returns the page's current info without touching recency or
+// charging steps (Steps is the last store's cost).
+func (s *Store) Info(id string) (PageInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pages[id]
+	if p == nil {
+		return PageInfo{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.infoLocked(p, p.storeSteps), nil
+}
+
+// assemble builds the page plaintext for a write of data into p.
+// Normal page: data then zero padding. Planted page: data zero-padded
+// to the attacker region, then the secret, then zero padding.
+func (s *Store) assemble(p *page, data []byte) []byte {
+	plain := make([]byte, s.pageSize)
+	copy(plain, data)
+	if p.attackerLen > 0 {
+		copy(plain[p.attackerLen:], p.secret)
+	}
+	return plain
+}
+
+// replaceComp swaps p's pooled compressed bytes, maintaining pool
+// accounting and LRU position (front = most recent).
+func (s *Store) replaceComp(p *page, comp []byte) {
+	if p.elem != nil {
+		s.poolUse -= int64(len(p.comp))
+		s.lru.Remove(p.elem)
+		p.elem = nil
+	}
+	p.comp = comp
+	p.compLen = len(comp)
+	p.writtenBack = false
+	p.elem = s.lru.PushFront(p)
+	s.poolUse += int64(len(comp))
+}
+
+// evictOver writes back least-recently-used pages until the pool fits
+// its budget. A writeback fault of KindError keeps the page pooled (the
+// backing tier refused the write — retried on a later eviction pass);
+// KindCorrupt damages the backing copy, caught on fault-in by the
+// checksum; KindLatency charges extra steps.
+func (s *Store) evictOver() {
+	for s.poolUse > s.poolMax && s.lru.Len() > 1 {
+		elem := s.lru.Back()
+		p := elem.Value.(*page)
+		if in := s.writebackFault.Hit(); in.Fired() {
+			switch in.Kind {
+			case fault.KindError:
+				s.wbFailures.Inc()
+				// Refresh so the next eviction pass tries a different
+				// victim; without this a permanently failing backing
+				// tier would spin on one page.
+				s.lru.MoveToFront(elem)
+				return
+			case fault.KindLatency:
+				s.steps += int64(in.Param)
+			case fault.KindCorrupt:
+				s.backing[p.id] = in.CorruptCopy(p.comp)
+				s.finishWriteback(p, elem)
+				continue
+			}
+		}
+		s.backing[p.id] = p.comp
+		s.finishWriteback(p, elem)
+	}
+}
+
+func (s *Store) finishWriteback(p *page, elem *list.Element) {
+	s.poolUse -= int64(len(p.comp))
+	s.lru.Remove(elem)
+	p.elem = nil
+	p.comp = nil
+	p.writtenBack = true
+	p.dirty = false
+	s.writebacks.Inc()
+}
+
+func (s *Store) infoLocked(p *page, steps int64) PageInfo {
+	info := PageInfo{
+		Codec:         p.codec,
+		PlainLen:      s.pageSize,
+		CompressedLen: p.compLen,
+		Steps:         steps,
+		Dirty:         p.dirty,
+		WrittenBack:   p.writtenBack,
+	}
+	if p.compLen > 0 {
+		info.Ratio = float64(s.pageSize) / float64(p.compLen)
+	}
+	return info
+}
+
+func (s *Store) refreshGauges() {
+	s.poolBytesG.Set(float64(s.poolUse))
+	s.poolPagesG.Set(float64(s.lru.Len()))
+	s.totalPagesG.Set(float64(len(s.pages)))
+	if s.compTotal > 0 {
+		s.ratioG.Set(float64(s.plainTotal) / float64(s.compTotal))
+	}
+}

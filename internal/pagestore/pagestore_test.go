@@ -1,0 +1,323 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/compress/codec"
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, name := range codec.Names() {
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{Codec: name})
+			data := []byte("hello compressed world, hello compressed world")
+			info, err := s.Write("p1", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Steps <= 0 {
+				t.Fatalf("store steps = %d, want > 0", info.Steps)
+			}
+			if info.CompressedLen <= 0 || info.Ratio <= 0 {
+				t.Fatalf("bad info %+v", info)
+			}
+			got, rinfo, err := s.Read("p1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rinfo.Steps <= 0 {
+				t.Fatalf("load steps = %d, want > 0", rinfo.Steps)
+			}
+			if len(got) != s.PageSize() {
+				t.Fatalf("read %d bytes, want full page %d", len(got), s.PageSize())
+			}
+			if !bytes.Equal(got[:len(data)], data) {
+				t.Fatal("page data mismatch")
+			}
+			for _, b := range got[len(data):] {
+				if b != 0 {
+					t.Fatal("page padding not zero")
+				}
+			}
+		})
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	s := New(Config{})
+	if _, _, err := s.Read("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	s := New(Config{PageSize: 128})
+	if _, err := s.Write("p", make([]byte, 129)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnknownCodec(t *testing.T) {
+	s := New(Config{Codec: "zstd"})
+	if _, err := s.Write("p", []byte("x")); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("err = %v, want ErrUnknownCodec", err)
+	}
+}
+
+// Store cost must depend on page content — compressible pages take
+// fewer steps than incompressible ones. This is the side channel.
+func TestStepsAreDataDependent(t *testing.T) {
+	s := New(Config{})
+	zeros := make([]byte, 2048)
+	rnd := make([]byte, 2048)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(rnd)
+	zi, err := s.Write("zeros", zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := s.Write("random", rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zi.Steps >= ri.Steps {
+		t.Fatalf("compressible page cost %d >= incompressible %d", zi.Steps, ri.Steps)
+	}
+	if zi.CompressedLen >= ri.CompressedLen {
+		t.Fatalf("compressible page len %d >= incompressible %d", zi.CompressedLen, ri.CompressedLen)
+	}
+}
+
+// Byte-budgeted pool: writing more compressed bytes than the budget
+// writes back LRU pages, and reading a written-back page faults it in
+// with content intact.
+func TestLRUWritebackAndFaultIn(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{PageSize: 512, PoolBytes: 1500, Obs: reg})
+	rng := rand.New(rand.NewSource(2))
+	bodies := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("p%d", i)
+		body := make([]byte, 512)
+		rng.Read(body) // incompressible: each page ~fills its share
+		bodies[id] = body
+		if _, err := s.Write(id, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.PoolBytes() > 1500 {
+		t.Fatalf("pool %d over budget", s.PoolBytes())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pagestore.writebacks"] == 0 {
+		t.Fatal("expected writebacks")
+	}
+	// The oldest page must have been written back; reading it still works.
+	info, err := s.Info("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.WrittenBack {
+		t.Fatal("p0 should be written back")
+	}
+	got, rinfo, err := s.Read("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.WrittenBack {
+		t.Fatal("p0 should be faulted back in after read")
+	}
+	if !bytes.Equal(got, bodies["p0"]) {
+		t.Fatal("faulted-in page content mismatch")
+	}
+	if reg.Snapshot().Counters["pagestore.faultins"] == 0 {
+		t.Fatal("expected a faultin")
+	}
+}
+
+func TestPlantIsolation(t *testing.T) {
+	s := New(Config{})
+	secret := []byte("key=TOPSECRETVALUE")
+	if _, err := s.Plant("victim", 64, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Reads return only the attacker region.
+	got, _, err := s.Read("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("planted read returned %d bytes, want attacker region 64", len(got))
+	}
+	if bytes.Contains(got, secret) {
+		t.Fatal("secret leaked through Read")
+	}
+	// Writes are confined to the attacker region.
+	if _, err := s.Write("victim", make([]byte, 65)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized planted write: err = %v, want ErrTooLarge", err)
+	}
+	// The secret survives attacker rewrites (checksum still validates,
+	// so the assembled page still contains it).
+	if _, err := s.Write("victim", []byte("attacker bytes here")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Read("victim"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantValidation(t *testing.T) {
+	s := New(Config{PageSize: 128})
+	if _, err := s.Plant("v", 0, []byte("s")); !errors.Is(err, ErrBadPlant) {
+		t.Fatal("attackerLen 0 accepted")
+	}
+	if _, err := s.Plant("v", 120, make([]byte, 16)); !errors.Is(err, ErrBadPlant) {
+		t.Fatal("overflowing plant accepted")
+	}
+	if _, err := s.Plant("v", 64, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Plant("v", 64, []byte("s")); !errors.Is(err, ErrBadPlant) {
+		t.Fatal("double plant accepted")
+	}
+}
+
+// Co-location signal: a page whose attacker region repeats the secret
+// compresses in fewer steps than one with unrelated attacker bytes.
+func TestColocationSignal(t *testing.T) {
+	secret := []byte("key=S3CR3TPAYLOAD00")
+	mk := func() *Store {
+		s := New(Config{})
+		if _, err := s.Plant("v", 64, secret); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sMatch := mk()
+	mi, err := sMatch.Write("v", append([]byte(nil), secret...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMiss := mk()
+	ui, err := sMiss.Write("v", []byte("unrelated-attacker-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Steps >= ui.Steps {
+		t.Fatalf("matching attacker bytes cost %d >= non-matching %d — no co-location signal", mi.Steps, ui.Steps)
+	}
+}
+
+// Determinism: the same call sequence yields identical steps, infos,
+// and metric snapshots; disarmed fault registries are invisible.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(freg *fault.Registry) (int64, string) {
+		reg := obs.NewRegistry()
+		s := New(Config{PageSize: 256, PoolBytes: 1024, Obs: reg, Faults: freg})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 20; i++ {
+			id := fmt.Sprintf("p%d", i%6)
+			body := make([]byte, 200)
+			rng.Read(body)
+			if _, err := s.Write(id, body); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if _, _, err := s.Read(fmt.Sprintf("p%d", (i+1)%6)); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Fatal(err)
+				}
+			}
+		}
+		snap, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Steps(), string(snap)
+	}
+	s1, snap1 := run(nil)
+	s2, snap2 := run(nil)
+	s3, snap3 := run(fault.NewRegistry(42)) // disarmed registry
+	if s1 != s2 || snap1 != snap2 {
+		t.Fatal("replay diverged")
+	}
+	if s1 != s3 || snap1 != snap3 {
+		t.Fatal("disarmed fault registry perturbed the run")
+	}
+}
+
+func TestStoreFaultError(t *testing.T) {
+	freg := fault.NewRegistry(1)
+	freg.Arm("pagestore.store", fault.Spec{Kind: fault.KindError, Every: 2})
+	s := New(Config{Faults: freg})
+	if _, err := s.Write("a", []byte("x")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := s.Write("b", []byte("x")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("second write: err = %v, want injected", err)
+	}
+}
+
+func TestLoadCorruptDetected(t *testing.T) {
+	freg := fault.NewRegistry(1)
+	freg.Arm("pagestore.load", fault.Spec{Kind: fault.KindCorrupt, Every: 1})
+	reg := obs.NewRegistry()
+	s := New(Config{Obs: reg, Faults: freg})
+	if _, err := s.Write("a", bytes.Repeat([]byte("abc"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Read("a"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if reg.Snapshot().Counters["pagestore.corrupt_detected"] == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestWritebackCorruptDetectedOnFaultIn(t *testing.T) {
+	freg := fault.NewRegistry(5)
+	freg.Arm("pagestore.writeback", fault.Spec{Kind: fault.KindCorrupt, Every: 1})
+	reg := obs.NewRegistry()
+	s := New(Config{PageSize: 256, PoolBytes: 600, Obs: reg, Faults: freg})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 6; i++ {
+		body := make([]byte, 256)
+		rng.Read(body)
+		if _, err := s.Write(fmt.Sprintf("p%d", i), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := s.Info("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.WrittenBack {
+		t.Skip("p0 not written back under this layout") // defensive; should not happen
+	}
+	if _, _, err := s.Read("p0"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt from corrupted backing copy", err)
+	}
+}
+
+func TestStoreLatencyFaultAddsSteps(t *testing.T) {
+	run := func(arm bool) int64 {
+		freg := fault.NewRegistry(9)
+		if arm {
+			freg.Arm("pagestore.store", fault.Spec{Kind: fault.KindLatency, Every: 1, Param: 5000})
+		}
+		s := New(Config{Faults: freg})
+		if _, err := s.Write("a", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		return s.Steps()
+	}
+	clean, slow := run(false), run(true)
+	if slow != clean+5000 {
+		t.Fatalf("latency fault: steps %d, want %d", slow, clean+5000)
+	}
+}

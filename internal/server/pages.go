@@ -1,0 +1,205 @@
+package server
+
+// The pagestore surface: PUT/GET /v1/pages/{id} mounts an
+// internal/pagestore.Store behind the same middleware stack as the
+// codec endpoints — worker gate, request deadline, tracing, SLO
+// accounting, and the access log (codec "pages", op "put"/"get").
+//
+// The response deliberately leaks the page's store cost in the
+// X-Page-Steps header: a remote attacker co-located with a secret in
+// one page (pagestore.Store.Plant) needs nothing more than this number
+// to run the compression-time oracle (internal/zipchannel, cmd/zippages).
+// In a real deployment the same quantity leaks through wall-clock
+// response time; surfacing it explicitly keeps the reproduction
+// deterministic.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+)
+
+// Page response headers: the oracle-visible cost plus the compression
+// envelope of the stored page.
+const (
+	PageStepsHeader   = "X-Page-Steps"
+	PageCodecHeader   = "X-Page-Codec"
+	PageCompLenHeader = "X-Page-Compressed-Len"
+	PageRatioHeader   = "X-Page-Ratio"
+)
+
+// declarePageMetrics mirrors declareMetrics for the pages surface, so a
+// pagestore-enabled server exposes its request/SLO series at zero from
+// the first scrape.
+func (s *Server) declarePageMetrics() {
+	for _, op := range []string{"put", "get"} {
+		s.reg.DeclareCounters(
+			"server.codec.pages."+op,
+			"server.slo.pages."+op+".good",
+			"server.slo.pages."+op+".breach",
+		)
+		s.reg.DeclareGauges("server.slo.pages." + op + ".burn_rate")
+	}
+}
+
+// setPageHeaders stamps the page envelope on a response.
+func setPageHeaders(hdr http.Header, info pagestore.PageInfo) {
+	hdr.Set(PageStepsHeader, strconv.FormatInt(info.Steps, 10))
+	hdr.Set(PageCodecHeader, info.Codec)
+	hdr.Set(PageCompLenHeader, strconv.Itoa(info.CompressedLen))
+	hdr.Set(PageRatioHeader, strconv.FormatFloat(info.Ratio, 'f', 4, 64))
+}
+
+// pageError maps a pagestore error onto the HTTP surface, counting it
+// under the req registry like the codec error paths.
+func (s *Server) pageError(w http.ResponseWriter, req *obs.Registry, err error) {
+	switch {
+	case errors.Is(err, pagestore.ErrNotFound):
+		req.Counter("server.errors.page_not_found").Inc()
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, pagestore.ErrTooLarge), errors.Is(err, pagestore.ErrBadPlant):
+		req.Counter("server.errors.page_too_large").Inc()
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+	case errors.Is(err, pagestore.ErrCorrupt):
+		// Detected corruption is a 500: the stored copy may be intact (a
+		// transient read-path fault), so clients retry — the zipload
+		// recovery path depends on exactly this mapping.
+		req.Counter("server.errors.page_corrupt").Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case errors.Is(err, fault.ErrInjected):
+		req.Counter("server.errors.transient").Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		req.Counter("server.errors.deadline").Inc()
+		http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+	default:
+		req.Counter("server.errors.page").Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runPageOp executes one store operation inside a worker slot — page
+// compression is codec work, so it shares the same bounded gate as the
+// /v1/{codec} endpoints — containing panics (injected pagestore faults
+// included) as errors.
+func (s *Server) runPageOp(ctx context.Context, req *obs.Registry, op string, fn func() error) error {
+	var opErr error
+	_, gsp := s.tracer.StartSpan(ctx, "server.gate.wait")
+	wait, gateErr := s.gate.DoCtxWait(ctx, func() {
+		gsp.End()
+		_, psp := s.tracer.StartSpan(ctx, "server.pages.run")
+		psp.SetAttr("op", op)
+		defer psp.End()
+		defer func() {
+			if v := recover(); v != nil {
+				req.Counter("server.errors.codec_panic").Inc()
+				opErr = fmt.Errorf("%w: pagestore panic: %v", fault.ErrInjected, v)
+			}
+		}()
+		opErr = fn()
+	})
+	gsp.End()
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.gateWait += wait
+	}
+	if gateErr != nil {
+		return gateErr
+	}
+	return opErr
+}
+
+// handlePagePut serves PUT /v1/pages/{id}: store the request body into
+// the page (only the attacker-owned region of a planted page is
+// writable) and report the store's compression envelope — including the
+// oracle-visible step cost.
+func (s *Server) handlePagePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ri := reqInfoFrom(r.Context())
+	if ri == nil {
+		ri = &reqInfo{}
+	}
+	ri.codec, ri.op = "pages", "put"
+	req := obs.NewRegistry()
+	defer s.reg.Merge(req)
+	req.Counter("server.requests").Inc()
+	req.Counter("server.codec.pages.put").Inc()
+
+	body, ok := s.readBody(w, r, req)
+	if !ok {
+		return
+	}
+	req.Counter("server.bytes_in").Add(uint64(len(body)))
+	ri.bytesIn = len(body)
+
+	var info pagestore.PageInfo
+	err := s.runPageOp(r.Context(), req, "put", func() (err error) {
+		info, err = s.pages.Write(id, body)
+		return err
+	})
+	if err != nil {
+		s.pageError(w, req, err)
+		return
+	}
+
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/json")
+	setPageHeaders(hdr, info)
+	b, merr := json.Marshal(info)
+	if merr != nil {
+		http.Error(w, merr.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	hdr.Set("Content-Length", fmt.Sprint(len(b)))
+	if _, err := w.Write(b); err != nil {
+		req.Counter("server.errors.write_response").Inc()
+		return
+	}
+	req.Counter("server.bytes_out").Add(uint64(len(b)))
+}
+
+// handlePageGet serves GET /v1/pages/{id}: decompress, verify, and
+// return the caller-visible bytes (the attacker region for a planted
+// page — the co-located secret never crosses the HTTP surface either).
+func (s *Server) handlePageGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ri := reqInfoFrom(r.Context())
+	if ri == nil {
+		ri = &reqInfo{}
+	}
+	ri.codec, ri.op = "pages", "get"
+	req := obs.NewRegistry()
+	defer s.reg.Merge(req)
+	req.Counter("server.requests").Inc()
+	req.Counter("server.codec.pages.get").Inc()
+
+	var (
+		data []byte
+		info pagestore.PageInfo
+	)
+	err := s.runPageOp(r.Context(), req, "get", func() (err error) {
+		data, info, err = s.pages.Read(id)
+		return err
+	})
+	if err != nil {
+		s.pageError(w, req, err)
+		return
+	}
+
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/octet-stream")
+	setPageHeaders(hdr, info)
+	hdr.Set("Content-Length", fmt.Sprint(len(data)))
+	if _, err := w.Write(data); err != nil {
+		req.Counter("server.errors.write_response").Inc()
+		return
+	}
+	req.Counter("server.bytes_out").Add(uint64(len(data)))
+}

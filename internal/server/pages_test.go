@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+)
+
+func pagePut(t *testing.T, base, id string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/pages/"+id, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT %s: %v", id, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func pageGet(t *testing.T, base, id string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/pages/" + id)
+	if err != nil {
+		t.Fatalf("GET %s: %v", id, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestPagesRoundTrip stores and loads a page over HTTP, checking the
+// compression envelope headers and the returned bytes.
+func TestPagesRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	ps := pagestore.New(pagestore.Config{PageSize: 512, Obs: reg})
+	_, ts := newTestServer(t, Config{Registry: reg, PageStore: ps})
+
+	body := bytes.Repeat([]byte("page over http "), 20)
+	resp, out := pagePut(t, ts.URL, "p1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT: status %d: %s", resp.StatusCode, out)
+	}
+	steps, err := strconv.ParseInt(resp.Header.Get(PageStepsHeader), 10, 64)
+	if err != nil || steps <= 0 {
+		t.Fatalf("PUT: bad %s header %q", PageStepsHeader, resp.Header.Get(PageStepsHeader))
+	}
+	if resp.Header.Get(PageCodecHeader) != "lz77" {
+		t.Fatalf("PUT: codec header %q", resp.Header.Get(PageCodecHeader))
+	}
+	var info pagestore.PageInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatalf("PUT: body is not PageInfo JSON: %v (%s)", err, out)
+	}
+	if info.Steps != steps {
+		t.Fatalf("PUT: body steps %d != header steps %d", info.Steps, steps)
+	}
+
+	resp, got := pageGet(t, ts.URL, "p1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got[:len(body)], body) {
+		t.Fatal("GET returned wrong bytes")
+	}
+	if resp.Header.Get(PageStepsHeader) == "" {
+		t.Fatal("GET: missing steps header")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["server.codec.pages.put"] != 1 || snap.Counters["server.codec.pages.get"] != 1 {
+		t.Fatalf("pages request counters wrong: %v", snap.Counters)
+	}
+	if snap.Counters["server.slo.pages.put.good"] != 1 {
+		t.Fatal("pages.put SLO good counter not incremented")
+	}
+	if snap.Counters["pagestore.stores"] != 1 {
+		t.Fatal("pagestore metrics not folded into the server registry")
+	}
+}
+
+// TestPagesErrors covers the HTTP error mapping: 404 for a page never
+// stored, 413 for a body larger than the page.
+func TestPagesErrors(t *testing.T) {
+	ps := pagestore.New(pagestore.Config{PageSize: 256})
+	_, ts := newTestServer(t, Config{PageStore: ps})
+
+	resp, _ := pageGet(t, ts.URL, "nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing page: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = pagePut(t, ts.URL, "big", make([]byte, 300))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized page: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestPagesDisabledWithoutStore pins the opt-in contract: without
+// Config.PageStore the routes don't exist and /healthz carries no pages
+// section — a pagestore-free build is byte-identical to earlier versions.
+func TestPagesDisabledWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// The generic POST /v1/{codec}/{op} pattern still owns the path
+	// shape, so the mux answers 405 (method) or 404 — never a page.
+	resp, _ := pageGet(t, ts.URL, "p1")
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("pages route without store: status %d, want 404/405", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if strings.Contains(string(body), `"pages"`) {
+		t.Fatal("healthz advertises pages without a store")
+	}
+}
+
+// TestPagesPlantedSecretNeverServed mounts a planted page and checks the
+// HTTP surface returns only the attacker region: the co-located secret
+// is reachable solely through the timing channel.
+func TestPagesPlantedSecretNeverServed(t *testing.T) {
+	ps := pagestore.New(pagestore.Config{})
+	if _, err := ps.Plant("victim", 64, []byte("key=SUPERSECRET0")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{PageStore: ps})
+
+	resp, got := pageGet(t, ts.URL, "victim")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET planted: status %d", resp.StatusCode)
+	}
+	if len(got) != 64 {
+		t.Fatalf("GET planted returned %d bytes, want the 64-byte attacker region", len(got))
+	}
+	if bytes.Contains(got, []byte("SUPERSECRET0")) {
+		t.Fatal("planted secret leaked through GET")
+	}
+	// Writes are confined to the attacker region too: 413 past it.
+	resp, _ = pagePut(t, ts.URL, "victim", make([]byte, 65))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized planted write: status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = pagePut(t, ts.URL, "victim", []byte("key=GUESS"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-region planted write: status %d", resp.StatusCode)
+	}
+}
+
+// TestPagesHealthz checks the pages section appears with live numbers
+// when a store is mounted.
+func TestPagesHealthz(t *testing.T) {
+	ps := pagestore.New(pagestore.Config{PageSize: 512})
+	_, ts := newTestServer(t, Config{PageStore: ps})
+	if resp, out := pagePut(t, ts.URL, "p", []byte("x")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, out)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Version string `json:"version"`
+		Pages   *struct {
+			PageSize int   `json:"page_size"`
+			Pages    int   `json:"pages"`
+			SimSteps int64 `json:"sim_steps"`
+		} `json:"pages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Pages == nil {
+		t.Fatal("healthz missing pages section")
+	}
+	if health.Pages.PageSize != 512 || health.Pages.Pages != 1 || health.Pages.SimSteps <= 0 {
+		t.Fatalf("healthz pages section wrong: %+v", *health.Pages)
+	}
+}
+
+// TestChaosPagesTransientCorruptRetries drives the chaos contract end to
+// end over HTTP: an every-2nd load corruption maps to a 500, and the
+// clean retry serves the original bytes — the recovery loop zipload runs.
+func TestChaosPagesTransientCorruptRetries(t *testing.T) {
+	freg := fault.NewRegistry(9)
+	freg.Arm("pagestore.load", fault.Spec{Kind: fault.KindCorrupt, Every: 2})
+	ps := pagestore.New(pagestore.Config{Faults: freg})
+	_, ts := newTestServer(t, Config{PageStore: ps, Faults: freg})
+
+	body := bytes.Repeat([]byte("retry me "), 30)
+	if resp, out := pagePut(t, ts.URL, "p", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT: %d %s", resp.StatusCode, out)
+	}
+	var saw500, sawOK bool
+	for i := 0; i < 6; i++ {
+		resp, got := pageGet(t, ts.URL, "p")
+		switch resp.StatusCode {
+		case http.StatusInternalServerError:
+			saw500 = true
+		case http.StatusOK:
+			if !bytes.Equal(got[:len(body)], body) {
+				t.Fatal("retry served wrong bytes")
+			}
+			sawOK = true
+		default:
+			t.Fatalf("iteration %d: unexpected status %d: %s", i, resp.StatusCode, got)
+		}
+	}
+	if !saw500 || !sawOK {
+		t.Fatalf("every-2nd corrupt over HTTP: saw500=%v sawOK=%v", saw500, sawOK)
+	}
+}
+
+// TestPagesRemoteOracle is the end-to-end remote attack at the package
+// boundary: an HTTP client that sees only PUT status + X-Page-Steps can
+// rank candidate guesses against a planted page (the full recovery loop
+// lives in cmd/zippages).
+func TestPagesRemoteOracle(t *testing.T) {
+	ps := pagestore.New(pagestore.Config{})
+	if _, err := ps.Plant("victim", 64, []byte("key=Q")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{PageStore: ps})
+
+	cost := func(guess string) int64 {
+		resp, out := pagePut(t, ts.URL, "victim", []byte(guess))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT %q: %d %s", guess, resp.StatusCode, out)
+		}
+		v, err := strconv.ParseInt(resp.Header.Get(PageStepsHeader), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	right := cost("key=Q\x01")
+	var wrongMin int64 = 1 << 62
+	for _, c := range "ABCDEF" {
+		if w := cost(fmt.Sprintf("key=%c\x01", c)); w < wrongMin {
+			wrongMin = w
+		}
+	}
+	if right >= wrongMin {
+		t.Fatalf("remote oracle carries no signal: right=%d wrongMin=%d", right, wrongMin)
+	}
+}

@@ -55,12 +55,13 @@ import (
 	"github.com/zipchannel/zipchannel/internal/compress/codec"
 	"github.com/zipchannel/zipchannel/internal/fault"
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
 	"github.com/zipchannel/zipchannel/internal/par"
 )
 
 // Version identifies the server build in /healthz; bumped when the HTTP
 // surface changes shape.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Default limits; all overridable via Config.
 const (
@@ -159,6 +160,11 @@ type Config struct {
 	// server.slo.* counters; 0 means DefaultSLOLatency, negative
 	// disables latency-based breach counting (5xx still breaches).
 	SLOLatency time.Duration
+	// PageStore, when non-nil, mounts the compressed page store on
+	// PUT/GET /v1/pages/{id} (see pages.go). The store brings its own
+	// obs registry and fault points via pagestore.Config; pass the same
+	// Registry/Faults there to fold them into this server's surface.
+	PageStore *pagestore.Store
 }
 
 // Server is the http.Handler. Create with New.
@@ -177,6 +183,7 @@ type Server struct {
 	tracer     *obs.Tracer
 	accessSink *obs.TraceSink
 	sloLatency time.Duration
+	pages      *pagestore.Store
 	started    time.Time
 	// simSteps is the server's simulation clock: one step per /v1
 	// request accepted. It stamps trace events, span sim durations, and
@@ -255,6 +262,7 @@ func New(cfg Config) *Server {
 		selfCheck:        cfg.SelfCheck || cfg.Faults != nil,
 		tracer:           cfg.Tracer,
 		sloLatency:       cfg.SLOLatency,
+		pages:            cfg.PageStore,
 		started:          time.Now(),
 		breakerThreshold: cfg.BreakerThreshold,
 		breakerCooldown:  cfg.BreakerCooldown,
@@ -289,6 +297,11 @@ func New(cfg Config) *Server {
 	// first scrape; armed fault points are declared by AttachObs above.
 	s.declareMetrics()
 	s.mux.HandleFunc("POST /v1/{codec}/{op}", s.handleCodec)
+	if s.pages != nil {
+		s.declarePageMetrics()
+		s.mux.HandleFunc("PUT /v1/pages/{id}", s.handlePagePut)
+		s.mux.HandleFunc("GET /v1/pages/{id}", s.handlePageGet)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// The peer cache surface: other zipserverd instances mount this
@@ -758,6 +771,7 @@ type healthResponse struct {
 	UptimeSeconds  float64           `json:"uptime_seconds"`
 	Breakers       map[string]string `json:"breakers"`
 	Cache          healthCache       `json:"cache"`
+	Pages          *healthPages      `json:"pages,omitempty"`
 }
 
 type healthCache struct {
@@ -765,6 +779,15 @@ type healthCache struct {
 	Backend string `json:"backend,omitempty"`
 	Entries int    `json:"entries"`
 	Bytes   int64  `json:"bytes"`
+}
+
+// healthPages reports the mounted page store; absent when the server
+// runs without one, keeping pre-pagestore health bodies unchanged.
+type healthPages struct {
+	PageSize  int   `json:"page_size"`
+	Pages     int   `json:"pages"`
+	PoolBytes int64 `json:"pool_bytes"`
+	SimSteps  int64 `json:"sim_steps"`
 }
 
 // handleHealthz is the liveness probe: a structured JSON health report.
@@ -797,6 +820,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Breakers:       breakers,
 		Cache:          cacheHealth,
+	}
+	if s.pages != nil {
+		resp.Pages = &healthPages{
+			PageSize:  s.pages.PageSize(),
+			Pages:     s.pages.Pages(),
+			PoolBytes: s.pages.PoolBytes(),
+			SimSteps:  s.pages.Steps(),
+		}
 	}
 	b, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {

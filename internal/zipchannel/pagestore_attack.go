@@ -1,0 +1,207 @@
+package zipchannel
+
+// The memory-compression timing attack (Schwarzl et al., PAPERS.md)
+// against internal/pagestore: an attacker co-located with a secret in
+// one compressed page rewrites its own region and observes only *how
+// long the store took*. Because the page is compressed as a single LZ
+// unit, a guess that matches the secret's prefix lengthens a back-
+// reference by one byte, which removes one token from the stream —
+// and one token's worth of encode time from the oracle reading. No
+// cache probe, no shared memory reads: the channel is purely temporal,
+// which is why it survives in settings where ZipChannel's cache channel
+// is closed.
+//
+// Amplification mirrors the PR 6 Prime+Probe timer: the underlying
+// store cost is deterministic, so under a jittered timer the attacker
+// takes TimerSamples readings of one store and classifies by their
+// median (attacker.FilteredReading — the shared filter).
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/zipchannel/zipchannel/internal/attacker"
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+)
+
+// DefaultPageCharset is the candidate alphabet for recovered secret
+// bytes: the token-ish characters secrets in the wild (API keys,
+// session ids) are drawn from.
+const DefaultPageCharset = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// guessTerminator ends every planted guess. It is outside every sane
+// charset, so a correct guess's back-reference extends exactly one byte
+// past the candidate and stops — the next oracle round starts clean.
+const guessTerminator = 0x01
+
+// PageOracle is the attacker's entire view of the victim: write bytes
+// into your own region of the shared page, learn the store's cost. The
+// local implementation is NewStoreOracle; cmd/zippages implements the
+// same interface over HTTP against a remote zipserverd.
+type PageOracle interface {
+	// Query rewrites the attacker region with guess and returns the
+	// sim-step cost of the resulting page store.
+	Query(guess []byte) (int64, error)
+	// AttackerLen reports the size of the attacker-writable region.
+	AttackerLen() (int, error)
+}
+
+// StoreOracle queries a local pagestore directly.
+type StoreOracle struct {
+	Store *pagestore.Store
+	ID    string
+}
+
+// NewStoreOracle wraps a planted page of a local store.
+func NewStoreOracle(s *pagestore.Store, id string) *StoreOracle {
+	return &StoreOracle{Store: s, ID: id}
+}
+
+// Query implements PageOracle.
+func (o *StoreOracle) Query(guess []byte) (int64, error) {
+	info, err := o.Store.Write(o.ID, guess)
+	if err != nil {
+		return 0, err
+	}
+	return info.Steps, nil
+}
+
+// AttackerLen implements PageOracle.
+func (o *StoreOracle) AttackerLen() (int, error) {
+	data, _, err := o.Store.Read(o.ID)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// PageAttackConfig tunes RecoverPageSecret.
+type PageAttackConfig struct {
+	// KnownPrefix is the plaintext format marker the attacker knows
+	// precedes the secret (the CRIME trick: "key=", "Cookie: sid=").
+	KnownPrefix string
+	// SecretLen is how many bytes to recover.
+	SecretLen int
+	// Charset is the candidate alphabet (DefaultPageCharset if empty).
+	Charset string
+
+	// Obs receives pagestore_attack.* counters when non-nil.
+	Obs *obs.Registry
+	// Faults supplies the attacker.oracle.timer point: latency armings
+	// jitter individual oracle readings, beaten by median filtering
+	// over TimerSamples readings per query. Nil or disarmed leaves the
+	// attack byte-identical to a fault-free build.
+	Faults *fault.Registry
+	// TimerSamples is the per-query reading count under a noisy timer
+	// (default attacker.DefaultTimerSamples).
+	TimerSamples int
+}
+
+// PageAttackResult is the outcome of one secret recovery.
+type PageAttackResult struct {
+	// Recovered is the attacker's reconstruction of the secret.
+	Recovered []byte
+	// Queries is the number of oracle stores issued.
+	Queries int
+	// NoisyReads counts timer readings that were jittered (0 in clean
+	// runs).
+	NoisyReads int
+	// OracleSteps sums the filtered oracle readings — a deterministic
+	// fingerprint of the run used by replay tests.
+	OracleSteps int64
+}
+
+// QueriesPerByte is the attack's cost metric: oracle stores per
+// recovered secret byte.
+func (r *PageAttackResult) QueriesPerByte() float64 {
+	if len(r.Recovered) == 0 {
+		return 0
+	}
+	return float64(r.Queries) / float64(len(r.Recovered))
+}
+
+// Accuracy compares the recovery against the true secret byte-wise.
+func (r *PageAttackResult) Accuracy(truth []byte) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	n := len(truth)
+	if len(r.Recovered) < n {
+		n = len(r.Recovered)
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if r.Recovered[i] == truth[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(truth))
+}
+
+// RecoverPageSecret runs the byte-by-byte recovery: for each position,
+// store KnownPrefix + recovered-so-far + candidate into the attacker
+// region and keep the candidate whose (median-filtered) store cost is
+// minimal — the one whose trailing byte the compressor folded into the
+// back-reference from the secret's position. The guess sits before the
+// secret in the page, so LZ77's backward matching makes the *secret*
+// reference the *guess*; the attacker never reads a byte it doesn't own.
+func RecoverPageSecret(oracle PageOracle, cfg PageAttackConfig) (*PageAttackResult, error) {
+	if cfg.SecretLen <= 0 {
+		return nil, fmt.Errorf("zipchannel: SecretLen must be positive")
+	}
+	charset := cfg.Charset
+	if charset == "" {
+		charset = DefaultPageCharset
+	}
+	region, err := oracle.AttackerLen()
+	if err != nil {
+		return nil, fmt.Errorf("zipchannel: sizing attacker region: %w", err)
+	}
+	need := len(cfg.KnownPrefix) + cfg.SecretLen + 1 // +1 terminator
+	if need > region {
+		return nil, fmt.Errorf("zipchannel: attacker region %d too small for %d-byte guess", region, need)
+	}
+
+	var timer *fault.Point
+	if cfg.Faults != nil {
+		timer = cfg.Faults.Point("attacker.oracle.timer")
+	}
+	queriesC := cfg.Obs.Counter("pagestore_attack.queries")
+	bytesC := cfg.Obs.Counter("pagestore_attack.bytes_recovered")
+	noisyC := cfg.Obs.Counter("pagestore_attack.noisy_reads")
+
+	res := &PageAttackResult{}
+	recovered := make([]byte, 0, cfg.SecretLen)
+	for i := 0; i < cfg.SecretLen; i++ {
+		best := byte(0)
+		bestSteps := int64(math.MaxInt64)
+		for _, c := range []byte(charset) {
+			guess := make([]byte, 0, need)
+			guess = append(guess, cfg.KnownPrefix...)
+			guess = append(guess, recovered...)
+			guess = append(guess, c, guessTerminator)
+			steps, err := oracle.Query(guess)
+			if err != nil {
+				return nil, fmt.Errorf("zipchannel: oracle query: %w", err)
+			}
+			res.Queries++
+			queriesC.Inc()
+			filtered, noisy := attacker.FilteredReading(int(steps), cfg.TimerSamples, timer)
+			if noisy > 0 {
+				res.NoisyReads += noisy
+				noisyC.Add(uint64(noisy))
+			}
+			res.OracleSteps += int64(filtered)
+			if int64(filtered) < bestSteps {
+				bestSteps = int64(filtered)
+				best = c
+			}
+		}
+		recovered = append(recovered, best)
+		bytesC.Inc()
+	}
+	res.Recovered = recovered
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package zipchannel
+
+// The fingerprinting variant of the memory-compression channel: even
+// when no attacker bytes share the victim's page, *which dataset* a
+// page holds leaks through store/load timing alone — compressibility is
+// content-specific, and the cost model makes store time track matcher
+// work. An observer who can time page traffic (a co-tenant watching
+// swap latency) classifies the victim's working set without reading a
+// byte. The classifier is the repo's deterministic MLP (internal/nn),
+// mirroring the Fig 7 bzip2 fingerprinting experiment but with timing
+// traces instead of cache traces.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/zipchannel/zipchannel/internal/corpus"
+	"github.com/zipchannel/zipchannel/internal/nn"
+	"github.com/zipchannel/zipchannel/internal/pagestore"
+	"github.com/zipchannel/zipchannel/internal/par"
+)
+
+// PageFingerprintConfig tunes BuildPageTimingDataset.
+type PageFingerprintConfig struct {
+	// PageSize is the pagestore page size (default 1024 — small pages
+	// keep the quick suite fast while preserving per-page variance).
+	PageSize int
+	// PagesPerFile is how many leading pages of each file form one
+	// trace (default 8); files shorter than the window wrap around.
+	PagesPerFile int
+	// TracesPerFile is how many jittered observations to emit per file
+	// (default 20).
+	TracesPerFile int
+	// JitterProb and JitterMax model the observer's noisy timer: each
+	// reading is independently offset by uniform ±JitterMax with
+	// probability JitterProb (defaults 0.25 and 2000 — the same noise
+	// the recovery attack defeats).
+	JitterProb float64
+	JitterMax  int64
+	// Codec selects the page codec (pagestore default when empty).
+	Codec string
+	// Seed drives trace jitter via par.SplitSeed streams.
+	Seed int64
+	// Parallelism fans files across workers (ForEach slots, so the
+	// dataset is byte-identical at any worker count).
+	Parallelism int
+}
+
+func (c PageFingerprintConfig) withDefaults() PageFingerprintConfig {
+	if c.PageSize == 0 {
+		c.PageSize = 1024
+	}
+	if c.PagesPerFile == 0 {
+		c.PagesPerFile = 8
+	}
+	if c.TracesPerFile == 0 {
+		c.TracesPerFile = 20
+	}
+	if c.JitterProb == 0 {
+		c.JitterProb = 0.25
+	}
+	if c.JitterMax == 0 {
+		c.JitterMax = 2000
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// BuildPageTimingDataset stores each file's leading pages and emits
+// nn.Samples whose features are the jittered per-page store and load
+// step readings (normalized per byte), labeled by file index.
+func BuildPageTimingDataset(files []corpus.File, cfg PageFingerprintConfig) ([]nn.Sample, error) {
+	cfg = cfg.withDefaults()
+	perFile := make([][]nn.Sample, len(files))
+	err := par.ForEach(cfg.Parallelism, len(files), func(fi int) error {
+		f := files[fi]
+		s := pagestore.New(pagestore.Config{PageSize: cfg.PageSize, Codec: cfg.Codec,
+			PoolBytes: int64(cfg.PagesPerFile+1) * int64(cfg.PageSize)})
+		// Deterministic base trace: store then load each page window.
+		base := make([]int64, 0, 2*cfg.PagesPerFile)
+		for p := 0; p < cfg.PagesPerFile; p++ {
+			body := filePage(f.Data, p, cfg.PageSize)
+			id := fmt.Sprintf("pg%d", p)
+			wi, err := s.Write(id, body)
+			if err != nil {
+				return fmt.Errorf("fingerprint %s page %d: %w", f.Name, p, err)
+			}
+			_, ri, err := s.Read(id)
+			if err != nil {
+				return fmt.Errorf("fingerprint %s page %d: %w", f.Name, p, err)
+			}
+			base = append(base, wi.Steps, ri.Steps)
+		}
+		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, "pagefp/"+f.Name)))
+		samples := make([]nn.Sample, 0, cfg.TracesPerFile)
+		for tr := 0; tr < cfg.TracesPerFile; tr++ {
+			x := make([]float64, len(base))
+			for j, steps := range base {
+				reading := steps
+				if rng.Float64() < cfg.JitterProb {
+					reading += rng.Int63n(2*cfg.JitterMax+1) - cfg.JitterMax
+				}
+				// Per-byte normalization keeps features O(1) for the MLP.
+				x[j] = float64(reading) / float64(cfg.PageSize) / 32.0
+			}
+			samples = append(samples, nn.Sample{X: x, Label: fi})
+		}
+		perFile[fi] = samples
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []nn.Sample
+	for _, s := range perFile {
+		out = append(out, s...)
+	}
+	standardize(out)
+	return out, nil
+}
+
+// standardize zero-means and unit-scales each feature dimension over
+// the whole dataset. Raw per-byte step readings sit in a narrow
+// positive band (the MLP's plateau regime); the observer can always
+// rescale its own measurements, so this leaks nothing extra. Applied
+// to the assembled dataset, it is independent of worker count.
+func standardize(ds []nn.Sample) {
+	if len(ds) == 0 {
+		return
+	}
+	d := len(ds[0].X)
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for _, s := range ds {
+		for j, v := range s.X {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(ds))
+	}
+	for _, s := range ds {
+		for j, v := range s.X {
+			std[j] += (v - mean[j]) * (v - mean[j])
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j]/float64(len(ds))) + 1e-9
+	}
+	for _, s := range ds {
+		for j := range s.X {
+			s.X[j] = (s.X[j] - mean[j]) / std[j]
+		}
+	}
+}
+
+// PageFingerprintFiles picks a compressibility-diverse corpus subset
+// for the fingerprinting experiment. Page-granularity timing separates
+// datasets by how their *content* compresses, so the interesting class
+// set spans plain text, structured text, binary records, random bytes,
+// and degenerate runs — not four near-identical English novels (whose
+// per-page traces overlap by construction; full BrotliLike remains the
+// honest stress case, quantified by the confusion matrix).
+func PageFingerprintFiles(seed int64, n int) []corpus.File {
+	want := []string{
+		"alice29.txt", "random_org_10k.bin", "zeros", "numbers.csv",
+		"html_like", "binary_struct", "ab_repetitive", "dictionary_words",
+		"random_chunks", "backward65536", "quickfox_repeated", "ukkonooa",
+	}
+	byName := map[string]corpus.File{}
+	for _, f := range corpus.BrotliLike(seed) {
+		byName[f.Name] = f
+	}
+	if n > len(want) {
+		n = len(want)
+	}
+	out := make([]corpus.File, 0, n)
+	for _, name := range want[:n] {
+		if f, ok := byName[name]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// filePage extracts the p-th PageSize window of data, wrapping so short
+// files still fill every page in the trace window.
+func filePage(data []byte, p, pageSize int) []byte {
+	if len(data) == 0 {
+		return make([]byte, pageSize)
+	}
+	out := make([]byte, pageSize)
+	start := (p * pageSize) % len(data)
+	for i := 0; i < pageSize; i++ {
+		out[i] = data[(start+i)%len(data)]
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package zipchannel
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/corpus"
+	"github.com/zipchannel/zipchannel/internal/nn"
+)
+
+// TestPageTimingFingerprint trains the MLP on jittered page-timing
+// traces and checks it identifies which dataset occupies a page far
+// above chance — the content-fingerprinting face of the channel.
+func TestPageTimingFingerprint(t *testing.T) {
+	files := PageFingerprintFiles(1, 6)
+	ds, err := BuildPageTimingDataset(files, PageFingerprintConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 6*20 {
+		t.Fatalf("dataset size %d, want 120", len(ds))
+	}
+	train, _, test := nn.Split(ds, 0.8, 0.1, 4)
+	m, err := nn.New(5, len(ds[0].X), 64, len(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(train, nn.TrainConfig{Epochs: 200, LR: 0.1, LRDecay: 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 { // chance is ~0.17 for 6 classes
+		t.Fatalf("timing-trace fingerprint accuracy %.3f, want >= 0.6", acc)
+	}
+	t.Logf("page timing fingerprint: %d files, test accuracy %.3f", len(files), acc)
+}
+
+// The dataset builder must be byte-identical at any worker count.
+func TestPageTimingDatasetParallelDeterminism(t *testing.T) {
+	files := corpus.BrotliLike(1)[:4]
+	mk := func(workers int) []nn.Sample {
+		ds, err := BuildPageTimingDataset(files, PageFingerprintConfig{
+			Seed: 7, Parallelism: workers, TracesPerFile: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	if !reflect.DeepEqual(mk(1), mk(4)) {
+		t.Fatal("dataset diverged across worker counts")
+	}
+}
