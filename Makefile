@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-cluster bench-smoke smoke smoke-server smoke-obs smoke-pages golden clean test-fuzz test-parallel test-chaos
+.PHONY: all build vet test race bench bench-json bench-compare bench-gate bench-cluster bench-smoke smoke smoke-server smoke-obs smoke-pages golden clean test-fuzz test-parallel test-chaos test-differential
 
 all: build vet test
 
@@ -19,6 +19,14 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/pagestore/...
 	$(GO) test -race -run 'TestRunAll' ./internal/experiments/
+	$(MAKE) test-differential
+
+# The compiled engine's acceptance gate: every victim under both engines
+# (interp vs threaded code + block taint transfer), bit-identical machine
+# state, leakage reports, and taint histories — under the race detector,
+# since the engine/decode/transfer caches are shared across VMs.
+test-differential:
+	$(GO) test -race -count=1 -run 'TestEngineDifferential' ./internal/core/
 
 # Short round-trip fuzz pass over every from-scratch compressor (the
 # checked-in corpora under testdata/fuzz/ always run as part of `test`;
@@ -32,6 +40,7 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseCacheControl -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzParseIfNoneMatch -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzPageRoundTrip -fuzztime $(FUZZTIME) ./internal/pagestore/
+	$(GO) test -run '^$$' -fuzz FuzzVMDifferential -fuzztime $(FUZZTIME) ./internal/core/
 
 # The scheduler's determinism contract: the full quick suite must be
 # byte-identical at parallelism 1 and 8 (manifests and merged snapshot),
@@ -45,10 +54,18 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # Machine-readable perf record for this PR (the repo's performance
-# trajectory; bump the filename each PR that re-measures).
-BENCH_JSON ?= BENCH_PR8.json
+# trajectory; bump the filename each PR that re-measures). The gated
+# taint-path benchmarks are re-measured the way bench-gate measures them
+# — GATE_BENCHTIME iterations, one process per benchmark, because a
+# single-iteration number is too noisy to gate on and co-running them in
+# one process inflates GC pacing — and benchjson keeps the later record
+# per name.
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
-	$(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+	( $(GO) test -bench . -benchtime 1x -run '^$$' . ; \
+	  $(GO) test -list '$(GATE_REGEX)' . | grep '^Benchmark' | while read b; do \
+	    $(GO) test -bench "^$$b\$$" -benchtime $(GATE_BENCHTIME) -run '^$$' . ; \
+	  done ) | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)
 
 # Per-benchmark speedups between two perf records:
@@ -56,6 +73,25 @@ bench-json:
 BASE ?= BENCH_PR4.json
 bench-compare:
 	$(GO) run ./cmd/benchcmp -base $(BASE) -new $(BENCH_JSON)
+
+# CI perf regression gate: re-measure now and compare against the
+# committed perf record; any gated taint-path benchmark more than
+# GATE_MAX slower fails the build. The gate covers the headline
+# TaintChannel paths — the end-to-end analyzer benchmark and the
+# taint-side figure reproductions — and measures only those, at
+# GATE_BENCHTIME iterations in one process per benchmark (the same
+# protocol bench-json records them with; see that target's comment).
+GATE_REGEX ?= TaintAnalysis|Fig[0-9]+.*Taint
+GATE_MAX ?= 0.25
+GATE_BENCHTIME ?= 100x
+bench-gate:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -list '$(GATE_REGEX)' . | grep '^Benchmark' | while read b; do \
+	  $(GO) test -bench "^$$b\$$" -benchtime $(GATE_BENCHTIME) -run '^$$' . ; \
+	done | $(GO) run ./cmd/benchjson -out $$tmp/fresh.json; \
+	$(GO) run ./cmd/benchcmp -base $(BENCH_JSON) -new $$tmp/fresh.json \
+		-gate '$(GATE_REGEX)' -max-regress $(GATE_MAX)
 
 # Cluster bench (DESIGN.md §10): two zipserverd instances with tiered
 # hot/cold caches — the second mounting the first's cache as a peer tier

@@ -7,8 +7,20 @@
 // Speedup is base/new on ns/op (>1 means the new record is faster).
 // Benchmarks present in only one record are listed separately so a
 // renamed or dropped benchmark cannot silently vanish from the
-// comparison. Exits non-zero only on I/O or parse errors — a slowdown is
-// a fact to report, not a tool failure.
+// comparison.
+//
+// With -gate, benchcmp is also the CI regression gate: benchmarks whose
+// names match the regexp are compared against -max-regress (a fraction:
+// 0.25 means new may be at most 25% slower than base), and any gated
+// benchmark that regresses past the threshold — or is present in the
+// baseline but missing from the new record — makes benchcmp exit
+// non-zero:
+//
+//	benchcmp -base BENCH_PR9.json -new fresh.json \
+//	         -gate 'TaintAnalysis|Fig[0-9]+.*Taint' -max-regress 0.25
+//
+// Without -gate a slowdown is a fact to report, not a tool failure, and
+// benchcmp exits non-zero only on I/O or parse errors.
 package main
 
 import (
@@ -17,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -34,16 +47,41 @@ type benchDoc struct {
 	Results []benchResult `json:"results"`
 }
 
+// gateConfig is the regression gate: nil pattern means no gating.
+type gateConfig struct {
+	pattern    *regexp.Regexp
+	maxRegress float64
+}
+
+// errRegression distinguishes a gate failure (a real slowdown) from the
+// I/O and parse errors the tool can also hit.
+type errRegression struct{ lines []string }
+
+func (e *errRegression) Error() string {
+	return fmt.Sprintf("regression gate failed:\n  %s", strings.Join(e.lines, "\n  "))
+}
+
 func main() {
 	base := flag.String("base", "", "baseline BENCH_*.json (required)")
 	next := flag.String("new", "", "new BENCH_*.json (required)")
+	gate := flag.String("gate", "", "regexp of benchmark names to gate on regression (empty: report only)")
+	maxRegress := flag.Float64("max-regress", 0.25, "with -gate, max tolerated slowdown as a fraction of base ns/op")
 	flag.Parse()
 	if *base == "" || *next == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: both -base and -new are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *base, *next); err != nil {
+	var g gateConfig
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp: bad -gate pattern:", err)
+			os.Exit(2)
+		}
+		g = gateConfig{pattern: re, maxRegress: *maxRegress}
+	}
+	if err := run(os.Stdout, *base, *next, g); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
@@ -68,7 +106,7 @@ func load(path string) (map[string]benchResult, error) {
 	return m, nil
 }
 
-func run(w io.Writer, basePath, newPath string) error {
+func run(w io.Writer, basePath, newPath string, g gateConfig) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -95,22 +133,37 @@ func run(w io.Writer, basePath, newPath string) error {
 	sort.Strings(baseOnly)
 	sort.Strings(newOnly)
 
+	var regressions []string
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintf(tw, "benchmark\tbase\tnew\tspeedup\n")
 	for _, name := range common {
 		b, n := base[name], next[name]
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+		mark := ""
+		if g.pattern != nil && g.pattern.MatchString(name) &&
+			b.NsPerOp > 0 && n.NsPerOp > b.NsPerOp*(1+g.maxRegress) {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %s -> %s (+%.0f%%, limit +%.0f%%)",
+				name, formatNs(b.NsPerOp), formatNs(n.NsPerOp),
+				(n.NsPerOp/b.NsPerOp-1)*100, g.maxRegress*100))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s%s\n",
 			strings.TrimPrefix(name, "Benchmark"),
-			formatNs(b.NsPerOp), formatNs(n.NsPerOp), speedup(b.NsPerOp, n.NsPerOp))
+			formatNs(b.NsPerOp), formatNs(n.NsPerOp), speedup(b.NsPerOp, n.NsPerOp), mark)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	for _, name := range baseOnly {
 		fmt.Fprintf(w, "only in %s: %s\n", basePath, name)
+		if g.pattern != nil && g.pattern.MatchString(name) {
+			regressions = append(regressions, fmt.Sprintf("%s: present in %s but missing from %s", name, basePath, newPath))
+		}
 	}
 	for _, name := range newOnly {
 		fmt.Fprintf(w, "only in %s: %s\n", newPath, name)
+	}
+	if len(regressions) > 0 {
+		return &errRegression{lines: regressions}
 	}
 	return nil
 }

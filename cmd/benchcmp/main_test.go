@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestCompare(t *testing.T) {
 	]}`)
 
 	var sb strings.Builder
-	if err := run(&sb, base, next); err != nil {
+	if err := run(&sb, base, next, gateConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -55,14 +56,69 @@ func TestCompareErrors(t *testing.T) {
 	bad := writeDoc(t, "bad.json", `not json`)
 
 	var sb strings.Builder
-	if err := run(&sb, good, empty); err == nil {
+	if err := run(&sb, good, empty, gateConfig{}); err == nil {
 		t.Error("want error for empty results")
 	}
-	if err := run(&sb, bad, good); err == nil {
+	if err := run(&sb, bad, good, gateConfig{}); err == nil {
 		t.Error("want error for malformed JSON")
 	}
-	if err := run(&sb, filepath.Join(t.TempDir(), "missing.json"), good); err == nil {
+	if err := run(&sb, filepath.Join(t.TempDir(), "missing.json"), good, gateConfig{}); err == nil {
 		t.Error("want error for missing file")
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	base := writeDoc(t, "base.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":4000000},
+		{"name":"BenchmarkFig4BzipTaint","ns_per_op":3000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":1000000}
+	]}`)
+	gate := gateConfig{pattern: regexp.MustCompile(`TaintAnalysis|Fig[0-9]+.*Taint`), maxRegress: 0.25}
+
+	// Within the 25% envelope: no failure, even though LZ77 (ungated)
+	// doubled.
+	ok := writeDoc(t, "ok.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":4900000},
+		{"name":"BenchmarkFig4BzipTaint","ns_per_op":2000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":2000000}
+	]}`)
+	var sb strings.Builder
+	if err := run(&sb, base, ok, gate); err != nil {
+		t.Errorf("within-envelope run failed the gate: %v\n%s", err, sb.String())
+	}
+
+	// A gated benchmark 50% slower must fail and name the offender.
+	slow := writeDoc(t, "slow.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":6000000},
+		{"name":"BenchmarkFig4BzipTaint","ns_per_op":3000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":1000000}
+	]}`)
+	sb.Reset()
+	err := run(&sb, base, slow, gate)
+	if err == nil {
+		t.Fatal("50% regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkTaintAnalysis") {
+		t.Errorf("gate error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("table does not mark the regression:\n%s", sb.String())
+	}
+
+	// A gated benchmark vanishing from the new record must also fail.
+	missing := writeDoc(t, "missing.json", `{"results":[
+		{"name":"BenchmarkTaintAnalysis","ns_per_op":4000000},
+		{"name":"BenchmarkLZ77Compress","ns_per_op":1000000}
+	]}`)
+	sb.Reset()
+	if err := run(&sb, base, missing, gate); err == nil {
+		t.Error("missing gated benchmark passed the gate")
+	}
+
+	// Without a gate the same slowdown is only reported.
+	sb.Reset()
+	if err := run(&sb, base, slow, gateConfig{}); err != nil {
+		t.Errorf("ungated comparison returned error: %v", err)
 	}
 }
 

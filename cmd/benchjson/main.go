@@ -61,6 +61,7 @@ func run(in io.Reader, outPath string) error {
 	if err != nil {
 		return err
 	}
+	results = dedup(results)
 	doc := benchDoc{GeneratedBy: "make bench-json", Results: results}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -72,6 +73,24 @@ func run(in io.Reader, outPath string) error {
 		return err
 	}
 	return os.WriteFile(outPath, b, 0o644)
+}
+
+// dedup keeps the last record for each name, preserving first-seen
+// order. bench-json concatenates a whole-suite pass with a longer
+// -benchtime re-measurement of the regression-gated benchmarks, and the
+// later (more trustworthy) numbers must win.
+func dedup(results []benchResult) []benchResult {
+	last := make(map[string]int, len(results))
+	for i, r := range results {
+		last[r.Name] = i
+	}
+	out := results[:0]
+	for i, r := range results {
+		if last[r.Name] == i {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // parse scans benchmark output, keeping only Benchmark lines.

@@ -33,6 +33,7 @@ import (
 
 	"github.com/zipchannel/zipchannel/internal/experiments"
 	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/vm"
 )
 
 func main() {
@@ -50,10 +51,17 @@ func run() error {
 		jsonMode = flag.Bool("json", false, "emit machine-readable manifests on stdout")
 		parallel = flag.Int("parallel", 0, "worker count for experiments and their inner trials (<=0: GOMAXPROCS); output is identical at any level")
 		rootSeed = flag.Int64("seed", 0, "root seed re-parameterizing every experiment deterministically (0: the paper-pinned seeds)")
+		engine   = flag.String("engine", "compiled", "VM execution engine: compiled (threaded code) or interp (kept for differential runs)")
 	)
 	var cli obs.CLI
 	cli.Bind(flag.CommandLine)
 	flag.Parse()
+
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	vm.SetDefaultEngine(eng)
 
 	if *list {
 		for _, r := range experiments.All() {

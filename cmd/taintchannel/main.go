@@ -46,6 +46,8 @@ func run() error {
 		track      = flag.Int("track", 0, "print the propagation history of input byte #n (1-based)")
 		samples    = flag.Int("samples", 2, "concrete samples kept per gadget")
 		disasm     = flag.Bool("disasm", false, "print the victim's disassembly first")
+		engineName = flag.String("engine", "compiled", "execution engine: compiled (threaded code) or interp (kept for differential runs)")
+		pairProf   = flag.Bool("pair-profile", false, "profile dynamic opcode pairs (forces the interpreter) and print the hottest pairs")
 	)
 	var cli obs.CLI
 	cli.Bind(flag.CommandLine)
@@ -63,11 +65,20 @@ func run() error {
 		fmt.Println(isa.Disassemble(prog))
 	}
 
+	eng, err := vm.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	vm.SetDefaultEngine(eng)
+
 	machine, err := vm.NewFlat(prog)
 	if err != nil {
 		return err
 	}
 	machine.SetInput(input)
+	if *pairProf {
+		machine.AttachPairProfile()
+	}
 	reg, err := cli.Start()
 	if err != nil {
 		return err
@@ -87,6 +98,17 @@ func run() error {
 	}
 
 	fmt.Print(analyzer.Report(prog.Name))
+	if *pairProf {
+		machine.FlushPairProfile(reg)
+		pairs := machine.PairProfile()
+		if len(pairs) > 20 {
+			pairs = pairs[:20]
+		}
+		fmt.Printf("\nhottest dynamic opcode pairs (superinstruction candidates):\n")
+		for _, pc := range pairs {
+			fmt.Printf("  %-6s -> %-6s %12d\n", pc.First, pc.Second, pc.N)
+		}
+	}
 	if *track > 0 {
 		fmt.Printf("\npropagation history of input byte #%d:\n", *track)
 		for _, ev := range analyzer.History(taint.Tag(*track)) {

@@ -130,9 +130,16 @@ type Analyzer struct {
 	cfg Config
 
 	regs      [isa.NumRegs]taint.Word
-	mem       map[uint64]byteShadow
+	shadow    shadowMem
 	flagTaint *taint.Set
 	flagPC    int
+
+	// transfers is the per-block taint transfer table of the attached
+	// program (blocktaint.go), indexed like vm.Blocks. lastSkip is the
+	// block ID whose skip verdict is still warm (see enterBlock), -1 if
+	// none; any precise step or read syscall invalidates it.
+	transfers *blockTable
+	lastSkip  int
 
 	findings map[findingKey]*Finding
 	order    []findingKey
@@ -154,17 +161,30 @@ type Analyzer struct {
 func New(cfg Config) *Analyzer {
 	return &Analyzer{
 		cfg:      cfg.withDefaults(),
-		mem:      map[uint64]byteShadow{},
 		findings: map[findingKey]*Finding{},
 		history:  map[taint.Tag][]HistEvent{},
+		lastSkip: -1,
 	}
 }
 
 // Attach installs the analyzer's hooks on the machine. Existing hooks are
 // replaced; TaintChannel assumes it is the only instrumentation client.
+// Besides the per-instruction hooks it installs the block-level OnBlock
+// handler (blocktaint.go) that lets the compiled engine run provably
+// taint-free blocks uninstrumented, and sizes the flat shadow memory to
+// the machine's memory range.
 func (a *Analyzer) Attach(v *vm.VM) {
 	v.Hooks.BeforeInstr = a.step
 	v.Hooks.OnSyscallRead = a.onRead
+	a.transfers = transfersFor(v.Prog)
+	v.Hooks.OnBlock = a.enterBlock
+	type sizedMem interface {
+		Base() uint64
+		Size() uint64
+	}
+	if m, ok := v.Mem.(sizedMem); ok {
+		a.shadow.bound(m.Base(), m.Base()+m.Size())
+	}
 }
 
 // InstrCount returns how many instructions the analyzer observed.
@@ -182,6 +202,7 @@ func (a *Analyzer) History(t taint.Tag) []HistEvent { return a.history[t] }
 // onRead taints freshly read input bytes with sequential tags, the taint
 // source of the whole analysis.
 func (a *Analyzer) onRead(_ *vm.VM, bufAddr uint64, n, firstIndex int) {
+	a.lastSkip = -1
 	for i := 0; i < n; i++ {
 		tag := taint.Tag(firstIndex + i)
 		a.tmpSrc.SetByte(tag)
@@ -196,6 +217,7 @@ func (a *Analyzer) onRead(_ *vm.VM, bufAddr uint64, n, firstIndex int) {
 // instruction executes, so register values are pre-state.
 func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
 	a.instrCount++
+	a.lastSkip = -1 // precise execution may change shadow state
 	w := int(in.Width)
 	touched := false
 
@@ -211,21 +233,21 @@ func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
 		a.setReg(v, in, in.Dst.Reg, &a.tmpAddr)
 
 	case isa.OpLd:
-		a.addrShadow(&a.tmpAddr, in.Src.Mem)
-		if !a.tmpAddr.IsClean() {
-			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Src.Mem), &a.tmpAddr)
+		addrT := a.addrTainted(in.Src.Mem)
+		if addrT {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Src.Mem), in.Src.Mem)
 		}
 		a.loadShadow(&a.tmpSrc, v.EffectiveAddr(in.Src.Mem), w)
-		touched = !a.tmpSrc.IsClean() || !a.tmpAddr.IsClean() || !a.regs[in.Dst.Reg].IsClean()
+		touched = !a.tmpSrc.IsClean() || addrT || !a.regs[in.Dst.Reg].IsClean()
 		a.setReg(v, in, in.Dst.Reg, &a.tmpSrc)
 
 	case isa.OpSt:
-		a.addrShadow(&a.tmpAddr, in.Dst.Mem)
-		if !a.tmpAddr.IsClean() {
-			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Dst.Mem), &a.tmpAddr)
+		addrT := a.addrTainted(in.Dst.Mem)
+		if addrT {
+			a.recordGadget(v, in, DataFlow, v.EffectiveAddr(in.Dst.Mem), in.Dst.Mem)
 		}
 		a.operandShadow(&a.tmpSrc, in.Src, w)
-		touched = !a.tmpSrc.IsClean() || !a.tmpAddr.IsClean()
+		touched = !a.tmpSrc.IsClean() || addrT
 		a.tmpSrc.TruncateIn(w)
 		a.storeShadowTracked(v, in, v.EffectiveAddr(in.Dst.Mem), w, &a.tmpSrc)
 
@@ -295,8 +317,20 @@ func (a *Analyzer) step(v *vm.VM, in *isa.Instr) {
 // read-modify-write memory-destination form. Returns whether taint moved.
 func (a *Analyzer) aluTaint(v *vm.VM, in *isa.Instr) bool {
 	w := int(in.Width)
-	a.operandShadow(&a.tmpSrc, in.Src, w)
-	src := &a.tmpSrc
+	// A register source whose shadow has no bits above the operand width
+	// needs no truncating copy: alias its live shadow directly. Excluded
+	// when it is also the destination — combine mutates the destination
+	// in place, and the post-combine `touched` test must see the
+	// pre-instruction source.
+	var src *taint.Word
+	if in.Src.Kind == isa.KindReg &&
+		(in.Dst.Kind != isa.KindReg || in.Dst.Reg != in.Src.Reg) &&
+		(w == 8 || a.regs[in.Src.Reg].Mask()>>(uint(w)*8) == 0) {
+		src = &a.regs[in.Src.Reg]
+	} else {
+		a.operandShadow(&a.tmpSrc, in.Src, w)
+		src = &a.tmpSrc
+	}
 
 	// x86-style zeroing idiom: xor r, r produces a clean zero.
 	if in.Op == isa.OpXor && in.Dst.Kind == isa.KindReg && in.Src.Kind == isa.KindReg &&
@@ -308,10 +342,10 @@ func (a *Analyzer) aluTaint(v *vm.VM, in *isa.Instr) bool {
 	}
 
 	if in.Dst.Kind == isa.KindMem {
-		a.addrShadow(&a.tmpAddr, in.Dst.Mem)
+		addrT := a.addrTainted(in.Dst.Mem)
 		addr := v.EffectiveAddr(in.Dst.Mem)
-		if !a.tmpAddr.IsClean() {
-			a.recordGadget(v, in, DataFlow, addr, &a.tmpAddr)
+		if addrT {
+			a.recordGadget(v, in, DataFlow, addr, in.Dst.Mem)
 		}
 		a.loadShadow(&a.tmpDst, addr, w)
 		old := &a.tmpDst
@@ -324,19 +358,23 @@ func (a *Analyzer) aluTaint(v *vm.VM, in *isa.Instr) bool {
 		a.flagPC = v.PC
 		old.TruncateIn(w)
 		a.storeShadowTracked(v, in, addr, w, old)
-		return !oldClean || !src.IsClean() || !a.tmpAddr.IsClean()
+		return !oldClean || !src.IsClean() || addrT
 	}
 
-	a.tmpDst.CopyFrom(&a.regs[in.Dst.Reg])
-	a.tmpDst.TruncateIn(w)
-	d := &a.tmpDst
+	// Combine straight into the register's shadow — the in-place Set*
+	// forms permit the destination aliasing an operand, and src was
+	// already copied into tmpSrc above, so a src==dst ALU still sees the
+	// pre-instruction source shadow. Saves two full word copies (and
+	// their pointer write barriers) per ALU instruction.
+	d := &a.regs[in.Dst.Reg]
+	d.TruncateIn(w)
 	dClean := d.IsClean()
 	a.combine(d, in.Op, d, src, v, in, w)
 	d.TruncateIn(w)
 	a.flagTaint = d.AllTags()
 	a.flagPC = v.PC
 	touched := !dClean || !src.IsClean()
-	a.setReg(v, in, in.Dst.Reg, d)
+	a.trackReg(v, in, in.Dst.Reg)
 	return touched
 }
 
@@ -443,10 +481,37 @@ func (a *Analyzer) operandShadow(dst *taint.Word, o isa.Operand, w int) {
 	dst.Reset()
 }
 
+// addrTainted reports whether the effective address of m carries any
+// taint, straight from the operand shadows' live-bit masks — the cheap
+// emptiness test gating the per-access gadget checks, so the hot path
+// never materializes the full address word (recordGadget builds it only
+// while still collecting samples). It must agree with addrShadow's
+// emptiness: shifting by the scale can push index taint off the top (the
+// shift is applied to the mask too), and the carry-aware smear maps
+// non-empty to non-empty, so one test covers both merge modes.
+func (a *Analyzer) addrTainted(m isa.MemRef) bool {
+	var mask uint64
+	if m.HasBase {
+		mask = a.regs[m.Base].Mask()
+	}
+	if m.HasIndex {
+		mask |= a.regs[m.Index].Mask() << uint(bits.TrailingZeros8(m.Scale))
+	}
+	return mask != 0
+}
+
 // addrShadow computes the taint of a memory operand's effective address
 // into dst: base + index*scale + disp, modelling the scale as a left shift
 // (the pointer arithmetic that places ins_h<<1 inside rdx in Fig 2).
 func (a *Analyzer) addrShadow(dst *taint.Word, m isa.MemRef) {
+	if !m.HasBase && m.HasIndex && !a.cfg.CarryAware {
+		// No base: merging the shifted index into a just-reset word is
+		// exactly the shift, so compute it straight into dst. (Not valid
+		// for the carry-aware ablation, whose merge smears tags upward
+		// even against a clean operand.)
+		dst.SetShl(&a.regs[m.Index], uint(bits.TrailingZeros8(m.Scale)))
+		return
+	}
 	if m.HasBase {
 		dst.CopyFrom(&a.regs[m.Base])
 	} else {
@@ -471,9 +536,15 @@ func (a *Analyzer) setReg(v *vm.VM, in *isa.Instr, r isa.Reg, word *taint.Word) 
 
 func (a *Analyzer) loadShadow(dst *taint.Word, addr uint64, w int) {
 	dst.Reset()
+	if a.shadow.live == 0 {
+		return
+	}
+	if end := addr + uint64(w); end >= addr && (end <= a.shadow.taintLo || addr >= a.shadow.taintHi) {
+		return // cannot intersect the ever-tainted range
+	}
 	for i := 0; i < w; i++ {
-		b, ok := a.mem[addr+uint64(i)]
-		if !ok || b.mask == 0 {
+		b := a.shadow.get(addr + uint64(i))
+		if b.mask == 0 {
 			continue
 		}
 		m := b.mask
@@ -487,10 +558,13 @@ func (a *Analyzer) loadShadow(dst *taint.Word, addr uint64, w int) {
 
 func (a *Analyzer) storeShadow(addr uint64, w int, word *taint.Word) {
 	mask := word.Mask()
+	if mask == 0 && a.shadow.live == 0 {
+		return // clean store while the whole shadow memory is clean
+	}
 	for i := 0; i < w; i++ {
 		bm := uint8(mask >> uint(i*8))
 		if bm == 0 {
-			delete(a.mem, addr+uint64(i))
+			a.shadow.clear(addr + uint64(i))
 			continue
 		}
 		var b byteShadow
@@ -501,7 +575,7 @@ func (a *Analyzer) storeShadow(addr uint64, w int, word *taint.Word) {
 			m &= m - 1
 			b.bits[j] = word.Bit(i*8 + j)
 		}
-		a.mem[addr+uint64(i)] = b
+		a.shadow.set(addr+uint64(i), b)
 	}
 }
 
@@ -510,7 +584,12 @@ func (a *Analyzer) storeShadowTracked(v *vm.VM, in *isa.Instr, addr uint64, w in
 	a.trackWord(v, in, word, "-> memory")
 }
 
-func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr uint64, addrT *taint.Word) {
+// recordGadget records a tainted-address access. The caller has already
+// established (via addrTainted) that mref's address shadow is non-empty;
+// the full word is materialized only while the finding is still
+// collecting samples, keeping steady-state gadget hits down to a counter
+// bump.
+func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr uint64, mref isa.MemRef) {
 	key := findingKey{kind, v.PC}
 	f, ok := a.findings[key]
 	if !ok {
@@ -520,10 +599,11 @@ func (a *Analyzer) recordGadget(v *vm.VM, in *isa.Instr, kind GadgetKind, addr u
 	}
 	f.Count++
 	if len(f.Samples) < a.cfg.MaxSamplesPerGadget {
+		a.addrShadow(&a.tmpAddr, mref)
 		f.Samples = append(f.Samples, AccessSample{
 			Step: v.Steps, Addr: addr,
 		})
-		f.Samples[len(f.Samples)-1].AddrTaint.CopyFrom(addrT)
+		f.Samples[len(f.Samples)-1].AddrTaint.CopyFrom(&a.tmpAddr)
 	}
 }
 
@@ -614,5 +694,9 @@ func (a *Analyzer) RegTaint(r isa.Reg) *taint.Word { return &a.regs[r] }
 
 // MemTaint exposes a memory byte's current shadow.
 func (a *Analyzer) MemTaint(addr uint64) [8]*taint.Set {
-	return a.mem[addr].bits
+	return a.shadow.get(addr).bits
 }
+
+// LiveShadowBytes returns how many memory bytes currently carry taint
+// (tests, reports).
+func (a *Analyzer) LiveShadowBytes() int { return a.shadow.live }

@@ -1,0 +1,96 @@
+package taint
+
+import "math/bits"
+
+// Transfer is a basic block's taint transfer function, precomputed once
+// per program block (internal/core builds one per vm.Blocks entry). It
+// summarizes, at word granularity, everything the analyzer's precise
+// per-instruction path could do to shadow state when executing the block:
+// which register shadows it consults, which it overwrites, whether it
+// touches shadow memory or the flag-taint latch, and whether it contains
+// ops (syscalls) whose effects cannot be summarized.
+//
+// The payoff is the Skippable test: when a block's inputs are provably
+// clean — every consulted register shadow empty, no live shadow memory if
+// the block touches memory, no stale tainted flags reaching a conditional
+// jump — the precise path is a guaranteed no-op on taint state except for
+// a handful of counter/latch updates, so the whole block can run on the
+// VM's uninstrumented fast path and the analyzer applies the net effect
+// as a few word operations. Clean prologue loops (bzip2's 64K-entry ftab
+// zeroing runs before the first input byte is read) collapse from
+// millions of hook invocations to one mask test per loop iteration.
+type Transfer struct {
+	// ReadRegs is a bitmask of registers whose shadow the precise path
+	// would consult before the block first overwrites them (live-in).
+	// This includes "touch reads": the analyzer checks the destination's
+	// old shadow to decide whether an instruction touched taint, so a
+	// register being merely overwritten still counts as consulted at the
+	// overwriting instruction.
+	ReadRegs uint16
+	// WriteRegs is a bitmask of registers the block overwrites. When the
+	// block is skippable every write stores a provably clean shadow, so
+	// the net effect is Reset on each (a no-op unless state drifted).
+	WriteRegs uint16
+	// Len is the number of instructions in the block, the block's
+	// contribution to the analyzer's observed-instruction count.
+	Len int
+	// FlagPC is the pc of the last flag-taint-setting instruction in the
+	// block (cmp/test/ALU; not the xor zeroing idiom, which the analyzer
+	// leaves out of the flag latch), or -1 if the block sets no flags.
+	// A skipped block with FlagPC >= 0 leaves the flag latch clean and
+	// pointing at FlagPC.
+	FlagPC int32
+	// TouchesMem reports any shadow-memory access: loads would read
+	// possibly-tainted bytes, and stores/pushes/calls would clear
+	// previously tainted bytes, so the block is only skippable while no
+	// shadow memory is live.
+	TouchesMem bool
+	// StaleFlagJump reports a conditional jump not preceded by a
+	// flag-setter within the block: it observes flag taint latched before
+	// the block, so skipping additionally requires clean incoming flags.
+	StaleFlagJump bool
+	// HasSyscall marks blocks containing a syscall; the read syscall is
+	// the taint source, so these always run precise.
+	HasSyscall bool
+	// Unsafe marks blocks with an opcode the summary does not model;
+	// always run precise. Defensive — no current opcode sets it.
+	Unsafe bool
+}
+
+// Skippable reports whether executing the block is a no-op on taint state
+// (beyond the Len/FlagPC bookkeeping) given the current shadow inputs:
+// the analyzer's register shadows, whether any shadow memory byte is
+// live, and whether the flag latch currently carries taint.
+func (t *Transfer) Skippable(regs *[16]Word, memLive, flagsTainted bool) bool {
+	if t.Unsafe || t.HasSyscall {
+		return false
+	}
+	if t.TouchesMem && memLive {
+		return false
+	}
+	if t.StaleFlagJump && flagsTainted {
+		return false
+	}
+	m := t.ReadRegs
+	for m != 0 {
+		r := bits.TrailingZeros16(m)
+		m &= m - 1
+		if !regs[r].IsClean() {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply applies the block's net register effect for a skipped execution:
+// every overwritten register ends clean. Under the Skippable precondition
+// each of these is already clean, so this is cheap (mask test per reg)
+// and exists to keep the summary self-contained.
+func (t *Transfer) Apply(regs *[16]Word) {
+	m := t.WriteRegs
+	for m != 0 {
+		r := bits.TrailingZeros16(m)
+		m &= m - 1
+		regs[r].Reset()
+	}
+}

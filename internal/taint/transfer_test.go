@@ -1,0 +1,70 @@
+package taint
+
+import "testing"
+
+func TestTransferSkippable(t *testing.T) {
+	var regs [16]Word
+	base := Transfer{ReadRegs: 1 << 3, WriteRegs: 1 << 4, Len: 5, FlagPC: 2}
+
+	if !base.Skippable(&regs, false, false) {
+		t.Fatal("clean state: block should be skippable")
+	}
+	if !base.Skippable(&regs, true, false) {
+		t.Fatal("memLive without TouchesMem should not block skipping")
+	}
+	if !base.Skippable(&regs, false, true) {
+		t.Fatal("tainted flags without StaleFlagJump should not block skipping")
+	}
+
+	regs[3].SetByte(1)
+	if base.Skippable(&regs, false, false) {
+		t.Fatal("tainted live-in register must force the precise path")
+	}
+	regs[3].Reset()
+	regs[4].SetByte(1)
+	if !base.Skippable(&regs, false, false) {
+		t.Fatal("taint only in an overwritten (non-read) register should not block skipping")
+	}
+
+	mem := base
+	mem.TouchesMem = true
+	regs[4].Reset()
+	if !mem.Skippable(&regs, false, false) || mem.Skippable(&regs, true, false) {
+		t.Fatal("TouchesMem must gate on live shadow memory")
+	}
+
+	jmp := base
+	jmp.StaleFlagJump = true
+	if !jmp.Skippable(&regs, false, false) || jmp.Skippable(&regs, false, true) {
+		t.Fatal("StaleFlagJump must gate on incoming flag taint")
+	}
+
+	sys := base
+	sys.HasSyscall = true
+	if sys.Skippable(&regs, false, false) {
+		t.Fatal("syscall blocks are never skippable")
+	}
+	unsafe := base
+	unsafe.Unsafe = true
+	if unsafe.Skippable(&regs, false, false) {
+		t.Fatal("unsafe blocks are never skippable")
+	}
+}
+
+func TestTransferApply(t *testing.T) {
+	var regs [16]Word
+	regs[2].SetByte(7)
+	regs[5].SetByte(8)
+
+	tr := Transfer{WriteRegs: 1<<2 | 1<<9}
+	tr.Apply(&regs)
+	if !regs[2].IsClean() {
+		t.Fatal("Apply must reset written register r2")
+	}
+	if regs[5].IsClean() {
+		t.Fatal("Apply must not touch unwritten register r5")
+	}
+	if !regs[9].IsClean() {
+		t.Fatal("writing an already-clean register stays clean")
+	}
+}

@@ -11,10 +11,20 @@ const WordBits = 64
 // Alongside the per-bit sets the word maintains mask, a bitmap of the
 // positions whose set is non-empty. Every operation consults the mask
 // first, so clean words cost O(1) and a typical tainted word (one input
-// byte: 8 live bits) costs 8 pointer operations instead of 64. The
-// pointer-receiver Set* operations below compute in place and may alias
-// their destination with a source; the value-based helpers at the bottom
-// of the file are thin wrappers kept for tests and report rendering.
+// byte: 8 live bits) costs 8 pointer operations instead of 64.
+//
+// Invariant: a slot whose mask bit is clear is DEAD and may hold a stale
+// pointer from an earlier value. Sets are interned for the process
+// lifetime, so a stale pointer retains nothing, and it lets clearing be a
+// mask update instead of a nil-store sweep — Reset is one store, and the
+// shift/merge/truncate operations skip their dead-slot scrubbing (and its
+// GC write barriers) entirely. Everything reading a slot must check the
+// mask first; within this file the mask-guided walks do so implicitly.
+//
+// The pointer-receiver Set* operations below compute in place and may
+// alias their destination with a source; the value-based helpers at the
+// bottom of the file are thin wrappers kept for tests and report
+// rendering.
 type Word struct {
 	mask uint64
 	bits [WordBits]*Set
@@ -22,6 +32,9 @@ type Word struct {
 
 // Bit returns the tag set attached to bit i (0 = LSB).
 func (w *Word) Bit(i int) *Set {
+	if w.mask&(1<<uint(i)) == 0 {
+		return nil
+	}
 	return w.bits[i]
 }
 
@@ -29,7 +42,6 @@ func (w *Word) Bit(i int) *Set {
 // canonicalized to nil.
 func (w *Word) SetBit(i int, s *Set) {
 	if s.IsEmpty() {
-		w.bits[i] = nil
 		w.mask &^= 1 << uint(i)
 		return
 	}
@@ -55,17 +67,26 @@ func (w *Word) AnyTainted(lo, hi int) bool {
 	return w.mask&span != 0
 }
 
-// AllTags returns the union of every bit's tag set.
+// AllTags returns the union of every bit's tag set. Hash-consing makes
+// identical sets pointer-identical, and taint usually arrives in byte
+// runs (8 bits sharing one set), so the walk skips bits whose set is the
+// one just merged or the running union — the common word costs a couple
+// of pointer compares per byte instead of a memoized Union per bit.
 func (w *Word) AllTags() *Set {
 	m := w.mask
 	if m == 0 {
 		return nil
 	}
-	var u *Set
+	var u, last *Set
 	for m != 0 {
 		i := bits.TrailingZeros64(m)
 		m &= m - 1
-		u = Union(u, w.bits[i])
+		s := w.bits[i]
+		if s == last || s == u {
+			continue
+		}
+		last = s
+		u = Union(u, s)
 	}
 	return u
 }
@@ -86,14 +107,8 @@ func (w *Word) Equal(o *Word) bool {
 	return true
 }
 
-// Reset clears the word in place.
+// Reset clears the word in place (dead slots keep stale pointers).
 func (w *Word) Reset() {
-	m := w.mask
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
-	}
 	w.mask = 0
 }
 
@@ -102,18 +117,15 @@ func (w *Word) CopyFrom(src *Word) {
 	if w == src {
 		return
 	}
-	// Clear bits live in w but not in src, then copy src's live bits.
-	m := w.mask &^ src.mask
+	m := src.mask
 	for m != 0 {
 		i := bits.TrailingZeros64(m)
 		m &= m - 1
-		w.bits[i] = nil
-	}
-	m = src.mask
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = src.bits[i]
+		// The compare dodges the write barrier when the slot already holds
+		// the set — steady-state loops recopy mostly-unchanged words.
+		if s := src.bits[i]; w.bits[i] != s {
+			w.bits[i] = s
+		}
 	}
 	w.mask = src.mask
 }
@@ -124,14 +136,7 @@ func (w *Word) TruncateIn(widthBytes int) {
 	if widthBytes >= 8 {
 		return
 	}
-	keep := (uint64(1) << uint(widthBytes*8)) - 1
-	m := w.mask &^ keep
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
-	}
-	w.mask &= keep
+	w.mask &= (uint64(1) << uint(widthBytes*8)) - 1
 }
 
 // SetByte makes w the shadow of a freshly read input byte carrying tag t
@@ -159,22 +164,24 @@ func (w *Word) SetMergePerBit(a, b *Word) {
 		return
 	}
 	union := a.mask | b.mask
-	// Clear stale bits in w first (bits live in w but in neither source).
-	m := w.mask &^ union
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
-	}
 	both := a.mask & b.mask
-	m = union
+	// Consecutive bits usually carry the same operand pair (taint spreads
+	// in byte runs), so remember the last pair's union instead of hitting
+	// the memo per bit.
+	var la, lb, lu *Set
+	m := union
 	for m != 0 {
 		i := bits.TrailingZeros64(m)
 		bit := uint64(1) << uint(i)
 		m &= m - 1
 		switch {
 		case both&bit != 0:
-			w.bits[i] = Union(a.bits[i], b.bits[i])
+			ai, bi := a.bits[i], b.bits[i]
+			if ai != la || bi != lb {
+				la, lb = ai, bi
+				lu = Union(ai, bi)
+			}
+			w.bits[i] = lu
 		case a.mask&bit != 0:
 			w.bits[i] = a.bits[i]
 		default:
@@ -213,14 +220,15 @@ func (w *Word) SetAddCarryAware(a, b *Word) {
 	}
 	for i := 0; i < WordBits; i++ {
 		bit := uint64(1) << uint(i)
-		if live&bit != 0 {
-			run = Union(run, Union(a.bits[i], b.bits[i]))
+		if a.mask&bit != 0 {
+			run = Union(run, a.bits[i])
+		}
+		if b.mask&bit != 0 {
+			run = Union(run, b.bits[i])
 		}
 		if run != nil {
 			w.bits[i] = run
 			mask |= bit
-		} else {
-			w.bits[i] = nil
 		}
 	}
 	w.mask = mask
@@ -231,13 +239,7 @@ func (w *Word) SetAddCarryAware(a, b *Word) {
 // bits, destroying their taint (paper §III-B, "special handling").
 func (w *Word) SetAndMask(a *Word, mask uint64) {
 	keep := a.mask & mask
-	m := w.mask &^ keep
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
-	}
-	m = keep
+	m := keep
 	for m != 0 {
 		i := bits.TrailingZeros64(m)
 		m &= m - 1
@@ -273,14 +275,6 @@ func (w *Word) SetShl(a *Word, n uint) {
 		m &^= 1 << uint(i)
 		w.bits[i] = a.bits[i-int(n)]
 	}
-	// Clear bits live in w but dead in the result; disjoint from the
-	// copied positions by construction (&^ newMask).
-	m = w.mask &^ newMask
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
-	}
 	w.mask = newMask
 }
 
@@ -303,12 +297,6 @@ func (w *Word) SetShr(a *Word, n uint) {
 		i := bits.TrailingZeros64(m)
 		m &= m - 1
 		w.bits[i] = a.bits[i+int(n)]
-	}
-	m = w.mask &^ newMask
-	for m != 0 {
-		i := bits.TrailingZeros64(m)
-		m &= m - 1
-		w.bits[i] = nil
 	}
 	w.mask = newMask
 }
@@ -394,7 +382,10 @@ func (w *Word) SetSar(a *Word, n uint, widthBytes int) {
 	if int(n) > top {
 		n = uint(top)
 	}
-	sign := a.bits[top]
+	var sign *Set
+	if a.mask&(1<<uint(top)) != 0 {
+		sign = a.bits[top]
+	}
 	var scratch Word
 	scratch.SetShr(a, n)
 	scratch.TruncateIn(widthBytes) // drop any bits above width (none expected)

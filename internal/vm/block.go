@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"sync"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+// Basic-block discovery over an assembled program. Blocks are the unit of
+// the compiled engine's dispatch (compile.go) and of the analyzer's
+// batched taint transfer functions (internal/core): a maximal run of
+// straight-line instructions that control flow can only enter at the
+// first instruction and only leave after the last.
+//
+// Leaders (block starts) are the program entry, instruction 0, every
+// jump/call target, and the instruction after every terminator.
+// Terminators are all control transfers (jmp/jcc/call/ret), halt, and
+// syscall — syscall ends a block both because sys_exit halts the machine
+// and because the taint analyzer must observe read syscalls precisely
+// (they are the taint source).
+
+// Block is one basic block: instructions [Start, End) of the program.
+// A block either ends with a terminator or falls through into the next
+// block's leader.
+type Block struct {
+	Start, End int
+}
+
+// isTerminator reports whether the opcode ends a basic block.
+func isTerminator(op isa.Op) bool {
+	return op.IsJump() || op == isa.OpRet || op == isa.OpHalt || op == isa.OpSyscall
+}
+
+// blocksOf computes the block partition and the pc -> block-index map.
+func blocksOf(p *isa.Program) ([]Block, []int32) {
+	n := len(p.Instrs)
+	leader := make([]bool, n)
+	if n == 0 {
+		return nil, nil
+	}
+	leader[0] = true
+	if p.Entry >= 0 && p.Entry < n {
+		leader[p.Entry] = true
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op.IsJump() {
+			if in.Target >= 0 && in.Target < n {
+				leader[in.Target] = true
+			}
+		}
+		if isTerminator(in.Op) && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+	var blocks []Block
+	blockOf := make([]int32, n)
+	start := 0
+	for pc := 0; pc < n; pc++ {
+		if pc > start && leader[pc] {
+			blocks = append(blocks, Block{Start: start, End: pc})
+			start = pc
+		}
+		if isTerminator(p.Instrs[pc].Op) && pc+1 > start {
+			blocks = append(blocks, Block{Start: start, End: pc + 1})
+			start = pc + 1
+		}
+	}
+	if start < n {
+		blocks = append(blocks, Block{Start: start, End: n})
+	}
+	for i, b := range blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			blockOf[pc] = int32(i)
+		}
+	}
+	return blocks, blockOf
+}
+
+// blockCache memoizes block partitions by program identity, like decCache:
+// programs are assembled once and never mutated.
+var blockCache sync.Map // *isa.Program -> blockInfo
+
+type blockInfo struct {
+	blocks  []Block
+	blockOf []int32
+}
+
+// Blocks returns the basic-block partition of p. The result is shared and
+// must not be mutated. The same partition indexes the compiled engine's
+// per-block state and the analyzer's taint transfer functions, so block
+// IDs agree across packages.
+func Blocks(p *isa.Program) []Block {
+	bi := blockInfoFor(p)
+	return bi.blocks
+}
+
+func blockInfoFor(p *isa.Program) blockInfo {
+	if v, ok := blockCache.Load(p); ok {
+		return v.(blockInfo)
+	}
+	blocks, blockOf := blocksOf(p)
+	actual, _ := blockCache.LoadOrStore(p, blockInfo{blocks: blocks, blockOf: blockOf})
+	return actual.(blockInfo)
+}

@@ -1,0 +1,147 @@
+package vm
+
+import (
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble("test.zasm", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBlocksPartition(t *testing.T) {
+	// entry, a two-block loop, and an exit path: leaders are instruction
+	// 0, the loop target, and the instruction after each terminator.
+	p := mustAssemble(t, `
+main:
+  mov r1, 10
+loop:
+  sub r1, 1
+  cmp r1, 0
+  jg loop
+  mov r2, 1
+  halt
+`)
+	blocks := Blocks(p)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	// Blocks must tile the program contiguously.
+	if blocks[0].Start != 0 {
+		t.Fatalf("first block starts at %d", blocks[0].Start)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Start != blocks[i-1].End {
+			t.Fatalf("gap between blocks %d and %d", i-1, i)
+		}
+	}
+	if blocks[len(blocks)-1].End != len(p.Instrs) {
+		t.Fatalf("last block ends at %d, program has %d instrs", blocks[len(blocks)-1].End, len(p.Instrs))
+	}
+	// Every jump target must be a block leader, and every terminator a
+	// block end.
+	leaders := map[int]bool{}
+	for _, b := range blocks {
+		leaders[b.Start] = true
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op.IsJump() && !leaders[in.Target] {
+			t.Errorf("jump target %d is not a block leader", in.Target)
+		}
+		if isTerminator(in.Op) {
+			end := false
+			for _, b := range blocks {
+				if b.End == pc+1 {
+					end = true
+				}
+			}
+			if !end {
+				t.Errorf("terminator at pc %d does not end a block", pc)
+			}
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want Engine
+	}{{"auto", EngineAuto}, {"interp", EngineInterp}, {"compiled", EngineCompiled}} {
+		got, err := ParseEngine(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", tc.s, got, err, tc.want)
+		}
+		if got.String() != tc.s {
+			t.Errorf("Engine(%v).String() = %q, want %q", got, got.String(), tc.s)
+		}
+	}
+	if _, err := ParseEngine("jit"); err == nil {
+		t.Error("ParseEngine(\"jit\") should fail")
+	}
+}
+
+func TestDefaultEngine(t *testing.T) {
+	old := DefaultEngine()
+	defer SetDefaultEngine(old)
+
+	SetDefaultEngine(EngineInterp)
+	p := mustAssemble(t, "main:\n  mov r1, 1\n  halt\n")
+	v, err := NewFlat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Engine != EngineInterp {
+		t.Fatalf("New did not seed Engine from the process default: got %v", v.Engine)
+	}
+}
+
+func TestPairProfileForcesInterp(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+  mov r1, 3
+loop:
+  sub r1, 1
+  cmp r1, 0
+  jg loop
+  halt
+`)
+	v, err := NewFlat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.AttachPairProfile()
+	if v.useCompiled() {
+		t.Fatal("pair profiling must force the interpreter")
+	}
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pairs := v.PairProfile()
+	if len(pairs) == 0 {
+		t.Fatal("no pairs recorded")
+	}
+	var total uint64
+	for i, pc := range pairs {
+		total += pc.N
+		if i > 0 && pairs[i-1].N < pc.N {
+			t.Fatal("pairs not sorted most-frequent first")
+		}
+	}
+	if total != v.Steps-1 {
+		t.Fatalf("pair count total %d, want steps-1 = %d", total, v.Steps-1)
+	}
+	// The loop's hot pair must dominate: sub->cmp or cmp->jg.
+	hot := pairs[0]
+	if !(hot.First == isa.OpSub && hot.Second == isa.OpCmp) &&
+		!(hot.First == isa.OpCmp && hot.Second == isa.OpJg) &&
+		!(hot.First == isa.OpJg && hot.Second == isa.OpSub) {
+		t.Errorf("unexpected hottest pair %v->%v", hot.First, hot.Second)
+	}
+}

@@ -16,12 +16,15 @@ import (
 // scale turned into a shift — so Step's dispatch reads pre-computed fields
 // instead of re-deriving them hundreds of millions of times.
 
-// Effective-address modes, most common first. The register+disp form
-// (eaBase) — the ftab/head/htab accesses of every victim gadget — costs a
-// single add at run time.
+// Effective-address modes. The register+disp form (eaBase) — the
+// ftab/head/htab accesses of every victim gadget — costs a single add at
+// run time. eaDisp doubles as the zero value: an instruction with no
+// memory operand decodes to a harmless absolute-zero EA that nothing
+// reads. eaIndex (index*scale+disp, no base) is real, not a leftover:
+// the assembler folds data symbols into Disp, so `[htab + r6*8]` decodes
+// to HasIndex without HasBase (see TestDecodeCoverage).
 const (
-	eaNone uint8 = iota
-	eaDisp
+	eaDisp uint8 = iota
 	eaBase
 	eaBaseIndex
 	eaIndex

@@ -100,9 +100,17 @@ func (m *FlatMemory) ReadBytes(addr uint64, size int) ([]byte, error) {
 
 func (m *FlatMemory) offset(addr uint64, width int) (uint64, error) {
 	if addr < m.base || addr+uint64(width) > m.base+uint64(len(m.data)) {
-		return 0, fmt.Errorf("%w: %#x (width %d)", ErrOutOfRange, addr, width)
+		return 0, m.rangeErr(addr, width)
 	}
 	return addr - m.base, nil
+}
+
+// rangeErr is kept out of offset so the bounds check inlines into
+// Load/Store (fmt.Errorf in the error branch otherwise blows the budget).
+//
+//go:noinline
+func (m *FlatMemory) rangeErr(addr uint64, width int) error {
+	return fmt.Errorf("%w: %#x (width %d)", ErrOutOfRange, addr, width)
 }
 
 func leLoad(b []byte, width int) uint64 {

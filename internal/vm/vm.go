@@ -37,6 +37,14 @@ type Hooks struct {
 	// bufAddr; firstIndex is the 1-based index of the first byte in the
 	// overall input stream (TaintChannel's tag origin).
 	OnSyscallRead func(v *VM, bufAddr uint64, n int, firstIndex int)
+	// OnBlock is consulted by the compiled engine (compile.go) when an
+	// instrumented machine reaches the start of basic block blockID
+	// (indexing Blocks(v.Prog)). Returning true keeps the precise
+	// per-instruction path; returning false runs the whole block on the
+	// threaded fast path with NO per-instruction hooks fired — the client
+	// asserts it does not need to observe this block execution. Ignored by
+	// the interpreter and on machines with no per-instruction hooks.
+	OnBlock func(v *VM, blockID int) bool
 }
 
 // VM is one simulated hardware thread executing a Program.
@@ -56,6 +64,11 @@ type VM struct {
 	Steps    uint64
 	MaxSteps uint64
 
+	// Engine selects the Run execution strategy (compile.go). The zero
+	// value EngineAuto means compiled whenever the machine is eligible
+	// (flat memory); New seeds it from the process default.
+	Engine Engine
+
 	input    []byte
 	inputPos int
 	output   []byte
@@ -66,7 +79,8 @@ type VM struct {
 	dec  []dec
 	flat *FlatMemory
 
-	obs vmObs
+	obs  vmObs
+	pair *pairProfile
 }
 
 // DefaultMaxSteps bounds Run against non-terminating programs.
@@ -75,7 +89,7 @@ const DefaultMaxSteps = 500_000_000
 // New creates a VM for prog with the given memory, copying the program's
 // .init data into place.
 func New(prog *isa.Program, mem Memory) (*VM, error) {
-	v := &VM{Prog: prog, Mem: mem, PC: prog.Entry, MaxSteps: DefaultMaxSteps}
+	v := &VM{Prog: prog, Mem: mem, PC: prog.Entry, MaxSteps: DefaultMaxSteps, Engine: DefaultEngine()}
 	v.dec = decodeProgram(prog)
 	v.flat, _ = mem.(*FlatMemory)
 	type rawWriter interface{ WriteBytes(uint64, []byte) error }
@@ -119,13 +133,31 @@ func (v *VM) Output() []byte { return v.output }
 // Run executes until halt, fault, or error. A *Fault return leaves the
 // machine resumable: the faulting instruction has had no effect and will
 // re-execute on the next Run or Step.
+//
+// Run dispatches to the compiled (threaded-code) engine when the machine
+// is eligible — flat memory, engine not forced to interp, no pair
+// profiler attached — and to the interpreter loop otherwise. Both
+// produce bit-identical machine state, output, errors, and obs totals.
 func (v *VM) Run() error {
+	if v.useCompiled() {
+		return v.runCompiled(engineFor(v.Prog))
+	}
 	for !v.Halted {
 		if err := v.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// useCompiled reports whether Run should take the compiled engine. Paged
+// (SGX) memory always interprets: the fast path has no fault/resume
+// story. The opcode-pair profiler is interpreter-only by design.
+func (v *VM) useCompiled() bool {
+	if v.flat == nil || v.pair != nil {
+		return false
+	}
+	return v.Engine != EngineInterp
 }
 
 // Step executes a single instruction. On *Fault the PC is unchanged.
@@ -240,6 +272,9 @@ func (v *VM) Step() error {
 	v.Steps++
 	v.obs.instructions.Inc()
 	v.obs.ops[d.op].Inc()
+	if v.pair != nil {
+		v.pair.record(d.op)
+	}
 	return nil
 }
 
