@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare bench-gate bench-cluster bench-smoke smoke smoke-server smoke-obs smoke-pages golden clean test-fuzz test-parallel test-chaos test-differential
+.PHONY: all build vet test race lint bench bench-json bench-compare bench-gate bench-cluster bench-smoke smoke smoke-server smoke-obs smoke-pages golden clean test-fuzz test-parallel test-chaos test-chaos-cluster test-differential
 
 all: build vet test
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: staticcheck at a pinned version so CI runs
+# are reproducible. `go run` fetches it on first use (needs module network
+# access); override STATICCHECK to point at a local binary offline.
+STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
+lint: vet
+	$(STATICCHECK) ./...
 
 test:
 	$(GO) test ./...
@@ -264,6 +271,67 @@ test-chaos:
 	cmp $$tmp/par1.json $$tmp/par2.json && cmp $$tmp/par1.json $$tmp/par4.json || \
 		{ echo "disarmed runs diverge across parallelism"; exit 1; }; \
 	echo "chaos determinism: quick suite byte-identical at -parallel 1, 2, 4"
+
+# Cluster chaos (DESIGN.md §13): two tiered instances — B mounting A's
+# cache as its peer tier — under a verifying zipload with failover,
+# hedging, and Retry-After-aware retries. Instance A is SIGKILLed (no
+# drain, no Close) mid-load and restarted on the same address with the
+# same cache directory, so its startup scrub has to recover the torn
+# disk tier. The run must end with zero round-trip errors (exit 0, or 3
+# if the post-run probe still saw A down); B's peer probation breaker
+# must have opened during the outage and be closed again after fresh
+# traffic probes the revived peer.
+test-chaos-cluster:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zipserverd ./cmd/zipserverd; \
+	$(GO) build -o $$tmp/zipload ./cmd/zipload; \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr1 \
+		-cache-backend tiered -cache-mb 4 -cache-cold-mb 64 -cache-dir $$tmp/cold1 2>$$tmp/sA.log & \
+	pid1=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr1 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr1 ] || { echo "instance A never bound"; kill $$pid1; exit 1; }; \
+	addrA=$$(cat $$tmp/addr1); \
+	$$tmp/zipserverd -addr 127.0.0.1:0 -addr-file $$tmp/addr2 \
+		-cache-backend tiered -cache-mb 4 -cache-cold-mb 64 -cache-dir $$tmp/cold2 \
+		-cache-peer http://$$addrA 2>$$tmp/sB.log & \
+	pid2=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr2 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr2 ] || { echo "instance B never bound"; kill $$pid1 $$pid2; exit 1; }; \
+	addrB=$$(cat $$tmp/addr2); \
+	$$tmp/zipload -urls http://$$addrA,http://$$addrB \
+		-clients 6 -duration 8s -seed 11 -zipf 1.2 \
+		-retries 8 -retry-base 5ms -retry-max 300ms -hedge 100ms >$$tmp/load.txt 2>&1 & \
+	lpid=$$!; \
+	sleep 2; \
+	kill -9 $$pid1 2>/dev/null; wait $$pid1 2>/dev/null || true; \
+	echo "test-chaos-cluster: SIGKILLed instance A ($$addrA) mid-load"; \
+	sleep 2; \
+	rm -f $$tmp/addr1; \
+	$$tmp/zipserverd -addr $$addrA -addr-file $$tmp/addr1 \
+		-cache-backend tiered -cache-mb 4 -cache-cold-mb 64 -cache-dir $$tmp/cold1 2>$$tmp/sA2.log & \
+	pid1=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr1 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr1 ] || { echo "instance A never rebound after restart"; kill $$pid1 $$pid2; exit 1; }; \
+	echo "test-chaos-cluster: restarted A on $$addrA (same cache dir; startup scrub recovers it)"; \
+	lstatus=0; wait $$lpid || lstatus=$$?; \
+	cat $$tmp/load.txt; \
+	if [ $$lstatus -ne 0 ] && [ $$lstatus -ne 3 ]; then \
+		echo "zipload exit $$lstatus — round-trip verification failed under chaos"; \
+		kill $$pid1 $$pid2 2>/dev/null; exit 1; fi; \
+	grep -q ', 0 errors in' $$tmp/load.txt || \
+		{ echo "load report shows unrecovered errors"; kill $$pid1 $$pid2 2>/dev/null; exit 1; }; \
+	curl -s http://$$addrB/metrics >$$tmp/bmetrics.json; \
+	grep -Eq '"server\.cache\.peer\.probation\.opens": *[1-9]' $$tmp/bmetrics.json || \
+		{ echo "B's peer probation never opened during the outage"; kill $$pid1 $$pid2 2>/dev/null; exit 1; }; \
+	$$tmp/zipload -url http://$$addrB -clients 2 -requests 25 -seed 99 -retries 6 >/dev/null || \
+		{ echo "post-restart probe load against B failed"; kill $$pid1 $$pid2 2>/dev/null; exit 1; }; \
+	curl -s http://$$addrB/healthz >$$tmp/bhealth.json; \
+	grep -q '"peer_state": "closed"' $$tmp/bhealth.json || \
+		{ echo "B's peer probation did not recover to closed after A returned"; \
+		  cat $$tmp/bhealth.json; kill $$pid1 $$pid2 2>/dev/null; exit 1; }; \
+	kill -INT $$pid1 $$pid2 2>/dev/null; wait $$pid1 $$pid2 2>/dev/null || true; \
+	echo "test-chaos-cluster: zero errors through a SIGKILL+restart; peer probation opened and recovered"
 
 # Regenerate golden files (obs snapshot, experiments example manifest).
 golden:

@@ -76,6 +76,33 @@ func (r *ring) pick(name string, body []byte) int {
 	return r.owner[i]
 }
 
+// owners returns the distinct instance indices owning the key's ring
+// position and its successors, in ring order starting at the primary —
+// the candidate list failover and hedging walk. owners(...)[0] is always
+// pick(...), so health-blind callers and the degraded-mode path agree on
+// the primary.
+func (r *ring) owners(name string, body []byte) []int {
+	if len(r.urls) <= 1 {
+		return []int{0}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write(body)
+	pos := h.Sum64()
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= pos })
+	out := make([]int, 0, len(r.urls))
+	seen := make([]bool, len(r.urls))
+	for k := 0; k < len(r.hashes) && len(out) < len(r.urls); k++ {
+		o := r.owner[(i+k)%len(r.hashes)]
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
 func fnv64str(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))

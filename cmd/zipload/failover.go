@@ -1,0 +1,214 @@
+package main
+
+// Degraded-mode support for zipload's cluster routing (DESIGN.md §13):
+// per-client instance health tracking with failover to the next distinct
+// ring owner, plus optional hedged requests. All of it is inert on a
+// healthy cluster — the health view only redirects after real transport
+// failures, hedging is off unless -hedge is set, and neither consumes the
+// client's seeded RNG stream — so baseline runs stay byte-identical to a
+// build without this file.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Health-view tuning: like the server-side breakers these count requests,
+// not wall-clock, so a replayed request sequence makes identical routing
+// decisions.
+const (
+	// healthFailThreshold is how many consecutive transport failures mark
+	// an instance down in a client's view.
+	healthFailThreshold = 3
+	// healthDownPicks is how many routing consults skip a down instance
+	// before the next consult probes it again.
+	healthDownPicks = 64
+)
+
+// healthView is one client's private, request-counted view of instance
+// liveness. Private per client keeps it lock-free and deterministic per
+// stream; the cost is each client discovering an outage independently
+// (healthFailThreshold failed requests each, bounded and tiny).
+type healthView struct {
+	fails []int // consecutive transport failures per instance
+	down  []int // routing consults left before re-probing
+}
+
+func newHealthView(n int) *healthView {
+	return &healthView{fails: make([]int, n), down: make([]int, n)}
+}
+
+// up reports whether the client should route to instance idx, counting
+// down the probation window as it is consulted. After healthDownPicks
+// consults the instance is offered again — the probe; one more transport
+// failure re-downs it immediately.
+func (h *healthView) up(idx int) bool {
+	if h == nil {
+		return true
+	}
+	if h.down[idx] > 0 {
+		h.down[idx]--
+		return false
+	}
+	return true
+}
+
+// failure records one transport failure against idx.
+func (h *healthView) failure(idx int) {
+	if h == nil {
+		return
+	}
+	h.fails[idx]++
+	if h.fails[idx] >= healthFailThreshold {
+		h.down[idx] = healthDownPicks
+		// Keep the count at the threshold: a failed probe after the window
+		// re-downs on its first failure instead of needing three more.
+		h.fails[idx] = healthFailThreshold
+	}
+}
+
+// success marks idx healthy (closing any probation).
+func (h *healthView) success(idx int) {
+	if h == nil {
+		return
+	}
+	h.fails[idx] = 0
+	h.down[idx] = 0
+}
+
+// postOutcome is one HTTP attempt's result. postOnce fills it without
+// touching any shared state, so attempts can race as hedges; the client
+// goroutine does all accounting on whichever outcome it keeps.
+type postOutcome struct {
+	idx        int // instance index the attempt targeted
+	out        []byte
+	tp         string // server-echoed traceparent
+	status     int    // 0 on transport error
+	retryAfter int    // parsed Retry-After seconds (0 when absent)
+	cacheHit   bool
+	elapsed    time.Duration
+	err        error // transport/read error (nil once the server answered)
+}
+
+// postOnce issues one POST /v1/{name}/{op} with no side effects beyond
+// the request itself. ctx cancellation (a hedge losing the race) surfaces
+// as err; callers must not account canceled losers as instance failures.
+func postOnce(httpc *http.Client, ctx context.Context, base, name, op string, body []byte) postOutcome {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/"+name+"/"+op, bytes.NewReader(body))
+	if err != nil {
+		return postOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return postOutcome{elapsed: time.Since(start), err: err}
+	}
+	oc := postOutcome{
+		tp:       resp.Header.Get("Traceparent"),
+		status:   resp.StatusCode,
+		cacheHit: resp.Header.Get("X-Cache") == "HIT",
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		oc.retryAfter = ra
+	}
+	oc.out, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	oc.elapsed = time.Since(start)
+	if err != nil {
+		return postOutcome{elapsed: oc.elapsed, err: err}
+	}
+	return oc
+}
+
+// hedgedRace runs the primary attempt and, if it has not completed within
+// cfg.Hedge, a second identical attempt against hedgeIdx. First completed
+// server answer (any status — the server answered) wins and the loser is
+// canceled; responses are content-addressed, so the duplicate request is
+// dedup-safe by construction. loser is the non-winning outcome when it
+// FAILED before the winner finished (known failure worth counting against
+// its instance health); canceled losers are never reported.
+func hedgedRace(httpc *http.Client, hedgeAfter time.Duration, urls []string,
+	name, op string, body []byte, idx, hedgeIdx int) (win postOutcome, hedged bool, loser *postOutcome) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan postOutcome, 2)
+	launch := func(i int) {
+		go func() {
+			oc := postOnce(httpc, ctx, urls[i], name, op, body)
+			oc.idx = i
+			ch <- oc
+		}()
+	}
+	launch(idx)
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+	outstanding := 1
+	var firstFail *postOutcome
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				launch(hedgeIdx)
+			}
+		case oc := <-ch:
+			outstanding--
+			if oc.err == nil {
+				return oc, hedged, firstFail
+			}
+			fail := oc
+			if firstFail == nil {
+				firstFail = &fail
+				// A fast transport failure is a better hedge trigger than
+				// the timer: fire the backup immediately.
+				if !hedged {
+					hedged = true
+					outstanding++
+					launch(hedgeIdx)
+				}
+				continue
+			}
+			if outstanding == 0 {
+				// Both attempts failed: the first failure is the primary
+				// result, the second is the counted loser.
+				return *firstFail, hedged, &fail
+			}
+		}
+	}
+}
+
+// unreachableError classifies a run whose problem is instance liveness
+// rather than payload correctness: a -urls instance refused connections
+// (and, when set after the run, still fails its health probe). main maps
+// it to exit code 3, so scripts can tell "instance down" from
+// "verification failed" (exit 1).
+type unreachableError struct {
+	addrs    []string
+	errs     uint64
+	requests uint64
+	first    string
+}
+
+func (e *unreachableError) Error() string {
+	msg := fmt.Sprintf("unreachable instances: %s", strings.Join(e.addrs, ", "))
+	switch {
+	case e.errs > 0:
+		msg += fmt.Sprintf(" (%d of %d requests failed", e.errs, e.requests)
+		if e.first != "" {
+			msg += "; first: " + e.first
+		}
+		msg += ")"
+	case e.first != "":
+		msg += " (" + e.first + ")"
+	}
+	return msg
+}

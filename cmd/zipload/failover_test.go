@@ -1,0 +1,306 @@
+package main
+
+// Degraded-mode tests: ring owner enumeration, the per-client health
+// view, hedged racing, failover around an instance that dies mid-run, and
+// Retry-After honoring on shed responses.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+	"github.com/zipchannel/zipchannel/internal/server"
+)
+
+// TestRingOwners: owners agrees with pick on the primary, lists every
+// instance exactly once, and is deterministic.
+func TestRingOwners(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	rt := newRing(urls)
+	for i := 0; i < 50; i++ {
+		body := []byte(fmt.Sprintf("owner body %d", i))
+		owners := rt.owners("lz77", body)
+		if len(owners) != len(urls) {
+			t.Fatalf("owners listed %d of %d instances", len(owners), len(urls))
+		}
+		if owners[0] != rt.pick("lz77", body) {
+			t.Fatalf("owners[0]=%d disagrees with pick=%d", owners[0], rt.pick("lz77", body))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("instance %d listed twice", o)
+			}
+			seen[o] = true
+		}
+		again := rt.owners("lz77", body)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatal("owners not deterministic")
+			}
+		}
+	}
+	// Degenerate single-instance ring.
+	if got := newRing([]string{"http://only"}).owners("lz77", []byte("x")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-instance owners = %v", got)
+	}
+}
+
+// TestHealthViewProbation: threshold failures mark an instance down for
+// healthDownPicks consults, a probe failure re-downs immediately, and a
+// success clears everything.
+func TestHealthViewProbation(t *testing.T) {
+	hv := newHealthView(2)
+	for i := 0; i < healthFailThreshold; i++ {
+		if !hv.up(0) {
+			t.Fatalf("instance down after only %d failures", i)
+		}
+		hv.failure(0)
+	}
+	for i := 0; i < healthDownPicks; i++ {
+		if hv.up(0) {
+			t.Fatalf("instance up during probation (consult %d)", i)
+		}
+		if !hv.up(1) {
+			t.Fatal("healthy instance affected by peer's probation")
+		}
+	}
+	if !hv.up(0) {
+		t.Fatal("probe not offered after the probation window")
+	}
+	hv.failure(0) // failed probe: re-down on the first failure
+	if hv.up(0) {
+		t.Fatal("failed probe did not re-down the instance")
+	}
+	for i := 1; i < healthDownPicks; i++ {
+		hv.up(0)
+	}
+	if !hv.up(0) {
+		t.Fatal("second probe not offered")
+	}
+	hv.success(0)
+	if !hv.up(0) || hv.fails[0] != 0 {
+		t.Fatal("success did not clear probation state")
+	}
+}
+
+// TestHedgedRaceWinner: a slow primary loses the race to the hedge; the
+// canceled primary is never reported as a failed loser.
+func TestHedgedRaceWinner(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		w.Write([]byte("slow"))
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fast"))
+	}))
+	defer fast.Close()
+
+	httpc := &http.Client{}
+	win, hedged, loser := hedgedRace(httpc, 20*time.Millisecond,
+		[]string{slow.URL, fast.URL}, "lz77", "compress", []byte("body"), 0, 1)
+	if !hedged {
+		t.Fatal("hedge never fired against a 300ms primary")
+	}
+	if win.err != nil || win.idx != 1 || string(win.out) != "fast" {
+		t.Fatalf("winner = idx %d err %v out %q, want the hedge", win.idx, win.err, win.out)
+	}
+	if loser != nil {
+		t.Fatalf("canceled primary reported as failed loser: %+v", loser)
+	}
+}
+
+// TestHedgedRaceFastFailure: a primary that refuses connections triggers
+// the hedge immediately (before the timer) and is counted as the loser.
+func TestHedgedRaceFastFailure(t *testing.T) {
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("alive"))
+	}))
+	defer fast.Close()
+
+	httpc := &http.Client{}
+	win, hedged, loser := hedgedRace(httpc, 10*time.Second, // timer would never fire
+		[]string{"http://127.0.0.1:1", fast.URL}, "lz77", "compress", []byte("body"), 0, 1)
+	if !hedged {
+		t.Fatal("fast transport failure did not trigger the hedge")
+	}
+	if win.err != nil || win.idx != 1 {
+		t.Fatalf("winner = idx %d err %v, want the hedge", win.idx, win.err)
+	}
+	if loser == nil || loser.idx != 0 || loser.err == nil {
+		t.Fatalf("dead primary not reported as failed loser: %+v", loser)
+	}
+}
+
+// startInstance boots a real zipserverd core for cluster tests.
+func startInstance(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Faults:   fault.NewRegistry(1),
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunLoadFailsOverAroundMidRunDeath: two-instance cluster, one dies
+// mid-run. The load must finish with zero errors (failover + retries
+// carry it), count failovers, and classify the dead instance as
+// unreachable for the exit-code path.
+func TestRunLoadFailsOverAroundMidRunDeath(t *testing.T) {
+	a := startInstance(t)
+
+	// Instance B dies after serving 20 codec requests — request-driven so
+	// the load is demonstrably underway (and the pre-run health check long
+	// past) when it goes, however slow the build (-race) is.
+	core := server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Faults:   fault.NewRegistry(1),
+	})
+	var served atomic.Int64
+	var dead sync.Once
+	var b *httptest.Server
+	b = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") && served.Add(1) == 20 {
+			go dead.Do(func() {
+				b.CloseClientConnections()
+				b.Close()
+			})
+		}
+		core.ServeHTTP(w, r)
+	}))
+	t.Cleanup(b.Close)
+	res, err := runLoad(loadConfig{
+		URLs:      []string{a.URL, b.URL},
+		Clients:   4,
+		Duration:  600 * time.Millisecond,
+		Codecs:    []string{"lz77"},
+		Seed:      7,
+		Verify:    true,
+		BodyCap:   512,
+		Retries:   6,
+		RetryBase: time.Millisecond,
+		RetryMax:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors despite failover (first: %s)", res.Errors, res.FirstError)
+	}
+	snap := res.Registry.Snapshot()
+	if snap.Counters["zipload.failovers"] == 0 {
+		t.Fatal("no failovers counted around a dead instance")
+	}
+	if len(res.Unreachable) != 1 || res.Unreachable[0] != b.URL {
+		t.Fatalf("Unreachable = %v, want [%s]", res.Unreachable, b.URL)
+	}
+}
+
+// TestRetryAfterHonored: a shed (503 + Retry-After: 1) response stretches
+// the next backoff to at least the advertised second, then the retry
+// succeeds.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded (queue full), retry later", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("recovered"))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	res, err := runLoad(loadConfig{
+		BaseURL:   ts.URL,
+		Clients:   1,
+		Requests:  1,
+		Codecs:    []string{"lz77"},
+		Seed:      3,
+		Verify:    false,
+		BodyCap:   64,
+		Retries:   2,
+		RetryBase: time.Millisecond,
+		RetryMax:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors, want recovery after the honored Retry-After", res.Errors)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("run finished in %v — Retry-After: 1 not honored as a backoff floor", elapsed)
+	}
+	if got := res.Registry.Snapshot().Counters["zipload.shed_seen"]; got != 1 {
+		t.Fatalf("shed_seen = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterCapped: RetryMax caps an absurd Retry-After so a
+// misbehaving server cannot stall the client.
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("recovered"))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	res, err := runLoad(loadConfig{
+		BaseURL:   ts.URL,
+		Clients:   1,
+		Requests:  1,
+		Codecs:    []string{"lz77"},
+		Seed:      3,
+		Verify:    false,
+		BodyCap:   64,
+		Retries:   2,
+		RetryBase: time.Millisecond,
+		RetryMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v — RetryMax did not cap the Retry-After", elapsed)
+	}
+}
+
+// TestUnreachableErrorMessage pins the exit-3 classification text.
+func TestUnreachableErrorMessage(t *testing.T) {
+	e := &unreachableError{addrs: []string{"http://a:1"}, errs: 2, requests: 10, first: "boom"}
+	msg := e.Error()
+	for _, want := range []string{"unreachable instances", "http://a:1", "2 of 10", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

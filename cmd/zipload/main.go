@@ -19,9 +19,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +45,10 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "zipload:", err)
+		var ue *unreachableError
+		if errors.As(err, &ue) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -66,6 +72,9 @@ func run() error {
 		pageB    = flag.Int("page-bytes", 4096, "page payload cap; match the server's -page-size")
 		retries  = flag.Int("retries", 3, "retry attempts per request on 5xx/connection errors (0 disables)")
 		rbase    = flag.Duration("retry-base", 5*time.Millisecond, "exponential-backoff base; jitter in [0,base) is drawn from the client's seeded RNG")
+		rmax     = flag.Duration("retry-max", 2*time.Second, "cap on one attempt's backoff, including an honored Retry-After (0 = uncapped)")
+		hedge    = flag.Duration("hedge", 0, "hedge a request to the next ring owner when the primary hasn't answered within this delay (0 disables; cluster mode only)")
+		hedgeBud = flag.Int("hedge-budget", 64, "max hedged requests per client stream (with -hedge)")
 	)
 	flag.Parse()
 
@@ -87,8 +96,11 @@ func run() error {
 		PageFrac:  *pageFrac,
 		PageIDs:   *pageIDs,
 		PageBytes: *pageB,
-		Retries:   *retries,
-		RetryBase: *rbase,
+		Retries:     *retries,
+		RetryBase:   *rbase,
+		RetryMax:    *rmax,
+		Hedge:       *hedge,
+		HedgeBudget: *hedgeBud,
 	}
 	if *urls != "" {
 		for _, part := range strings.Split(*urls, ",") {
@@ -105,6 +117,17 @@ func run() error {
 	if *metrics != "" {
 		if err := res.Registry.WriteSnapshot(*metrics); err != nil {
 			return err
+		}
+	}
+	if len(res.Unreachable) > 0 {
+		// Liveness, not correctness: exit 3 so scripts can tell a dead
+		// instance from verification noise — even when failover kept the
+		// error count at zero.
+		return &unreachableError{
+			addrs:    res.Unreachable,
+			errs:     res.Errors,
+			requests: res.Requests,
+			first:    res.FirstError,
 		}
 	}
 	if res.Errors > 0 {
@@ -168,9 +191,18 @@ type loadConfig struct {
 	// RetryBase·2^attempt plus a jitter in [0, RetryBase) drawn from the
 	// client's seeded RNG — drawn only when a retry actually happens, so
 	// a failure-free run consumes exactly the same RNG stream as a run
-	// with retries disabled.
+	// with retries disabled. A shed response's Retry-After raises the
+	// backoff floor; RetryMax caps either source.
 	Retries   int
 	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Hedge > 0 arms hedged requests in cluster mode: an attempt that has
+	// not answered within Hedge races a duplicate against the next ring
+	// owner, first server answer wins, the loser is canceled. Off by
+	// default — and when off, request flow is byte-identical to earlier
+	// builds. HedgeBudget bounds hedges per client stream.
+	Hedge       time.Duration
+	HedgeBudget int
 }
 
 // loadResult aggregates all clients' outcomes. Registry carries the merged
@@ -186,6 +218,10 @@ type loadResult struct {
 	Digest     string // hex XOR-of-SHA256 over response bodies ("" unless cfg.Digest)
 	Registry   *obs.Registry
 	ServerSnap *obs.Snapshot
+	// Unreachable lists instances that saw transport failures during the
+	// run AND still fail their health probe afterwards — dead, not
+	// blipped. Drives exit code 3.
+	Unreachable []string
 }
 
 // allURLs is the instance list a run actually targets.
@@ -199,11 +235,12 @@ func (cfg loadConfig) allURLs() []string {
 // clientResult is one worker's slot (par.ForEach contract: each client
 // writes only here).
 type clientResult struct {
-	requests uint64
-	errors   uint64
-	firstErr string
-	digest   [sha256.Size]byte
-	reg      *obs.Registry
+	requests   uint64
+	errors     uint64
+	firstErr   string
+	digest     [sha256.Size]byte
+	reg        *obs.Registry
+	hedgesLeft int
 }
 
 // bodyPool builds the deterministic request-body mix: every corpus file
@@ -255,10 +292,11 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		},
 	}
 
-	// Liveness check before unleashing the fleet.
+	// Liveness check before unleashing the fleet. A dead instance here is
+	// an unreachableError (exit 3), not generic failure noise.
 	for _, u := range urls {
 		if err := checkHealth(httpc, u); err != nil {
-			return nil, err
+			return nil, &unreachableError{addrs: []string{u}, first: err.Error()}
 		}
 	}
 
@@ -268,6 +306,15 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	err := par.ForEach(cfg.Clients, cfg.Clients, func(i int) error {
 		cr := &results[i]
 		cr.reg = obs.NewRegistry()
+		// Each client owns a private health view of the cluster (failover
+		// state never crosses streams) and a hedge budget.
+		var hv *healthView
+		if len(urls) > 1 {
+			hv = newHealthView(len(urls))
+			if cfg.Hedge > 0 {
+				cr.hedgesLeft = cfg.HedgeBudget
+			}
+		}
 		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed, fmt.Sprintf("client-%d", i))))
 		// Page traffic owns a separate RNG stream: when PageFrac is 0 it
 		// is never created, so the codec request sequence (and every byte
@@ -302,7 +349,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 			} else {
 				body = pool[rng.Intn(len(pool))]
 			}
-			oneRequest(httpc, cfg, rt, name, body, cr, rng)
+			oneRequest(httpc, cfg, rt, hv, name, body, cr, rng)
 		}
 	})
 	if err != nil {
@@ -329,6 +376,17 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	snap := res.Registry.Snapshot()
 	res.BytesIn = snap.Counters["zipload.bytes_in"]
 	res.BytesOut = snap.Counters["zipload.bytes_out"]
+	// Any instance that refused connections during the run gets one final
+	// health probe: still down → unreachable (exit 3); back up → a blip
+	// that failover/retries absorbed, reported but not fatal.
+	for i, u := range urls {
+		if snap.Counters["zipload.connfail."+strconv.Itoa(i)] == 0 {
+			continue
+		}
+		if err := checkHealth(httpc, u); err != nil {
+			res.Unreachable = append(res.Unreachable, u)
+		}
+	}
 	res.ServerSnap = fetchClusterMetrics(httpc, urls)
 	return res, nil
 }
@@ -380,7 +438,7 @@ func checkHealth(httpc *http.Client, base string) error {
 
 // oneRequest performs one compress (optionally + decompress verify)
 // exchange, recording into the client's slot and registry.
-func oneRequest(httpc *http.Client, cfg loadConfig, rt *ring, name string, body []byte, cr *clientResult, rng *rand.Rand) {
+func oneRequest(httpc *http.Client, cfg loadConfig, rt *ring, hv *healthView, name string, body []byte, cr *clientResult, rng *rand.Rand) {
 	fail := func(format string, args ...any) {
 		cr.errors++
 		cr.reg.Counter("zipload.errors").Inc()
@@ -388,7 +446,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, rt *ring, name string, body 
 			cr.firstErr = fmt.Sprintf(format, args...)
 		}
 	}
-	comp, _, err := postWithRetry(httpc, cfg, rt, name, "compress", body, cr, rng)
+	comp, _, err := postWithRetry(httpc, cfg, rt, hv, name, "compress", body, cr, rng)
 	if err != nil {
 		fail("compress %s: %v", name, err)
 		return
@@ -399,7 +457,7 @@ func oneRequest(httpc *http.Client, cfg loadConfig, rt *ring, name string, body 
 	// The decompress verify routes by its own body (the compressed
 	// bytes), so in a cluster it usually lands on a different instance
 	// than the compress did — cross-instance verification for free.
-	back, tp, err := postWithRetry(httpc, cfg, rt, name, "decompress", comp, cr, rng)
+	back, tp, err := postWithRetry(httpc, cfg, rt, hv, name, "decompress", comp, cr, rng)
 	if err != nil {
 		fail("decompress %s: %v", name, err)
 		return
@@ -420,24 +478,59 @@ func traceSuffix(tp string) string {
 	return " [traceparent " + tp + "]"
 }
 
-// postWithRetry wraps timedPost with the transient-failure retry loop:
-// exponential backoff RetryBase·2^attempt plus seeded jitter, retrying
-// only errors that say nothing about the request itself (5xx, connection
-// resets). Client errors surface immediately — retrying a 4xx is load,
+// postWithRetry wraps timedPost with the degraded-mode request loop:
+// health-checked failover across the ring owners, optional hedging, and
+// the transient-failure retry with exponential backoff RetryBase·2^attempt
+// plus seeded jitter — raised to an honored Retry-After floor when the
+// server shed the request, capped at RetryMax either way. Only errors
+// that say nothing about the request itself retry (5xx, connection
+// resets); client errors surface immediately — retrying a 4xx is load,
 // not resilience.
-func postWithRetry(httpc *http.Client, cfg loadConfig, rt *ring, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, string, error) {
-	idx := rt.pick(name, body)
-	base := rt.urls[idx]
-	if len(rt.urls) > 1 {
-		cr.reg.Counter("zipload.route." + strconv.Itoa(idx)).Inc()
-	}
+func postWithRetry(httpc *http.Client, cfg loadConfig, rt *ring, hv *healthView, name, op string, body []byte, cr *clientResult, rng *rand.Rand) ([]byte, string, error) {
+	owners := rt.owners(name, body)
 	for attempt := 0; ; attempt++ {
-		out, tp, transient, err := timedPost(httpc, cfg, base, name, op, body, cr)
+		// Route to the first ring owner the client's health view trusts;
+		// walking past the primary is a failover. All owners down falls
+		// back to the primary (someone has to take the probe traffic).
+		idx := owners[0]
+		if hv != nil {
+			for j, o := range owners {
+				if hv.up(o) {
+					idx = o
+					if j > 0 {
+						cr.reg.Counter("zipload.failovers").Inc()
+					}
+					break
+				}
+			}
+		}
+		if len(rt.urls) > 1 {
+			cr.reg.Counter("zipload.route." + strconv.Itoa(idx)).Inc()
+		}
+		// Hedge target: the next distinct owner, budget permitting.
+		hedgeIdx := -1
+		if cfg.Hedge > 0 && cr.hedgesLeft > 0 {
+			for _, o := range owners {
+				if o != idx {
+					hedgeIdx = o
+					break
+				}
+			}
+		}
+		out, tp, transient, retryAfter, err := timedPost(httpc, cfg, rt, hv, name, op, body, cr, idx, hedgeIdx)
 		if err == nil || !transient || attempt >= cfg.Retries {
 			return out, tp, err
 		}
 		cr.reg.Counter("zipload.retries").Inc()
 		backoff := cfg.RetryBase << uint(attempt)
+		if retryAfter > 0 {
+			if ra := time.Duration(retryAfter) * time.Second; ra > backoff {
+				backoff = ra
+			}
+		}
+		if cfg.RetryMax > 0 && backoff > cfg.RetryMax {
+			backoff = cfg.RetryMax
+		}
 		if cfg.RetryBase > 0 {
 			backoff += time.Duration(rng.Int63n(int64(cfg.RetryBase)))
 		}
@@ -445,42 +538,73 @@ func postWithRetry(httpc *http.Client, cfg loadConfig, rt *ring, name, op string
 	}
 }
 
-// timedPost issues one POST, counting it as a request and observing its
-// latency into the client registry (globally and per codec, so the report
-// can break quantiles down by codec). transient reports whether a failure
-// is worth retrying (connection error or 5xx). tp is the traceparent the
-// server echoed on the response ("" when tracing is off server-side).
-func timedPost(httpc *http.Client, cfg loadConfig, base, name, op string, body []byte, cr *clientResult) (out []byte, tp string, transient bool, err error) {
-	cr.requests++
-	cr.reg.Counter("zipload.requests").Inc()
-	cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
-	start := time.Now()
-	resp, err := httpc.Post(base+"/v1/"+name+"/"+op, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		return nil, "", true, err
+// timedPost issues one (possibly hedged) POST, counting every launched
+// attempt as a request and observing the kept outcome's latency into the
+// client registry (globally and per codec, so the report can break
+// quantiles down by codec). All accounting — including the per-instance
+// connfail/httperr breakdown and health-view feedback — happens here in
+// the client goroutine; the racing attempts themselves are side-effect
+// free. transient reports whether a failure is worth retrying (connection
+// error or 5xx); retryAfter carries a shed response's Retry-After
+// seconds. tp is the traceparent the server echoed ("" when tracing is
+// off server-side).
+func timedPost(httpc *http.Client, cfg loadConfig, rt *ring, hv *healthView, name, op string, body []byte, cr *clientResult, idx, hedgeIdx int) (out []byte, tp string, transient bool, retryAfter int, err error) {
+	launched := func() {
+		cr.requests++
+		cr.reg.Counter("zipload.requests").Inc()
+		cr.reg.Counter("zipload.codec." + name + "." + op).Inc()
 	}
-	tp = resp.Header.Get("Traceparent")
-	out, err = io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return nil, tp, true, err
+	launched()
+	var win postOutcome
+	if hedgeIdx >= 0 {
+		var hedged bool
+		var loser *postOutcome
+		win, hedged, loser = hedgedRace(httpc, cfg.Hedge, rt.urls, name, op, body, idx, hedgeIdx)
+		if hedged {
+			launched()
+			cr.hedgesLeft--
+			cr.reg.Counter("zipload.hedges").Inc()
+			if win.err == nil && win.idx == hedgeIdx {
+				cr.reg.Counter("zipload.hedge_wins").Inc()
+			}
+		}
+		if loser != nil {
+			// A loser that demonstrably failed (not canceled) counts
+			// against its instance like any solo transport failure.
+			cr.reg.Counter("zipload.connfail." + strconv.Itoa(loser.idx)).Inc()
+			hv.failure(loser.idx)
+		}
+	} else {
+		win = postOnce(httpc, context.Background(), rt.urls[idx], name, op, body)
+		win.idx = idx
 	}
-	latUS := time.Since(start).Microseconds()
+	if win.err != nil {
+		cr.reg.Counter("zipload.connfail." + strconv.Itoa(win.idx)).Inc()
+		hv.failure(win.idx)
+		return nil, "", true, 0, win.err
+	}
+	hv.success(win.idx)
+	tp = win.tp
+	latUS := win.elapsed.Microseconds()
 	cr.reg.Histogram("zipload.latency_us").Observe(latUS)
 	cr.reg.Histogram("zipload.latency_us." + name).Observe(latUS)
-	if resp.StatusCode != http.StatusOK {
-		return nil, tp, resp.StatusCode >= 500,
-			fmt.Errorf("status %d: %s%s", resp.StatusCode, firstLine(out), traceSuffix(tp))
+	if win.status != http.StatusOK {
+		cr.reg.Counter("zipload.httperr." + strconv.Itoa(win.idx)).Inc()
+		if win.status == http.StatusServiceUnavailable && win.retryAfter > 0 {
+			cr.reg.Counter("zipload.shed_seen").Inc()
+		}
+		return nil, tp, win.status >= 500, win.retryAfter,
+			fmt.Errorf("status %d: %s%s", win.status, firstLine(win.out), traceSuffix(tp))
 	}
 	cr.reg.Counter("zipload.bytes_in").Add(uint64(len(body)))
-	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(out)))
+	cr.reg.Counter("zipload.bytes_out").Add(uint64(len(win.out)))
 	if cfg.Digest {
-		xorDigest(&cr.digest, out)
+		xorDigest(&cr.digest, win.out)
 	}
-	if resp.Header.Get("X-Cache") == "HIT" {
+	if win.cacheHit {
 		cr.reg.Counter("zipload.cache_hits_seen").Inc()
 	}
-	return out, tp, false, nil
+	return win.out, tp, false, 0, nil
 }
 
 func firstLine(b []byte) string {
@@ -538,6 +662,30 @@ func (r *loadResult) report(w io.Writer, cfg loadConfig) {
 			parts[i] = fmt.Sprintf("#%d:%d", i, snap.Counters["zipload.route."+strconv.Itoa(i)])
 		}
 		fmt.Fprintf(w, "  cluster: %d instances, consistent-hash routed (%s)\n", n, strings.Join(parts, " "))
+		// Per-instance error breakdown, printed only for instances that
+		// had any — a clean run's report is byte-identical to older builds.
+		for i, u := range cfg.URLs {
+			conn := snap.Counters["zipload.connfail."+strconv.Itoa(i)]
+			httpe := snap.Counters["zipload.httperr."+strconv.Itoa(i)]
+			if conn+httpe == 0 {
+				continue
+			}
+			state := "recovered"
+			for _, d := range r.Unreachable {
+				if d == u {
+					state = "STILL DOWN"
+				}
+			}
+			fmt.Fprintf(w, "    #%d %s: %d conn failures (%s), %d http errors\n",
+				i, u, conn, state, httpe)
+		}
+	}
+	if fo, he := snap.Counters["zipload.failovers"], snap.Counters["zipload.hedges"]; fo+he > 0 {
+		fmt.Fprintf(w, "  degraded mode: %d failovers, %d hedges (%d won by the hedge)\n",
+			fo, he, snap.Counters["zipload.hedge_wins"])
+	}
+	if shed := snap.Counters["zipload.shed_seen"]; shed > 0 {
+		fmt.Fprintf(w, "  shed: %d overload (503+Retry-After) responses honored in backoff\n", shed)
 	}
 	if r.ServerSnap != nil {
 		hits := r.ServerSnap.Counters["server.cache.hits"]

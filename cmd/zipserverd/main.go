@@ -165,6 +165,25 @@ func buildCache(cc cacheConfig, reg *obs.Registry, freg *fault.Registry) (cache,
 	return full, local, cleanup, nil
 }
 
+// runScrub is the -cache-scrub mode: one offline pass over a disk-cache
+// directory (the same scrub every startup runs), reported to stdout. The
+// pass is idempotent and safe on a live directory only if no zipserverd
+// is writing to it — run it before boot, not beside one.
+func runScrub(dir string) error {
+	rep, err := server.ScrubDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache scrub: %s\n", rep.Dir)
+	fmt.Printf("  intact entries:     %d (%d value bytes)\n", rep.Recovered, rep.RecoveredBytes)
+	fmt.Printf("  quarantined:        %d\n", len(rep.Quarantined))
+	for _, name := range rep.Quarantined {
+		fmt.Printf("    %s -> %s/\n", name, server.QuarantineDir)
+	}
+	fmt.Printf("  temp files removed: %d\n", rep.TempsRemoved)
+	return nil
+}
+
 // parsePlant decodes -pagestore-plant's "id=attackerLen:secret" form.
 // The secret may itself contain '=' and ':' — only the first '=' and the
 // first ':' after it delimit.
@@ -191,6 +210,7 @@ func run() error {
 		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
 		workers  = flag.Int("workers", 0, "max concurrent codec executions (0 = GOMAXPROCS)")
+		queueLim = flag.Int("queue-limit", 0, "max codec requests waiting beyond -workers before shedding 503+Retry-After (0 = 8x workers, negative disables shedding)")
 		maxBody  = flag.Int64("max-body", server.DefaultMaxBodyBytes, "per-request body cap in bytes")
 		cacheMB  = flag.Int64("cache-mb", 64, "response cache budget in MiB (negative disables; the hot tier for -cache-backend tiered)")
 
@@ -201,6 +221,7 @@ func run() error {
 		cachePeer    = flag.String("cache-peer", "", "base URL of a peer zipserverd whose cache becomes this instance's outermost cold tier")
 		peerTimeout  = flag.Duration("cache-peer-timeout", server.DefaultPeerTimeout, "per-exchange deadline for the peer tier")
 		cacheMaxAge  = flag.Int("cache-max-age", 0, "max-age seconds advertised in Cache-Control on /v1 responses (0 = default, negative disables)")
+		cacheScrub   = flag.Bool("cache-scrub", false, "scrub -cache-dir (verify entries, quarantine torn ones, remove temps), print the report, and exit")
 		metrics  = flag.String("metrics", "", "write a final obs snapshot to this file on shutdown")
 		faults   = flag.String("faults", "", "deterministic fault injections, comma-separated point=kind:prob[:param] or point=kind@n[:param] (empty disables)")
 		fseed    = flag.Int64("fault-seed", 1, "root seed for the fault registry's per-point streams")
@@ -220,6 +241,13 @@ func run() error {
 		slo       = flag.Duration("slo", 0, "per-request latency objective for server.slo.* counters (0 = default 500ms, negative disables latency breaches)")
 	)
 	flag.Parse()
+
+	if *cacheScrub {
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-scrub requires -cache-dir")
+		}
+		return runScrub(*cacheDir)
+	}
 
 	var freg *fault.Registry
 	if *faults != "" {
@@ -323,6 +351,7 @@ func run() error {
 		PeerView:     peerView,
 		CacheMaxAge:  *cacheMaxAge,
 		Workers:      *workers,
+		QueueLimit:   *queueLim,
 		Registry:     reg,
 		Faults:       freg,
 		Tracer:       tracer,

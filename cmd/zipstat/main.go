@@ -13,8 +13,11 @@
 //
 // In watch mode the RPS column is the request delta between consecutive
 // polls divided by the poll gap; the first sample (and -once mode) falls
-// back to lifetime requests / uptime. -once exits 0 only if every target
-// answered both endpoints, so scripts can use it as a fleet health probe.
+// back to lifetime requests / uptime. A target that fails either endpoint
+// renders as a DOWN row instead of aborting the dashboard; plain -once
+// still exits 0 so a partially-degraded fleet can be inspected. Scripts
+// that need a hard health probe add -require: -once -require exits
+// non-zero listing every unreachable address.
 package main
 
 import (
@@ -42,6 +45,7 @@ func run() error {
 	var (
 		interval = flag.Duration("interval", 2*time.Second, "poll interval in watch mode")
 		once     = flag.Bool("once", false, "poll each target once, print, and exit")
+		require  = flag.Bool("require", false, "with -once: exit non-zero if any target is unreachable, listing all of them")
 		jsonOut  = flag.Bool("json", false, "with -once: emit one JSON array of per-target stats")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
 	)
@@ -66,15 +70,16 @@ func run() error {
 		} else {
 			renderTable(os.Stdout, stats)
 		}
-		for _, st := range stats {
-			if !st.Healthy {
-				return fmt.Errorf("target %s unhealthy: %s", st.Target, st.Error)
-			}
+		if down := unreachableTargets(stats); *require && len(down) > 0 {
+			return fmt.Errorf("unreachable targets: %s", strings.Join(down, ", "))
 		}
 		return nil
 	}
 	if *jsonOut {
 		return fmt.Errorf("-json requires -once (watch mode is for humans)")
+	}
+	if *require {
+		return fmt.Errorf("-require requires -once (watch mode renders DOWN rows instead)")
 	}
 
 	var prev []instanceStats
@@ -115,6 +120,14 @@ type instanceStats struct {
 	Breakers map[string]string `json:"breakers,omitempty"` // codec/op -> state
 	Faults   map[string]uint64 `json:"faults,omitempty"`   // fault.* counters
 
+	// Overload mirrors the healthz admission section (absent when the
+	// instance runs with shedding disabled); PeerState is the peer tier's
+	// probation breaker ("closed", "open", "trial"; absent without one).
+	OverloadState string `json:"overload_state,omitempty"`
+	ShedTotal     uint64 `json:"shed_total"`
+	QueueDepth    int    `json:"queue_depth"`
+	PeerState     string `json:"peer_state,omitempty"`
+
 	// sampledAt feeds the watch-mode RPS delta; not part of the JSON
 	// contract.
 	sampledAt time.Time
@@ -126,6 +139,14 @@ type health struct {
 	UptimeSimSteps uint64            `json:"uptime_sim_steps"`
 	UptimeSeconds  float64           `json:"uptime_seconds"`
 	Breakers       map[string]string `json:"breakers"`
+	Overload       *struct {
+		State      string `json:"state"`
+		QueueDepth int    `json:"queue_depth"`
+		Shed       uint64 `json:"shed_total"`
+	} `json:"overload"`
+	Cache struct {
+		PeerState string `json:"peer_state"`
+	} `json:"cache"`
 }
 
 // collectAll polls every target, computing RPS against the matching entry
@@ -146,6 +167,19 @@ func collectAll(httpc *http.Client, targets []string, prev []instanceStats) []in
 		stats[i] = st
 	}
 	return stats
+}
+
+// unreachableTargets lists every target that failed collection, in input
+// order — the -once -require exit message names all of them, not just the
+// first, so one probe run diagnoses the whole fleet.
+func unreachableTargets(stats []instanceStats) []string {
+	var down []string
+	for _, st := range stats {
+		if !st.Healthy {
+			down = append(down, st.Target)
+		}
+	}
+	return down
 }
 
 // collect polls one target's /metrics and /healthz and reduces them to a
@@ -170,6 +204,12 @@ func collect(httpc *http.Client, target string) instanceStats {
 	if len(h.Breakers) > 0 {
 		st.Breakers = h.Breakers
 	}
+	if h.Overload != nil {
+		st.OverloadState = h.Overload.State
+		st.QueueDepth = h.Overload.QueueDepth
+		st.ShedTotal = h.Overload.Shed
+	}
+	st.PeerState = h.Cache.PeerState
 
 	st.Requests = snap.Counters["server.requests"]
 	st.CacheHits = snap.Counters["server.cache.hits"]
@@ -226,6 +266,24 @@ func renderTable(w io.Writer, stats []instanceStats) {
 		fmt.Fprintf(w, "%-28s %9d %8.1f %6.1f %9.0f %9.0f %9.0f  %s\n",
 			st.Target, st.Requests, st.RPS, 100*st.HitRate,
 			st.LatencyP50US, st.LatencyP95US, st.LatencyP99US, breakerSummary(st.Breakers))
+	}
+	// Degraded-mode detail lines: only instances that are actually shedding,
+	// saturated, or holding a non-closed peer breaker get one, so a healthy
+	// fleet's table is unchanged.
+	for _, st := range stats {
+		var parts []string
+		if st.OverloadState != "" && st.OverloadState != "ok" {
+			parts = append(parts, "overload="+st.OverloadState)
+		}
+		if st.ShedTotal > 0 {
+			parts = append(parts, fmt.Sprintf("shed=%d queue=%d", st.ShedTotal, st.QueueDepth))
+		}
+		if st.PeerState != "" && st.PeerState != "closed" {
+			parts = append(parts, "peer="+st.PeerState)
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(w, "\n%s degraded: %s\n", st.Target, strings.Join(parts, " "))
+		}
 	}
 	for _, st := range stats {
 		if len(st.Faults) == 0 {

@@ -132,3 +132,62 @@ func TestBreakerSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestUnreachableTargets: -once -require names every down target, not
+// just the first one.
+func TestUnreachableTargets(t *testing.T) {
+	stats := []instanceStats{
+		{Target: "http://a:1", Healthy: false, Error: "refused"},
+		{Target: "http://b:2", Healthy: true},
+		{Target: "http://c:3", Healthy: false, Error: "timeout"},
+	}
+	down := unreachableTargets(stats)
+	if len(down) != 2 || down[0] != "http://a:1" || down[1] != "http://c:3" {
+		t.Fatalf("unreachableTargets = %v, want both down addresses in order", down)
+	}
+	if got := unreachableTargets(stats[1:2]); len(got) != 0 {
+		t.Fatalf("healthy fleet reported unreachable: %v", got)
+	}
+}
+
+// TestCollectOverloadAndPeerState: the healthz overload section and peer
+// probation state surface in the row (and its degraded detail line) so
+// dashboards see shedding without scraping raw metrics.
+func TestCollectOverloadAndPeerState(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, QueueLimit: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	httpc := &http.Client{Timeout: 5 * time.Second}
+
+	st := collect(httpc, ts.URL)
+	if !st.Healthy {
+		t.Fatalf("collect: unhealthy: %s", st.Error)
+	}
+	if st.OverloadState != "ok" {
+		t.Fatalf("OverloadState = %q, want ok on an idle server", st.OverloadState)
+	}
+
+	// A synthetic degraded row renders its detail line; the healthy row
+	// from the live server does not.
+	var buf bytes.Buffer
+	degraded := instanceStats{Target: "http://x:1", Healthy: true,
+		OverloadState: "saturated", ShedTotal: 7, QueueDepth: 3, PeerState: "open"}
+	renderTable(&buf, []instanceStats{st, degraded})
+	out := buf.String()
+	if !strings.Contains(out, "http://x:1 degraded: overload=saturated shed=7 queue=3 peer=open") {
+		t.Fatalf("degraded detail line missing:\n%s", out)
+	}
+	if strings.Contains(out, ts.URL+" degraded:") {
+		t.Fatalf("healthy instance got a degraded line:\n%s", out)
+	}
+
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"overload_state"`, `"shed_total"`, `"queue_depth"`} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Errorf("-once -json output missing %s:\n%s", key, b)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+// Adaptive overload protection (DESIGN.md §13): an admission controller
+// in front of the worker gate. The gate bounds how many codec executions
+// run; this bounds how many may *wait*. Without it, overload queues
+// requests unboundedly until each one burns a full request deadline and
+// comes back as a 504 — the slowest possible way to say no. With it, a
+// request that would only ever time out in the queue is refused up front
+// with 503 + Retry-After, so clients back off and admitted requests keep
+// a bounded queue (and therefore bounded latency) in front of them.
+//
+// Two shedding triggers, both cheap enough for the hot path:
+//
+//   - queue depth: more than queueLimit requests already waiting beyond
+//     the gate's capacity (the classic bounded-queue rule);
+//   - deadline awareness: the estimated queue wait — queue position over
+//     capacity times an EWMA of recent codec execution time — exceeds
+//     the request's remaining deadline, i.e. admission would be a
+//     promise the server already knows it cannot keep.
+//
+// The controller is accounting plus two atomic comparisons; it never
+// alters response bytes, so runs that stay under the limit (every
+// baseline and bench in this repo at defaults) are byte-identical to a
+// build without it.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+const (
+	// DefaultQueueLimitFactor sizes the default admission queue: factor ×
+	// gate capacity requests may wait beyond the ones executing. 8× keeps
+	// short bursts absorbed (a queue that sheds on the first blip is
+	// worse than brief queueing) while capping queue latency near
+	// 8 × mean execution time.
+	DefaultQueueLimitFactor = 8
+	// retryAfterCapSeconds bounds the Retry-After hint: past ~30s a
+	// client should re-resolve, not sleep.
+	retryAfterCapSeconds = 30
+)
+
+// errShed marks a request refused by the admission controller. The
+// handler maps it to 503 + Retry-After; singleflight followers sharing a
+// shed leader map it identically.
+var errShed = errors.New("admission: overloaded, request shed")
+
+// admission is the controller state. nil *admission (shedding disabled)
+// admits everything and records nothing.
+type admission struct {
+	capacity int // gate capacity (executing slots)
+	limit    int // max requests waiting beyond capacity
+
+	// inSystem counts requests between acquire and release: executing
+	// plus queued. Queue depth is max(0, inSystem - capacity).
+	inSystem atomic.Int64
+	// execUS is an EWMA (α = 1/8) of one codec execution's wall
+	// microseconds — the unit the queue-wait estimate is denominated in.
+	execUS atomic.Uint64
+
+	admitted *obs.Counter
+	shed     *obs.Counter
+	queueG   *obs.Gauge
+	burnG    *obs.Gauge
+}
+
+// newAdmission builds a controller for a gate of the given capacity.
+// limit 0 means DefaultQueueLimitFactor × capacity; negative disables
+// shedding entirely (returns nil).
+func newAdmission(capacity, limit int, reg *obs.Registry) *admission {
+	if limit < 0 {
+		return nil
+	}
+	if limit == 0 {
+		limit = DefaultQueueLimitFactor * capacity
+	}
+	return &admission{
+		capacity: capacity,
+		limit:    limit,
+		admitted: reg.Counter("server.admission.admitted"),
+		shed:     reg.Counter("server.admission.shed"),
+		queueG:   reg.Gauge("server.admission.queue_depth"),
+		burnG:    reg.Gauge("server.admission.burn_rate"),
+	}
+}
+
+// acquire admits or sheds one codec-execution request. On admission it
+// returns a release func the caller must run once the gate work (queue
+// wait + execution + retries) is over. On shedding it returns errShed;
+// the caller converts it to 503 + Retry-After seconds from
+// retryAfterSeconds.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	n := a.inSystem.Add(1)
+	queued := int(n) - a.capacity
+	if queued > a.limit {
+		a.inSystem.Add(-1)
+		a.recordShed()
+		return nil, errShed
+	}
+	// Deadline awareness: shed a request whose estimated queue wait
+	// already exceeds its remaining lifetime — admitting it only converts
+	// a fast 503 into a slow 504 while it blocks the queue for others.
+	if queued > 0 {
+		if deadline, ok := ctx.Deadline(); ok {
+			if est := a.estimatedWait(queued); est > 0 && est > time.Until(deadline) {
+				a.inSystem.Add(-1)
+				a.recordShed()
+				return nil, errShed
+			}
+		}
+	}
+	a.admitted.Inc()
+	if queued > 0 {
+		a.queueG.Set(float64(queued))
+	} else {
+		a.queueG.Set(0)
+	}
+	a.updateBurn()
+	return func() {
+		left := a.inSystem.Add(-1)
+		if q := int(left) - a.capacity; q > 0 {
+			a.queueG.Set(float64(q))
+		} else {
+			a.queueG.Set(0)
+		}
+	}, nil
+}
+
+// estimatedWait predicts how long a request entering the queue at the
+// given depth will wait: its queue position over capacity, times the
+// recent mean execution time. Zero until the first execution has been
+// observed (no data beats a wrong guess).
+func (a *admission) estimatedWait(queued int) time.Duration {
+	mean := a.execUS.Load()
+	if mean == 0 || a.capacity <= 0 {
+		return 0
+	}
+	rounds := float64(queued)/float64(a.capacity) + 1
+	return time.Duration(rounds*float64(mean)) * time.Microsecond
+}
+
+// observeExec feeds one codec execution's wall time into the EWMA.
+func (a *admission) observeExec(d time.Duration) {
+	if a == nil {
+		return
+	}
+	us := uint64(d.Microseconds())
+	for {
+		old := a.execUS.Load()
+		next := us
+		if old != 0 {
+			next = old - old/8 + us/8
+			if next == 0 {
+				next = 1
+			}
+		}
+		if a.execUS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// recordShed counts one refusal and refreshes the burn-rate gauge.
+func (a *admission) recordShed() {
+	a.shed.Inc()
+	a.updateBurn()
+}
+
+// updateBurn mirrors the shed ratio into a burn-rate gauge on the same
+// scale as the SLO burn rates: observed shed ratio divided by the
+// DefaultSLOBudget error budget, so burn rate > 1 means the server is
+// refusing more than its 1% budget of traffic.
+func (a *admission) updateBurn() {
+	shed := a.shed.Value()
+	total := shed + a.admitted.Value()
+	if total == 0 {
+		return
+	}
+	a.burnG.Set(float64(shed) / float64(total) / DefaultSLOBudget)
+}
+
+// retryAfterSeconds is the Retry-After hint on a shed response: the
+// estimated time for the current queue to drain (floor 1s, capped), so a
+// well-behaved client's first retry lands when a slot is plausible
+// rather than immediately re-joining the stampede.
+func (a *admission) retryAfterSeconds() int {
+	if a == nil {
+		return 1
+	}
+	queued := int(a.inSystem.Load()) - a.capacity
+	if queued < 0 {
+		queued = 0
+	}
+	est := a.estimatedWait(queued)
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > retryAfterCapSeconds {
+		secs = retryAfterCapSeconds
+	}
+	return secs
+}
+
+// queueDepth reports the current number of waiting requests (healthz).
+func (a *admission) queueDepth() int {
+	if a == nil {
+		return 0
+	}
+	if q := int(a.inSystem.Load()) - a.capacity; q > 0 {
+		return q
+	}
+	return 0
+}
+
+// healthOverload is the healthz "overload" section.
+type healthOverload struct {
+	State      string `json:"state"` // "ok" or "saturated"
+	QueueDepth int    `json:"queue_depth"`
+	QueueLimit int    `json:"queue_limit"`
+	Capacity   int    `json:"capacity"`
+	Admitted   uint64 `json:"admitted_total"`
+	Shed       uint64 `json:"shed_total"`
+	MeanExecUS uint64 `json:"mean_exec_us"`
+}
+
+// health renders the controller for /healthz (nil when shedding is
+// disabled, keeping the section absent).
+func (a *admission) health() *healthOverload {
+	if a == nil {
+		return nil
+	}
+	h := &healthOverload{
+		State:      "ok",
+		QueueDepth: a.queueDepth(),
+		QueueLimit: a.limit,
+		Capacity:   a.capacity,
+		Admitted:   a.admitted.Value(),
+		Shed:       a.shed.Value(),
+		MeanExecUS: a.execUS.Load(),
+	}
+	if h.QueueDepth >= h.QueueLimit {
+		h.State = "saturated"
+	}
+	return h
+}

@@ -1,0 +1,258 @@
+package server
+
+// Tests for the adaptive admission controller (DESIGN.md §13): under
+// sustained traffic at several times gate capacity the server must shed
+// with 503 + Retry-After instead of queuing unboundedly, every admitted
+// request must still answer correctly with bounded latency, and with
+// shedding disabled or idle defaults nothing may change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// slowCompressFaults arms a deterministic 20ms latency on every compress
+// execution so a tiny worker pool saturates under concurrent load.
+func slowCompressFaults(t *testing.T) *fault.Registry {
+	t.Helper()
+	reg := fault.NewRegistry(1)
+	if err := reg.ArmAll("server.codec.compress=latency:1:20000"); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestAdmissionShedsOverload drives 8× gate capacity of concurrent
+// traffic at a 2-worker server with a 2-deep admission queue. The
+// contract: excess traffic is refused fast with 503 + a positive integer
+// Retry-After, admitted requests all succeed with correct bytes and
+// bounded latency (no slow-504 path), and the shed/admitted counters and
+// healthz overload section account for every request.
+func TestAdmissionShedsOverload(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Workers:    2,
+		QueueLimit: 2,
+		CacheBytes: -1, // no cache: every request must execute
+		Registry:   reg,
+		Faults:     slowCompressFaults(t),
+	})
+
+	const concurrent = 16 // 8× the 2-worker capacity
+	type result struct {
+		status     int
+		retryAfter string
+		elapsed    time.Duration
+		ok         bool
+	}
+	results := make([]result, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct bodies: no cache hits, no singleflight coalescing.
+			body := []byte(strings.Repeat(fmt.Sprintf("overload body %d. ", i), 40))
+			start := time.Now()
+			resp, err := http.Post(ts.URL+"/v1/lz77/compress",
+				"application/octet-stream", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			out, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = result{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				elapsed:    time.Since(start),
+				ok:         resp.StatusCode == http.StatusOK && len(out) > 0,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var admitted, shed int
+	var maxAdmitted time.Duration
+	for i, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			admitted++
+			if !r.ok {
+				t.Errorf("request %d: 200 with empty body", i)
+			}
+			if r.elapsed > maxAdmitted {
+				maxAdmitted = r.elapsed
+			}
+		case http.StatusServiceUnavailable:
+			shed++
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil || secs < 1 {
+				t.Errorf("request %d: shed without usable Retry-After (%q)", i, r.retryAfter)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, r.status)
+		}
+	}
+	// With at most capacity+queue = 4 requests in the system, a 16-wide
+	// burst must shed most of itself; exact counts depend on goroutine
+	// arrival order, so assert the floor.
+	if shed < concurrent/2 {
+		t.Fatalf("shed %d of %d, want at least %d", shed, concurrent, concurrent/2)
+	}
+	if admitted == 0 {
+		t.Fatal("no request admitted under overload")
+	}
+	// Admitted-latency bound: 4 in-system slots × 20ms each leaves the
+	// worst queue wait around 2 execution rounds; 5s is an order of
+	// magnitude of slack for CI scheduling.
+	if maxAdmitted > 5*time.Second {
+		t.Fatalf("admitted p100 latency %v: queue not bounded", maxAdmitted)
+	}
+
+	if got := reg.Counter("server.admission.shed").Value(); got != uint64(shed) {
+		t.Fatalf("shed counter %d, want %d", got, shed)
+	}
+	if got := reg.Counter("server.admission.admitted").Value(); got != uint64(admitted) {
+		t.Fatalf("admitted counter %d, want %d", got, admitted)
+	}
+
+	// healthz must expose the overload section with matching accounting.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Overload *struct {
+			State    string `json:"state"`
+			Limit    int    `json:"queue_limit"`
+			Capacity int    `json:"capacity"`
+			Admitted uint64 `json:"admitted_total"`
+			Shed     uint64 `json:"shed_total"`
+		} `json:"overload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Overload == nil {
+		t.Fatal("healthz: overload section missing")
+	}
+	if health.Overload.Capacity != 2 || health.Overload.Limit != 2 {
+		t.Fatalf("healthz overload: capacity=%d limit=%d, want 2/2",
+			health.Overload.Capacity, health.Overload.Limit)
+	}
+	if health.Overload.Shed != uint64(shed) || health.Overload.Admitted != uint64(admitted) {
+		t.Fatalf("healthz overload: admitted=%d shed=%d, want %d/%d",
+			health.Overload.Admitted, health.Overload.Shed, admitted, shed)
+	}
+}
+
+// TestAdmissionDisabled: QueueLimit -1 turns the controller off — no
+// shedding no matter the load, and no overload section in healthz.
+func TestAdmissionDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueLimit: -1,
+		CacheBytes: -1,
+		Registry:   reg,
+		Faults:     slowCompressFaults(t),
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("disabled body %d", i))
+			resp, err := http.Post(ts.URL+"/v1/lz77/compress",
+				"application/octet-stream", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d with shedding disabled", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if bytes.Contains(raw, []byte(`"overload"`)) {
+		t.Fatalf("healthz advertises overload section with shedding disabled: %s", raw)
+	}
+}
+
+// TestAdmissionDefaultQuiet: at defaults (8× capacity queue) a serial
+// workload never sheds and the overload section reports "ok".
+func TestAdmissionDefaultQuiet(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Registry: reg})
+	for i := 0; i < 5; i++ {
+		resp, _ := post(t, ts.URL+"/v1/lz77/compress",
+			[]byte(fmt.Sprintf("quiet body %d", i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("serial request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := reg.Counter("server.admission.shed").Value(); got != 0 {
+		t.Fatalf("serial workload shed %d requests", got)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Overload *healthOverload `json:"overload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Overload == nil || health.Overload.State != "ok" {
+		t.Fatalf("healthz overload = %+v, want state ok", health.Overload)
+	}
+}
+
+// TestAdmissionEWMA exercises the execution-time estimator directly:
+// first observation seeds the mean, later ones move it by 1/8 per step,
+// and the queue-wait estimate scales with queue depth over capacity.
+func TestAdmissionEWMA(t *testing.T) {
+	a := newAdmission(2, 4, obs.NewRegistry())
+	if est := a.estimatedWait(3); est != 0 {
+		t.Fatalf("estimate before any observation = %v, want 0", est)
+	}
+	a.observeExec(8 * time.Millisecond)
+	if got := a.execUS.Load(); got != 8000 {
+		t.Fatalf("first observation mean = %dµs, want 8000", got)
+	}
+	a.observeExec(16 * time.Millisecond)
+	if got := a.execUS.Load(); got != 8000-1000+2000 {
+		t.Fatalf("EWMA after 16ms = %dµs, want 9000", got)
+	}
+	// Queue depth 4 at capacity 2 → 3 execution rounds' wait.
+	want := time.Duration(3*9000) * time.Microsecond
+	if got := a.estimatedWait(4); got != want {
+		t.Fatalf("estimatedWait(4) = %v, want %v", got, want)
+	}
+	if secs := a.retryAfterSeconds(); secs != 1 {
+		t.Fatalf("retryAfterSeconds idle = %d, want floor 1", secs)
+	}
+}

@@ -64,3 +64,13 @@ type CacheBackend interface {
 	Close() error
 }
 
+// PeerHealth is the optional interface a backend (or a composite
+// containing one) implements when it fronts a remote peer: PeerState
+// reports the peer probation breaker's state ("closed", "open",
+// "trial") and whether a peer tier exists at all. /healthz surfaces it
+// so a fleet dashboard — and the chaos-cluster harness — can watch a
+// dead peer's breaker open and recover without scraping metrics.
+type PeerHealth interface {
+	PeerState() (state string, ok bool)
+}
+

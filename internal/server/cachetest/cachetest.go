@@ -11,7 +11,10 @@ package cachetest
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -24,6 +27,18 @@ import (
 // for. Factories composing tiers split it across them; the suite holds
 // the composite to the sum.
 const Budget = 64 << 10
+
+// CrashFactory builds a backend rooted at an explicit directory, so the
+// crash battery (RunCrash) can abandon one instance without Close — the
+// SIGKILL model — and reopen a second on the same files. Only backends
+// with a durable tier (disk, tiered-over-disk) qualify.
+type CrashFactory struct {
+	Name string
+	// New returns a backend whose durable tier lives under dir. Register
+	// cleanups on t; the harness calls Close on the *reopened* instance
+	// only (the first is deliberately abandoned).
+	New func(t *testing.T, reg *obs.Registry, budgetBytes int64, dir string) server.CacheBackend
+}
 
 // Factory builds one backend under test.
 type Factory struct {
@@ -227,6 +242,139 @@ func Run(t *testing.T, f Factory) {
 		}
 	})
 
+	runCloseBattery(t, f)
+}
+
+// RunCrash executes the crash-consistency battery against a durable
+// backend (DESIGN.md §13): entries written before an unclean shutdown
+// must either survive byte-exact or miss cleanly after reopen — torn and
+// truncated files are scrub-quarantined, orphaned temps removed, and the
+// recovered index must stay correct under concurrent readers (-race).
+func RunCrash(t *testing.T, f CrashFactory) {
+	const n, size = 8, 300
+
+	t.Run("TornEntriesMissCleanly", func(t *testing.T) {
+		dir := t.TempDir()
+		be := f.New(t, obs.NewRegistry(), Budget, dir)
+		for i := 0; i < n; i++ {
+			be.Put(key(i), val(i, size))
+		}
+		// Abandon be without Close: the crash. Then tear every other entry
+		// file — one mid-value (checksum mismatch), and make sure at least
+		// one is shorter than its checksum header (structurally invalid).
+		torn := map[server.Key]bool{}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := 0
+		for _, de := range ents {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, ".zc") {
+				continue
+			}
+			if idx%2 == 0 {
+				path := filepath.Join(dir, name)
+				info, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cut := info.Size() / 2
+				if idx == 0 {
+					cut = sha256.Size / 2 // torn inside the checksum header
+				}
+				if err := os.Truncate(path, cut); err != nil {
+					t.Fatal(err)
+				}
+				raw, err := hex.DecodeString(strings.TrimSuffix(name, ".zc"))
+				if err != nil || len(raw) != sha256.Size {
+					t.Fatalf("entry file %q is not named by its hex key", name)
+				}
+				var k server.Key
+				copy(k[:], raw)
+				torn[k] = true
+			}
+			idx++
+		}
+		if len(torn) == 0 {
+			t.Fatal("no durable entry files found to tear — factory has no disk tier?")
+		}
+		// Plus an orphaned temp from a crash mid-Put.
+		if err := os.WriteFile(filepath.Join(dir, "put-crash-orphan"), val(0, 40), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		reg := obs.NewRegistry()
+		be2 := f.New(t, reg, Budget, dir)
+		defer be2.Close()
+		for i := 0; i < n; i++ {
+			got, ok := be2.Get(key(i))
+			if torn[key(i)] {
+				if ok {
+					t.Fatalf("torn entry %d served %d bytes after reopen", i, len(got))
+				}
+				continue
+			}
+			// An intact entry may miss (recovery eviction) but must never
+			// serve wrong bytes.
+			if ok && !bytes.Equal(got, val(i, size)) {
+				t.Fatalf("recovered entry %d served wrong bytes", i)
+			}
+		}
+		var quarantined, temps uint64
+		for name, v := range reg.Snapshot().Counters {
+			if strings.HasSuffix(name, ".scrub.quarantined") {
+				quarantined += v
+			}
+			if strings.HasSuffix(name, ".scrub.temps_removed") {
+				temps += v
+			}
+		}
+		if quarantined != uint64(len(torn)) {
+			t.Fatalf("scrub quarantined %d entries, want %d", quarantined, len(torn))
+		}
+		if temps != 1 {
+			t.Fatalf("scrub removed %d temps, want 1", temps)
+		}
+	})
+
+	t.Run("RecoveredConcurrentReads", func(t *testing.T) {
+		dir := t.TempDir()
+		be := f.New(t, obs.NewRegistry(), Budget, dir)
+		for i := 0; i < n; i++ {
+			be.Put(key(i), val(i, size))
+		}
+		// Crash (no Close), reopen, then hammer the recovered index from
+		// concurrent readers and writers — the -race half of the battery.
+		be2 := f.New(t, obs.NewRegistry(), Budget, dir)
+		defer be2.Close()
+		const workers, ops = 4, 50
+		done := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for op := 0; op < ops; op++ {
+					i := (w + op) % n
+					if op%5 == 0 {
+						be2.Put(key(i), val(i, size))
+						continue
+					}
+					if got, ok := be2.Get(key(i)); ok && !bytes.Equal(got, val(i, size)) {
+						done <- fmt.Errorf("worker %d: wrong bytes for recovered key %d", w, i)
+						return
+					}
+				}
+				done <- nil
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func runCloseBattery(t *testing.T, f Factory) {
 	t.Run("Close", func(t *testing.T) {
 		reg := obs.NewRegistry()
 		be := f.New(t, reg, Budget)

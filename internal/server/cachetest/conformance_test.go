@@ -28,6 +28,40 @@ func TestBackendConformance(t *testing.T) {
 	}
 }
 
+// TestCrashConformance runs the crash-consistency battery against every
+// backend with a durable tier: abandon-without-Close, tear entry files,
+// reopen the same directory — torn entries quarantined, intact entries
+// byte-exact, recovered index race-safe.
+func TestCrashConformance(t *testing.T) {
+	factories := []cachetest.CrashFactory{
+		{Name: "disk", New: newDiskAt},
+		{Name: "tiered", New: newTieredAt},
+	}
+	for _, f := range factories {
+		t.Run(f.Name, func(t *testing.T) { cachetest.RunCrash(t, f) })
+	}
+}
+
+func newDiskAt(t *testing.T, reg *obs.Registry, budget int64, dir string) server.CacheBackend {
+	d, err := server.NewDiskBackend(dir, budget, reg, "server.cache", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// newTieredAt pins the durable cold tier to dir; the hot tier is
+// in-memory and (like real RAM) does not survive the crash — each New is
+// a fresh process image over the same disk.
+func newTieredAt(t *testing.T, reg *obs.Registry, budget int64, dir string) server.CacheBackend {
+	hot := server.NewLRUBackend(budget/4, reg, "server.cache.hot")
+	cold, err := server.NewDiskBackend(dir, budget-budget/4, reg, "server.cache.cold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.NewTiered(hot, cold, reg, "server.cache")
+}
+
 func newLRU(t *testing.T, reg *obs.Registry, budget int64) server.CacheBackend {
 	return server.NewLRUBackend(budget, reg, "server.cache")
 }

@@ -59,9 +59,12 @@ type diskEntry struct {
 
 // NewDiskBackend creates (mkdir -p) a disk cache rooted at dir with a
 // maxBytes value budget, counters under prefix, and fault points
-// registered on faults (nil disables injection). Pre-existing files in
-// dir are ignored: the index starts empty, so a fresh process starts from
-// a cold (but consistent) cache.
+// registered on faults (nil disables injection). The directory is
+// scrubbed on open (ScrubDir): leftover put-* temps from a crash are
+// removed, torn entries are quarantined, and every intact entry is
+// re-indexed in sorted-key order — so a restart after SIGKILL warm-starts
+// from whatever the previous process durably wrote, never from a lie.
+// A fresh/empty directory scrubs to an empty index at no cost.
 func NewDiskBackend(dir string, maxBytes int64, reg *obs.Registry, prefix string, faults *fault.Registry) (*DiskBackend, error) {
 	if maxBytes <= 0 {
 		return nil, nil
@@ -69,7 +72,7 @@ func NewDiskBackend(dir string, maxBytes int64, reg *obs.Registry, prefix string
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DiskBackend{
+	d := &DiskBackend{
 		dir:       dir,
 		max:       maxBytes,
 		order:     list.New(),
@@ -83,7 +86,41 @@ func NewDiskBackend(dir string, maxBytes int64, reg *obs.Registry, prefix string
 		prefix:    prefix,
 		fpWrite:   faults.Point(FaultDiskWrite),
 		fpRead:    faults.Point(FaultDiskRead),
-	}, nil
+	}
+	if err := d.recover(reg, prefix); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover runs the startup scrub and rebuilds the index from intact
+// entries. Sorted-key order becomes the recovered recency order (there is
+// no durable recency to restore; any deterministic order keeps restarts
+// reproducible), and entries beyond the byte budget are evicted from the
+// LRU end like any other over-budget state.
+func (d *DiskBackend) recover(reg *obs.Registry, prefix string) error {
+	rep, err := ScrubDir(d.dir)
+	if err != nil {
+		return err
+	}
+	reg.Counter(prefix + ".scrub.recovered").Add(uint64(rep.Recovered))
+	reg.Counter(prefix + ".scrub.quarantined").Add(uint64(len(rep.Quarantined)))
+	reg.Counter(prefix + ".scrub.temps_removed").Add(uint64(rep.TempsRemoved))
+	for _, ent := range rep.Entries {
+		d.items[ent.Key] = d.order.PushFront(&diskEntry{key: ent.Key, len: ent.Bytes})
+		d.size += ent.Bytes
+	}
+	for d.size > d.max {
+		back := d.order.Back()
+		if back == nil {
+			break
+		}
+		d.removeLocked(back, back.Value.(*diskEntry))
+		d.evictions.Inc()
+	}
+	d.bytes.Set(float64(d.size))
+	d.entries.Set(float64(len(d.items)))
+	return nil
 }
 
 func (d *DiskBackend) path(key Key) string {

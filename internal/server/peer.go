@@ -25,6 +25,20 @@ const FaultPeerGet = "server.cache.peer.get"
 // miss.
 const DefaultPeerTimeout = 2 * time.Second
 
+// Peer probation defaults (DESIGN.md §13). Without probation a dead peer
+// costs one connection failure — worst case a full DefaultPeerTimeout —
+// on *every* cold-tier lookup; with it, consecutive transport failures
+// open a breaker and the dead peer costs one atomic check until a probe
+// succeeds.
+const (
+	// DefaultPeerFailureThreshold is how many consecutive transport
+	// failures put the peer on probation (open).
+	DefaultPeerFailureThreshold = 3
+	// DefaultPeerProbeAfter is how many peer operations are skipped
+	// while on probation before one probe request is let through.
+	DefaultPeerProbeAfter = 16
+)
+
 // PeerBackend fronts another zipserverd instance's cache over HTTP (the
 // /internal/cache surface served by every Server), making a fleet
 // member's cache a cold tier of this one — the cross-instance sharing
@@ -37,6 +51,15 @@ const DefaultPeerTimeout = 2 * time.Second
 // X-Content-SHA256 trailer the peer computed at store time; a mismatch
 // (peer corruption, transport damage) is a detected corruption + miss.
 // Network failures and timeouts degrade to misses and a counter.
+// A dead peer is handled with failure-count probation: the same
+// deterministic count-based breaker that guards the codecs. After
+// DefaultPeerFailureThreshold consecutive transport failures the breaker
+// opens and every peer operation (Get, Put, Stats, Keys) short-circuits
+// to a local miss/no-op — ~zero cost instead of a timeout per lookup —
+// until DefaultPeerProbeAfter skipped operations admit one probe; a
+// successful probe closes the breaker. Checksum mismatches and 404s do
+// NOT count against probation (the peer answered; the entry is just bad
+// or absent).
 type PeerBackend struct {
 	base   string
 	client *http.Client
@@ -44,10 +67,14 @@ type PeerBackend struct {
 	hits    *obs.Counter
 	misses  *obs.Counter
 	errors  *obs.Counter
+	opens   *obs.Counter // probation trips
+	skipped *obs.Counter // operations short-circuited while open
+	stateG  *obs.Gauge   // 0 closed, 1 open, 2 trial
 	reg     *obs.Registry
 	prefix  string
 	fpGet   *fault.Point
 	timeout time.Duration
+	bk      *breaker
 }
 
 // NewPeerBackend creates a backend fronting the zipserverd instance at
@@ -66,11 +93,54 @@ func NewPeerBackend(baseURL string, timeout time.Duration, reg *obs.Registry, pr
 		hits:    reg.Counter(prefix + ".hits"),
 		misses:  reg.Counter(prefix + ".misses"),
 		errors:  reg.Counter(prefix + ".errors"),
+		opens:   reg.Counter(prefix + ".probation.opens"),
+		skipped: reg.Counter(prefix + ".probation.skipped"),
+		stateG:  reg.Gauge(prefix + ".probation.state"),
 		reg:     reg,
 		prefix:  prefix,
 		fpGet:   faults.Point(FaultPeerGet),
 		timeout: timeout,
+		bk:      newBreaker(DefaultPeerFailureThreshold, DefaultPeerProbeAfter),
 	}
+}
+
+// admit consults the probation breaker before a network exchange. A
+// false return means the peer is on probation and the caller must
+// degrade locally (miss / skipped store) without touching the network.
+func (p *PeerBackend) admit() bool {
+	if p.bk.allow() {
+		return true
+	}
+	p.skipped.Inc()
+	p.syncState()
+	return false
+}
+
+// recordFailure counts one transport failure, incrementing the
+// probation-open counter when this failure trips the breaker.
+func (p *PeerBackend) recordFailure() {
+	if p.bk.record(false) {
+		p.opens.Inc()
+	}
+	p.syncState()
+}
+
+// recordSuccess marks the peer reachable (closing a trial breaker).
+func (p *PeerBackend) recordSuccess() {
+	p.bk.record(true)
+	p.syncState()
+}
+
+func (p *PeerBackend) syncState() {
+	p.stateG.Set(float64(p.bk.stateCode()))
+}
+
+// PeerState implements PeerHealth.
+func (p *PeerBackend) PeerState() (string, bool) {
+	if p == nil {
+		return "", false
+	}
+	return p.bk.stateName(), true
 }
 
 func (p *PeerBackend) url(key Key) string {
@@ -82,26 +152,35 @@ func (p *PeerBackend) Name() string { return "peer" }
 
 // Get implements CacheBackend: one GET against the peer's cache surface.
 // Anything short of a verified 200 — connection refused, timeout, 404,
-// checksum mismatch, injected fault — is a miss.
+// checksum mismatch, injected fault, probation — is a miss.
 func (p *PeerBackend) Get(key Key) ([]byte, bool) {
 	if p == nil {
 		return nil, false
 	}
 	switch in := p.fpGet.Hit(); in.Kind {
 	case fault.KindError:
+		// Injected "peer down": feed probation exactly like a real
+		// transport failure, so chaos runs rehearse the breaker.
 		p.errors.Inc()
 		p.misses.Inc()
+		p.recordFailure()
 		return nil, false
 	case fault.KindLatency:
 		time.Sleep(time.Duration(in.Param) * time.Microsecond)
+	}
+	if !p.admit() {
+		p.misses.Inc()
+		return nil, false
 	}
 	resp, err := p.client.Get(p.url(key))
 	if err != nil {
 		p.errors.Inc()
 		p.misses.Inc()
+		p.recordFailure()
 		return nil, false
 	}
 	defer resp.Body.Close()
+	p.recordSuccess()
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode != http.StatusNotFound {
 			p.errors.Inc()
@@ -126,9 +205,13 @@ func (p *PeerBackend) Get(key Key) ([]byte, bool) {
 }
 
 // Put implements CacheBackend: one PUT against the peer. Store failures
-// degrade to "uncached on the peer" plus a counter.
+// degrade to "uncached on the peer" plus a counter; a peer on probation
+// is skipped without touching the network.
 func (p *PeerBackend) Put(key Key, val []byte) {
 	if p == nil {
+		return
+	}
+	if !p.admit() {
 		return
 	}
 	req, err := http.NewRequest(http.MethodPut, p.url(key), bytes.NewReader(val))
@@ -140,8 +223,10 @@ func (p *PeerBackend) Put(key Key, val []byte) {
 	resp, err := p.client.Do(req)
 	if err != nil {
 		p.errors.Inc()
+		p.recordFailure()
 		return
 	}
+	p.recordSuccess()
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
@@ -179,12 +264,17 @@ type peerIndex struct {
 
 func (p *PeerBackend) index() (peerIndex, bool) {
 	var idx peerIndex
+	if !p.admit() {
+		return idx, false
+	}
 	resp, err := p.client.Get(p.base + "/internal/cache")
 	if err != nil {
 		p.errors.Inc()
+		p.recordFailure()
 		return idx, false
 	}
 	defer resp.Body.Close()
+	p.recordSuccess()
 	if resp.StatusCode != http.StatusOK {
 		p.errors.Inc()
 		return idx, false

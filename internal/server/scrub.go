@@ -1,0 +1,113 @@
+package server
+
+// Crash recovery for the disk tier (DESIGN.md §13). Entries are written
+// atomically (temp file + rename), so a crash can leave only two kinds of
+// debris in a cache directory: orphaned "put-*" temp files (crash before
+// rename) and — if the filesystem or an external writer tore an entry —
+// a *.zc file whose sum||value layout no longer verifies. A scrub walks
+// the directory once, deletes temps, quarantines anything that fails the
+// SHA-256 check into a "quarantine/" subdirectory (kept, not deleted, so
+// a torn entry stays inspectable), and reports every intact entry in
+// sorted-by-filename order — a deterministic inventory that doubles as
+// the warm-start index for NewDiskBackend and the `zipserverd
+// -cache-scrub` report.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// QuarantineDir is the subdirectory of a disk-cache directory that scrub
+// moves damaged entry files into.
+const QuarantineDir = "quarantine"
+
+// ScrubEntry is one intact cache entry found by ScrubDir.
+type ScrubEntry struct {
+	Key   Key
+	Bytes int64 // value bytes (file size minus the 32-byte checksum header)
+}
+
+// ScrubReport summarizes one scrub pass over a disk-cache directory.
+type ScrubReport struct {
+	Dir            string
+	Recovered      int   // intact entries (also listed in Entries)
+	RecoveredBytes int64 // sum of Entries[i].Bytes
+	TempsRemoved   int   // orphaned put-* temp files deleted
+	Quarantined    []string
+	Entries        []ScrubEntry // sorted by filename (= hex key)
+}
+
+// ScrubDir verifies every entry file under dir: the filename must be a
+// 64-hex key + ".zc" and the contents must be a 32-byte SHA-256 followed
+// by a value that hashes to it. Damaged files move to dir/quarantine/,
+// leftover put-* temps are removed, and intact entries are reported in
+// sorted filename order. Safe to run on an empty or fresh directory.
+func ScrubDir(dir string) (*ScrubReport, error) {
+	rep := &ScrubReport{Dir: dir}
+	ents, err := os.ReadDir(dir) // sorted by filename
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "put-") {
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				rep.TempsRemoved++
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".zc") {
+			continue
+		}
+		key, n, ok := verifyEntryFile(dir, name)
+		if !ok {
+			quarantineFile(dir, name)
+			rep.Quarantined = append(rep.Quarantined, name)
+			continue
+		}
+		rep.Recovered++
+		rep.RecoveredBytes += n
+		rep.Entries = append(rep.Entries, ScrubEntry{Key: key, Bytes: n})
+	}
+	return rep, nil
+}
+
+// verifyEntryFile checks one *.zc file's name and sum||value layout,
+// returning the decoded key and value length when intact.
+func verifyEntryFile(dir, name string) (key Key, valBytes int64, ok bool) {
+	hexKey := strings.TrimSuffix(name, ".zc")
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil || len(raw) != sha256.Size {
+		return key, 0, false
+	}
+	copy(key[:], raw)
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil || len(data) < sha256.Size {
+		return key, 0, false
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], data[:sha256.Size])
+	if sha256.Sum256(data[sha256.Size:]) != sum {
+		return key, 0, false
+	}
+	return key, int64(len(data) - sha256.Size), true
+}
+
+// quarantineFile moves one damaged file into dir/quarantine/, falling
+// back to deletion if the move fails — a bad entry must never stay under
+// a valid name either way.
+func quarantineFile(dir, name string) {
+	qdir := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)) == nil {
+			return
+		}
+	}
+	os.Remove(filepath.Join(dir, name))
+}

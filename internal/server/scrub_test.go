@@ -1,0 +1,222 @@
+package server
+
+// Crash-recovery tests for the disk tier (DESIGN.md §13): after an
+// unclean shutdown, reopening the same directory must re-index every
+// intact entry, quarantine torn ones, delete orphaned temps — and above
+// all never serve wrong bytes.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/zipchannel/zipchannel/internal/fault"
+	"github.com/zipchannel/zipchannel/internal/obs"
+)
+
+// populateDisk fills a fresh disk backend with n entries and returns the
+// key→value map. The backend is NOT closed (Close deletes the files) —
+// dropping it models a crash.
+func populateDisk(t *testing.T, dir string, n int) map[Key][]byte {
+	t.Helper()
+	d, err := NewDiskBackend(dir, 1<<20, obs.NewRegistry(), "disk", fault.NewRegistry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[Key][]byte{}
+	for i := 0; i < n; i++ {
+		val := []byte(fmt.Sprintf("crash-survivor value %d", i))
+		key := sha256.Sum256(val)
+		d.Put(key, val)
+		vals[key] = val
+	}
+	return vals
+}
+
+// TestScrubRecoversIntactEntries: SIGKILL-style abandonment, then reopen:
+// every durably written entry is indexed and serves its exact bytes.
+func TestScrubRecoversIntactEntries(t *testing.T) {
+	dir := t.TempDir()
+	vals := populateDisk(t, dir, 5)
+
+	reg := obs.NewRegistry()
+	d, err := NewDiskBackend(dir, 1<<20, reg, "disk", fault.NewRegistry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	entries, _ := d.Stats()
+	if entries != len(vals) {
+		t.Fatalf("recovered %d entries, want %d", entries, len(vals))
+	}
+	if got := reg.Counter("disk.scrub.recovered").Value(); got != uint64(len(vals)) {
+		t.Fatalf("scrub.recovered = %d, want %d", got, len(vals))
+	}
+	for key, want := range vals {
+		got, ok := d.Get(key)
+		if !ok {
+			t.Fatalf("recovered entry %x missing", key[:4])
+		}
+		if string(got) != string(want) {
+			t.Fatalf("recovered entry %x: wrong bytes", key[:4])
+		}
+	}
+}
+
+// TestScrubQuarantinesTornEntries: a truncated entry (torn write, bad
+// sector) is detected at reopen, moved to quarantine/, and reads as a
+// clean miss — never wrong bytes.
+func TestScrubQuarantinesTornEntries(t *testing.T) {
+	dir := t.TempDir()
+	vals := populateDisk(t, dir, 4)
+
+	// Tear one entry mid-value and truncate another inside the checksum
+	// header (shorter than a checksum at all).
+	var torn []Key
+	i := 0
+	for key := range vals {
+		path := filepath.Join(dir, hex.EncodeToString(key[:])+".zc")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 0:
+			if err := os.Truncate(path, info.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+			torn = append(torn, key)
+		case 1:
+			if err := os.Truncate(path, sha256.Size/2); err != nil {
+				t.Fatal(err)
+			}
+			torn = append(torn, key)
+		}
+		i++
+		if i == 2 {
+			break
+		}
+	}
+	// Plus an orphaned temp file from a crash mid-Put.
+	if err := os.WriteFile(filepath.Join(dir, "put-orphan123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	d, err := NewDiskBackend(dir, 1<<20, reg, "disk", fault.NewRegistry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if got := reg.Counter("disk.scrub.quarantined").Value(); got != 2 {
+		t.Fatalf("scrub.quarantined = %d, want 2", got)
+	}
+	if got := reg.Counter("disk.scrub.temps_removed").Value(); got != 1 {
+		t.Fatalf("scrub.temps_removed = %d, want 1", got)
+	}
+	for _, key := range torn {
+		if val, ok := d.Get(key); ok {
+			t.Fatalf("torn entry %x served %d bytes after scrub", key[:4], len(val))
+		}
+		// The damaged file must be out of the cache directory proper.
+		if _, err := os.Stat(filepath.Join(dir, hex.EncodeToString(key[:])+".zc")); !os.IsNotExist(err) {
+			t.Fatalf("torn entry %x still under a valid name (err=%v)", key[:4], err)
+		}
+		qpath := filepath.Join(dir, QuarantineDir, hex.EncodeToString(key[:])+".zc")
+		if _, err := os.Stat(qpath); err != nil {
+			t.Fatalf("torn entry %x not quarantined: %v", key[:4], err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "put-orphan123")); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived the scrub")
+	}
+	// Intact entries still serve.
+	intact := 0
+	for key, want := range vals {
+		skip := false
+		for _, tk := range torn {
+			if tk == key {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		got, ok := d.Get(key)
+		if !ok || string(got) != string(want) {
+			t.Fatalf("intact entry %x lost in scrub (ok=%v)", key[:4], ok)
+		}
+		intact++
+	}
+	if intact != len(vals)-2 {
+		t.Fatalf("served %d intact entries, want %d", intact, len(vals)-2)
+	}
+}
+
+// TestScrubDirReport: the standalone report (the `zipserverd -cache-scrub`
+// surface) is deterministic — entries sorted by filename — and idempotent.
+func TestScrubDirReport(t *testing.T) {
+	dir := t.TempDir()
+	vals := populateDisk(t, dir, 3)
+	// One file with a non-key name is left alone.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a cache entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ScrubDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != len(vals) || len(rep.Entries) != len(vals) {
+		t.Fatalf("recovered %d (entries %d), want %d", rep.Recovered, len(rep.Entries), len(vals))
+	}
+	for i := 1; i < len(rep.Entries); i++ {
+		if hex.EncodeToString(rep.Entries[i-1].Key[:]) >= hex.EncodeToString(rep.Entries[i].Key[:]) {
+			t.Fatal("scrub report entries not sorted by key")
+		}
+	}
+	var wantBytes int64
+	for _, v := range vals {
+		wantBytes += int64(len(v))
+	}
+	if rep.RecoveredBytes != wantBytes {
+		t.Fatalf("RecoveredBytes = %d, want %d", rep.RecoveredBytes, wantBytes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("scrub removed an unrelated file")
+	}
+
+	// Idempotent: a second pass finds the same inventory, nothing new to
+	// clean.
+	rep2, err := ScrubDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Recovered != rep.Recovered || len(rep2.Quarantined) != 0 || rep2.TempsRemoved != 0 {
+		t.Fatalf("second scrub not idempotent: %+v", rep2)
+	}
+}
+
+// TestScrubBudgetEviction: recovery respects the byte budget — an
+// over-budget directory is trimmed deterministically at reopen.
+func TestScrubBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	populateDisk(t, dir, 6) // ~25 bytes each
+
+	d, err := NewDiskBackend(dir, 80, obs.NewRegistry(), "disk", fault.NewRegistry(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	entries, bytes := d.Stats()
+	if bytes > 80 {
+		t.Fatalf("recovered %d bytes over the 80-byte budget", bytes)
+	}
+	if entries == 0 {
+		t.Fatal("budget eviction removed everything")
+	}
+}

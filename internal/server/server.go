@@ -61,7 +61,7 @@ import (
 
 // Version identifies the server build in /healthz; bumped when the HTTP
 // surface changes shape.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Default limits; all overridable via Config.
 const (
@@ -117,6 +117,12 @@ type Config struct {
 	CacheMaxAge int
 	// Workers caps concurrent codec executions; <= 0 means GOMAXPROCS.
 	Workers int
+	// QueueLimit caps how many codec-execution requests may wait for a
+	// worker beyond the ones executing; past it the admission controller
+	// sheds with 503 + Retry-After instead of queueing (DESIGN.md §13).
+	// 0 means DefaultQueueLimitFactor × Workers; negative disables
+	// shedding entirely (the pre-0.9 unbounded-queue behavior).
+	QueueLimit int
 	// Registry receives merged per-request metrics and serves /metrics.
 	// Created if nil.
 	Registry *obs.Registry
@@ -172,6 +178,7 @@ type Server struct {
 	maxBody    int64
 	reg        *obs.Registry
 	gate       *par.Gate
+	admission  *admission
 	cache      CacheBackend
 	peerView   CacheBackend
 	flight     flightGroup
@@ -268,6 +275,7 @@ func New(cfg Config) *Server {
 		breakerCooldown:  cfg.BreakerCooldown,
 		breakers:         map[string]*breaker{},
 	}
+	s.admission = newAdmission(s.gate.Capacity(), cfg.QueueLimit, cfg.Registry)
 	s.reg.SetSimClock(s.simSteps.Load)
 	if cfg.AccessLog != nil {
 		s.accessSink = obs.NewTraceSink(cfg.AccessLog)
@@ -525,8 +533,18 @@ func (s *Server) handleCodec(w http.ResponseWriter, r *http.Request) {
 		out = flightOut
 		if codecErr != nil {
 			switch {
+			case errors.Is(codecErr, errShed):
+				// Overload: refuse with a drain-time hint so a retrying
+				// client's next attempt lands when a slot is plausible.
+				ri.cacheTier = "shed"
+				w.Header().Set("Retry-After", fmt.Sprint(s.admission.retryAfterSeconds()))
+				http.Error(w, fmt.Sprintf("%s %s overloaded (queue full), retry later", name, op),
+					http.StatusServiceUnavailable)
 			case errors.Is(codecErr, errBreakerOpen):
 				req.Counter("server.breaker.rejected").Inc()
+				// The breaker's cooldown is counted in requests, not
+				// seconds; 1s is the floor hint for a backoff client.
+				w.Header().Set("Retry-After", "1")
 				http.Error(w, fmt.Sprintf("%s %s temporarily unavailable (circuit open)", name, op),
 					http.StatusServiceUnavailable)
 			case errors.Is(codecErr, context.DeadlineExceeded) || errors.Is(codecErr, context.Canceled):
@@ -602,8 +620,11 @@ func (s *Server) missOnce(r *http.Request, req *obs.Registry, ri *reqInfo, cd co
 			if bk.record(false) {
 				req.Counter("server.breaker.trips").Inc()
 			}
-		} else if !errors.Is(codecErr, context.DeadlineExceeded) && !errors.Is(codecErr, context.Canceled) {
+		} else if !errors.Is(codecErr, context.DeadlineExceeded) && !errors.Is(codecErr, context.Canceled) &&
+			!errors.Is(codecErr, errShed) {
 			// Genuine codec error (bad input): the codec is healthy.
+			// Deadline and shed rejections are load, not codec health —
+			// they feed neither side of the breaker.
 			bk.record(true)
 		}
 		ri.breaker = bk.stateName()
@@ -662,6 +683,14 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, req *obs.Regis
 // worker slot.
 func (s *Server) runCodec(ctx context.Context, req *obs.Registry, cd codec.Codec, op string,
 	fp *fault.Point, run func([]byte) ([]byte, error), body []byte) ([]byte, error) {
+	// Overload admission covers the whole gate interaction — queue wait,
+	// execution, and retries hold one admission slot, so the controller's
+	// inSystem count is exactly the load the gate is carrying.
+	release, admErr := s.admission.acquire(ctx)
+	if admErr != nil {
+		return nil, admErr
+	}
+	defer release()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var out []byte
@@ -673,7 +702,9 @@ func (s *Server) runCodec(ctx context.Context, req *obs.Registry, cd codec.Codec
 			csp.SetAttr("op", op)
 			csp.SetAttr("attempt", attempt)
 			defer csp.End()
+			execStart := time.Now()
 			out, execErr = s.execOnce(req, fp, run, body, csp)
+			s.admission.observeExec(time.Since(execStart))
 		})
 		gsp.End() // idempotent: closes the span on the rejected path too
 		if ri := reqInfoFrom(ctx); ri != nil {
@@ -770,6 +801,7 @@ type healthResponse struct {
 	UptimeSimSteps uint64            `json:"uptime_sim_steps"`
 	UptimeSeconds  float64           `json:"uptime_seconds"`
 	Breakers       map[string]string `json:"breakers"`
+	Overload       *healthOverload   `json:"overload,omitempty"`
 	Cache          healthCache       `json:"cache"`
 	Pages          *healthPages      `json:"pages,omitempty"`
 }
@@ -779,6 +811,10 @@ type healthCache struct {
 	Backend string `json:"backend,omitempty"`
 	Entries int    `json:"entries"`
 	Bytes   int64  `json:"bytes"`
+	// PeerState reports the peer tier's probation breaker when the
+	// hierarchy contains one ("closed", "open", "trial"); absent
+	// otherwise.
+	PeerState string `json:"peer_state,omitempty"`
 }
 
 // healthPages reports the mounted page store; absent when the server
@@ -809,6 +845,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Entries: entries,
 			Bytes:   storedBytes,
 		}
+		if ph, ok := s.cache.(PeerHealth); ok {
+			if state, has := ph.PeerState(); has {
+				cacheHealth.PeerState = state
+			}
+		}
 	}
 	resp := healthResponse{
 		Status:         "ok",
@@ -819,6 +860,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSimSteps: s.simSteps.Load(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Breakers:       breakers,
+		Overload:       s.admission.health(),
 		Cache:          cacheHealth,
 	}
 	if s.pages != nil {

@@ -137,6 +137,20 @@ func (t *TieredBackend) Keys() []Key {
 	return keys
 }
 
+// PeerState implements PeerHealth by delegating to whichever tier fronts
+// a remote peer (cold first — the usual cluster composition — then hot).
+// ok is false when no tier is peer-backed.
+func (t *TieredBackend) PeerState() (string, bool) {
+	for _, b := range []CacheBackend{t.cold, t.hot} {
+		if ph, ok := b.(PeerHealth); ok {
+			if state, has := ph.PeerState(); has {
+				return state, true
+			}
+		}
+	}
+	return "", false
+}
+
 // Close implements CacheBackend.
 func (t *TieredBackend) Close() error {
 	var first error
